@@ -1,0 +1,111 @@
+// Extension experiment (paper future-work 8(3), "more evaluation
+// metrics"): when the application's real loss is asymmetric — here a
+// triage-style task where missing a positive costs 8x a false alarm — does
+// configuring QASCA with the matching cost-sensitive metric beat running it
+// with plain Accuracy? This replays the paper's central claim (the
+// assignment should optimise the metric the application is judged by) on a
+// metric outside the paper's pair.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/metrics/cost_accuracy.h"
+#include "platform/engine.h"
+#include "platform/qasca_strategy.h"
+#include "simulation/dataset.h"
+#include "simulation/simulated_worker.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace qasca {
+namespace {
+
+// Missing a true "positive" (label 0) costs 8; a false alarm costs 1.
+const std::vector<double> kTriageCosts = {0.0, 8.0, 1.0, 0.0};
+
+struct RunOutcome {
+  double cost_quality = 0.0;  // CostAccuracy(T, R*)
+};
+
+RunOutcome RunOnce(const MetricSpec& engine_metric, uint64_t seed) {
+  ApplicationSpec spec = PositiveSentimentApp();
+  spec.num_questions = 600;
+  spec.workers.num_workers = 60;
+  // A tight budget (z = 2) makes assignment choices decisive.
+  spec.answers_per_question = 2;
+
+  AppConfig config = MakeAppConfig(spec);
+  config.metric = engine_metric;
+  TaskAssignmentEngine engine(config, std::make_unique<QascaStrategy>(),
+                              seed * 13 + 1);
+
+  util::Rng world(seed);
+  GroundTruthVector truth = GenerateGroundTruth(spec, world);
+  std::vector<double> difficulty = GenerateQuestionDifficulty(spec, world);
+  std::vector<SimulatedWorker> pool = GenerateWorkerPool(spec.workers, world);
+  util::Rng arrival = world.Fork();
+  util::Rng answers = world.Fork();
+
+  std::vector<int> served(pool.size(), 0);
+  const int k = spec.questions_per_hit;
+  for (int round = 0; round < spec.TotalHits(); ++round) {
+    const SimulatedWorker* worker = nullptr;
+    while (worker == nullptr) {
+      const SimulatedWorker& candidate =
+          pool[arrival.UniformInt(static_cast<int>(pool.size()))];
+      if (spec.num_questions - k * (served[candidate.id] + 1) >= 0) {
+        worker = &candidate;
+      }
+    }
+    ++served[worker->id];
+    auto hit = engine.RequestHit(worker->id);
+    QASCA_CHECK(hit.ok()) << hit.status().ToString();
+    std::vector<LabelIndex> labels;
+    for (QuestionIndex q : *hit) {
+      labels.push_back(worker->AnswerQuestion(truth[q], answers,
+                                              difficulty[q]));
+    }
+    QASCA_CHECK(engine.CompleteHit(worker->id, labels).ok());
+  }
+
+  // Judge both configurations by the application's *real* loss.
+  CostAccuracyMetric judge(kTriageCosts, 2);
+  RunOutcome outcome;
+  outcome.cost_quality =
+      judge.EvaluateAgainstTruth(truth, judge.OptimalResult(
+                                            engine.database().current()));
+  return outcome;
+}
+
+void RunAll() {
+  util::PrintSection(
+      "Extension — cost-sensitive metric (miss costs 8x false alarm), "
+      "QASCA engine configured with matching vs mismatched metric");
+  const int kSeeds = 8;
+  util::RunningStats cost_aware;
+  util::RunningStats accuracy_configured;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    cost_aware.Add(
+        RunOnce(MetricSpec::CostAccuracy(kTriageCosts), seed).cost_quality);
+    accuracy_configured.Add(RunOnce(MetricSpec::Accuracy(), seed).cost_quality);
+  }
+  util::Table table({"engine metric", "cost-quality (1 - norm. loss)"});
+  table.AddRow().Cell("CostAccuracy (matched)").Percent(cost_aware.mean(), 2);
+  table.AddRow()
+      .Cell("Accuracy (mismatched)")
+      .Percent(accuracy_configured.mean(), 2);
+  table.Print();
+  std::printf(
+      "Expected shape: the matched configuration wins — the same\n"
+      "metric-awareness argument the paper makes for Accuracy vs F-score\n"
+      "extends to any decomposable metric via generalised Top-K Benefit.\n");
+}
+
+}  // namespace
+}  // namespace qasca
+
+int main() {
+  qasca::RunAll();
+  return 0;
+}

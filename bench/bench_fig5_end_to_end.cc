@@ -1,0 +1,65 @@
+// Reproduces Figure 5(a)-(e) and Table 4: the end-to-end comparison of the
+// six systems (Baseline, CDAS, AskIt!, QASCA, MaxMargin, ExpLoss) on the
+// five applications of Table 1, reporting true result quality as HITs
+// complete.
+//
+// The AMT crowd is replaced by the simulated worker pools described in
+// DESIGN.md (heterogeneous skill, per-label skill, spammers, per-question
+// difficulty). Unlike the paper's single live run, each application is
+// averaged over QASCA_BENCH_SEEDS (default 3) simulated worlds.
+
+#include <cstdio>
+
+#include "bench/experiment_driver.h"
+#include "util/table.h"
+
+namespace qasca {
+namespace {
+
+void RunAll() {
+  const int seeds = bench::SeedsFromEnv(3);
+  std::vector<SystemFactory> systems = DefaultSystems();
+  std::vector<bench::AveragedTraces> all;
+  const char* panel = "abcde";
+  std::vector<ApplicationSpec> apps = PaperApplications();
+  for (size_t a = 0; a < apps.size(); ++a) {
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Figure 5(%c) — %s: quality vs completed HITs (%s, mean "
+                  "of %d runs)",
+                  panel[a], apps[a].name.c_str(),
+                  apps[a].metric.kind == MetricSpec::Kind::kAccuracy
+                      ? "Accuracy"
+                      : "F-score",
+                  seeds);
+    util::PrintSection(title);
+    bench::AveragedTraces traces = bench::RunAveraged(
+        apps[a], systems, seeds, /*checkpoints=*/10,
+        /*track_estimation_deviation=*/false);
+    bench::PrintQualitySeries(traces);
+    all.push_back(std::move(traces));
+  }
+
+  util::PrintSection("Table 4 — overall result quality (all HITs completed)");
+  std::vector<std::string> header = {"Dataset"};
+  for (const SystemFactory& factory : systems) header.push_back(factory.name);
+  util::Table table(header);
+  for (const bench::AveragedTraces& traces : all) {
+    table.AddRow().Cell(traces.spec.name);
+    for (double quality : traces.final_quality) table.Percent(quality, 2);
+  }
+  table.Print();
+  std::printf(
+      "Expected shape (paper Table 4): QASCA first on every dataset, all\n"
+      "systems near-indistinguishable early (Figure 5) with QASCA pulling\n"
+      "ahead as worker-quality estimates sharpen; Baseline last;\n"
+      "MaxMargin above ExpLoss on average.\n");
+}
+
+}  // namespace
+}  // namespace qasca
+
+int main() {
+  qasca::RunAll();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Figure 6(a) — worst-case assignment time of each system on
+// each application — and Figure 6(b) — how the estimated worker quality
+// (fitted confusion matrix) converges to the latent one as HITs complete.
+
+#include <cstdio>
+
+#include "bench/experiment_driver.h"
+#include "util/table.h"
+
+namespace qasca {
+namespace {
+
+void RunAll() {
+  const int seeds = bench::SeedsFromEnv(1);
+  std::vector<SystemFactory> systems = DefaultSystems();
+  std::vector<bench::AveragedTraces> all;
+  for (const ApplicationSpec& app : PaperApplications()) {
+    all.push_back(bench::RunAveraged(app, systems, seeds, /*checkpoints=*/10,
+                                     /*track_estimation_deviation=*/true));
+  }
+
+  util::PrintSection(
+      "Figure 6(a) — worst-case assignment time per system (seconds)");
+  std::vector<std::string> header = {"Dataset"};
+  for (const SystemFactory& factory : systems) header.push_back(factory.name);
+  util::Table table(header);
+  for (const bench::AveragedTraces& traces : all) {
+    table.AddRow().Cell(traces.spec.name);
+    for (double seconds : traces.max_assignment_seconds) {
+      table.Cell(seconds, 5);
+    }
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: every system well under 0.06s; QASCA the costliest\n"
+      "(its F-score datasets and ER's n=2000 are slowest), still "
+      "interactive.\n");
+
+  util::PrintSection(
+      "Figure 6(b) — mean worker-quality estimation deviation vs % "
+      "completed HITs (QASCA's engine)");
+  std::vector<std::string> header_b = {"% HITs"};
+  for (const bench::AveragedTraces& traces : all) {
+    header_b.push_back(traces.spec.name);
+  }
+  util::Table table_b(header_b);
+  // System index 3 is QASCA (paper order).
+  const size_t kQasca = 3;
+  const size_t checkpoints = all[0].estimation_deviation[kQasca].size();
+  for (size_t c = 0; c < checkpoints; ++c) {
+    double percent = 100.0 * all[0].completed_hits[c] /
+                     all[0].completed_hits.back();
+    table_b.AddRow().Cell(percent, 0);
+    for (const bench::AveragedTraces& traces : all) {
+      table_b.Cell(traces.estimation_deviation[kQasca][c], 4);
+    }
+  }
+  table_b.Print();
+  std::printf(
+      "Expected shape: deviation shrinks monotonically as HITs complete —\n"
+      "the estimated CMs approach the latent worker behaviour, which is\n"
+      "why QASCA pulls away over time in Figure 5.\n");
+}
+
+}  // namespace
+}  // namespace qasca
+
+int main() {
+  qasca::RunAll();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Figure 8 / Appendix J: the CompanyLogo application — 500
+// questions with 214 country labels, k = 5, z = 3 (300 HITs), evaluated as
+// F-score for "USA" with alpha = 0.5, deployed on QASCA. F-score reduces a
+// many-label question to target vs non-target, so both quality and
+// assignment latency must be unaffected by the label count.
+
+#include <cstdio>
+
+#include "bench/experiment_driver.h"
+#include "platform/qasca_strategy.h"
+#include "util/table.h"
+
+namespace qasca {
+namespace {
+
+void RunAll() {
+  const int seeds = bench::SeedsFromEnv(1);
+  std::vector<SystemFactory> systems = {
+      {"QASCA", [] { return std::make_unique<QascaStrategy>(); }}};
+  util::PrintSection(
+      "Figure 8 — CompanyLogo (214 labels): F-score(USA, alpha=0.5) vs "
+      "completed HITs on QASCA");
+  bench::AveragedTraces traces =
+      bench::RunAveraged(CompanyLogoApp(), systems, seeds, /*checkpoints=*/10,
+                         /*track_estimation_deviation=*/false);
+  bench::PrintQualitySeries(traces);
+  std::printf(
+      "max assignment time = %.4fs (paper: 0.005s — F-score's target /\n"
+      "non-target reduction makes assignment independent of the 214 "
+      "labels)\n",
+      traces.max_assignment_seconds[0]);
+  std::printf(
+      "Expected shape: high F-score reached well before all HITs complete\n"
+      "(the paper hits 90%% at two thirds of the budget).\n");
+}
+
+}  // namespace
+}  // namespace qasca
+
+int main() {
+  qasca::RunAll();
+  return 0;
+}

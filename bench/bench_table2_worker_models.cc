@@ -1,0 +1,174 @@
+// Reproduces Table 2: result quality when the distribution matrix is built
+// from "real" (ground-truth-derived, Eq. 20) Worker Probability vs
+// Confusion Matrix models. Answers are collected with the paper's z = 3
+// redundancy; to avoid overfitting, each worker's model is fitted on a
+// random 80% of their answers, repeated over many trials (Section 6.2.2).
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/experiment_driver.h"
+#include "model/posterior.h"
+#include "model/prior.h"
+#include "simulation/dataset.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace qasca {
+namespace {
+
+struct CollectedAnswers {
+  GroundTruthVector truth;
+  AnswerSet answers;
+  int num_workers = 0;
+};
+
+// Collects z answers per question from random distinct workers — the
+// observable record D the paper computes Table 2 from.
+CollectedAnswers CollectAnswers(const ApplicationSpec& spec, util::Rng& rng) {
+  CollectedAnswers collected;
+  collected.truth = GenerateGroundTruth(spec, rng);
+  std::vector<double> difficulty = GenerateQuestionDifficulty(spec, rng);
+  std::vector<SimulatedWorker> pool = GenerateWorkerPool(spec.workers, rng);
+  collected.num_workers = static_cast<int>(pool.size());
+  collected.answers.resize(spec.num_questions);
+  for (int i = 0; i < spec.num_questions; ++i) {
+    for (int w :
+         rng.SampleWithoutReplacement(collected.num_workers,
+                                      spec.answers_per_question)) {
+      LabelIndex label = pool[w].AnswerQuestion(collected.truth[i], rng,
+                                                difficulty[i]);
+      collected.answers[i].push_back(Answer{pool[w].id, label});
+    }
+  }
+  return collected;
+}
+
+// Eq. 20 on a subset of each worker's answers: the "real" WP and CM.
+// `keep` decides which answers participate (the 80% subsample).
+std::unordered_map<WorkerId, WorkerModel> FitRealModels(
+    const CollectedAnswers& collected, WorkerModel::Kind kind, int num_labels,
+    const std::vector<std::vector<bool>>& keep) {
+  struct Counts {
+    std::vector<double> matrix;  // [truth][answered] counts
+    double agree = 0.0;
+    double total = 0.0;
+  };
+  std::unordered_map<WorkerId, Counts> counts;
+  for (size_t i = 0; i < collected.answers.size(); ++i) {
+    for (size_t a = 0; a < collected.answers[i].size(); ++a) {
+      if (!keep[i][a]) continue;
+      const Answer& answer = collected.answers[i][a];
+      Counts& c = counts[answer.worker];
+      if (c.matrix.empty()) {
+        c.matrix.assign(static_cast<size_t>(num_labels) * num_labels, 0.0);
+      }
+      LabelIndex truth = collected.truth[i];
+      c.matrix[static_cast<size_t>(truth) * num_labels + answer.label] += 1.0;
+      if (truth == answer.label) c.agree += 1.0;
+      c.total += 1.0;
+    }
+  }
+  std::unordered_map<WorkerId, WorkerModel> models;
+  for (auto& [worker, c] : counts) {
+    if (kind == WorkerModel::Kind::kWorkerProbability) {
+      models.emplace(worker,
+                     WorkerModel::Wp((c.agree + 1.0) / (c.total + 2.0),
+                                     num_labels));
+      continue;
+    }
+    // Normalise rows with Laplace smoothing (rows with no observations
+    // become uniform).
+    for (int t = 0; t < num_labels; ++t) {
+      double row_total = 0.0;
+      for (int a = 0; a < num_labels; ++a) {
+        c.matrix[static_cast<size_t>(t) * num_labels + a] += 1.0 / num_labels;
+        row_total += c.matrix[static_cast<size_t>(t) * num_labels + a];
+      }
+      for (int a = 0; a < num_labels; ++a) {
+        c.matrix[static_cast<size_t>(t) * num_labels + a] /= row_total;
+      }
+    }
+    models.emplace(worker, WorkerModel::Cm(c.matrix, num_labels));
+  }
+  return models;
+}
+
+double EvaluateModelKind(const ApplicationSpec& spec,
+                         const CollectedAnswers& collected,
+                         WorkerModel::Kind kind, util::Rng& rng) {
+  // 80% subsample of each worker's answers (by answer, as in the paper).
+  std::vector<std::vector<bool>> keep(collected.answers.size());
+  for (size_t i = 0; i < collected.answers.size(); ++i) {
+    keep[i].resize(collected.answers[i].size());
+    for (size_t a = 0; a < keep[i].size(); ++a) {
+      keep[i][a] = rng.Uniform() < 0.8;
+    }
+  }
+  std::unordered_map<WorkerId, WorkerModel> models =
+      FitRealModels(collected, kind, spec.num_labels, keep);
+  WorkerModel fallback = kind == WorkerModel::Kind::kWorkerProbability
+                             ? WorkerModel::PerfectWp(spec.num_labels)
+                             : WorkerModel::PerfectCm(spec.num_labels);
+  WorkerModelLookup lookup = [&](WorkerId worker) -> const WorkerModel& {
+    auto it = models.find(worker);
+    return it != models.end() ? it->second : fallback;
+  };
+
+  // Real prior: the fraction of questions whose ground truth is each label.
+  std::vector<double> prior(spec.num_labels, 0.0);
+  for (LabelIndex t : collected.truth) prior[t] += 1.0;
+  for (double& p : prior) p /= collected.truth.size();
+
+  DistributionMatrix qc =
+      ComputeCurrentDistribution(collected.answers, prior, lookup);
+  auto metric = spec.metric.Make();
+  return metric->EvaluateAgainstTruth(collected.truth,
+                                      metric->OptimalResult(qc));
+}
+
+void RunAll() {
+  const int kTrials = 100;
+  util::PrintSection(
+      "Table 2 — result quality with real (ground-truth-derived) worker "
+      "models, 80% subsample, 100 trials");
+  util::Table table({"Model", "FS", "SA", "ER", "PSA", "NSA"});
+  std::vector<ApplicationSpec> apps = PaperApplications();
+  std::vector<double> cm_quality;
+  std::vector<double> wp_quality;
+  for (const ApplicationSpec& app : apps) {
+    util::Rng rng(7000 + app.num_questions);
+    CollectedAnswers collected = CollectAnswers(app, rng);
+    util::RunningStats cm_stats;
+    util::RunningStats wp_stats;
+    for (int t = 0; t < kTrials; ++t) {
+      cm_stats.Add(EvaluateModelKind(app, collected,
+                                     WorkerModel::Kind::kConfusionMatrix,
+                                     rng));
+      wp_stats.Add(EvaluateModelKind(app, collected,
+                                     WorkerModel::Kind::kWorkerProbability,
+                                     rng));
+    }
+    cm_quality.push_back(cm_stats.mean());
+    wp_quality.push_back(wp_stats.mean());
+  }
+  table.AddRow().Cell("CM");
+  for (double q : cm_quality) table.Percent(q, 2);
+  table.AddRow().Cell("WP");
+  for (double q : wp_quality) table.Percent(q, 2);
+  table.Print();
+  std::printf(
+      "Expected shape (paper Table 2): CM >= WP everywhere, with a real\n"
+      "gap on SA (adjacent-sentiment confusion violates WP's symmetric-\n"
+      "error assumption) and ER (\"equal\" is harder than \"non-equal\"),\n"
+      "and near-parity on FS / PSA / NSA.\n");
+}
+
+}  // namespace
+}  // namespace qasca
+
+int main() {
+  qasca::RunAll();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Table 3: the average real quality improvement of returning the
+// optimal result vector R* (Theorem 2 / Algorithm 1) instead of the
+// argmax-label vector R-tilde, measured along each system's own end-to-end
+// run of the three F-score applications (ER, PSA, NSA).
+
+#include <cstdio>
+
+#include "bench/experiment_driver.h"
+#include "util/table.h"
+
+namespace qasca {
+namespace {
+
+void RunAll() {
+  const int seeds = bench::SeedsFromEnv(2);
+  // The paper's Table 3 reports the five comparison systems (QASCA's own
+  // runs are what Figure 5 shows; the selection optimisation is applied to
+  // every system there).
+  std::vector<SystemFactory> systems;
+  for (const SystemFactory& factory : DefaultSystems()) {
+    if (factory.name != "QASCA") systems.push_back(factory);
+  }
+
+  std::vector<ApplicationSpec> apps = {
+      EntityResolutionApp(), PositiveSentimentApp(), NegativeSentimentApp()};
+
+  util::PrintSection(
+      "Table 3 — mean quality improvement of optimal result selection "
+      "(F(T,R*) - F(T,R-tilde))");
+  std::vector<std::string> header = {"Dataset"};
+  for (const SystemFactory& factory : systems) header.push_back(factory.name);
+  util::Table table(header);
+  for (const ApplicationSpec& app : apps) {
+    bench::AveragedTraces traces = bench::RunAveraged(
+        app, systems, seeds, /*checkpoints=*/10,
+        /*track_estimation_deviation=*/false);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s (alpha=%.2f)", app.name.c_str(),
+                  app.metric.alpha);
+    table.AddRow().Cell(std::string(label));
+    for (double gain : traces.result_selection_gain) table.Percent(gain, 2);
+  }
+  table.Print();
+  std::printf(
+      "Expected shape (paper Table 3): every entry positive — all systems\n"
+      "benefit from R*; NSA (alpha=0.25, Recall-heavy) benefits the most,\n"
+      "PSA (alpha=0.75) the least, mirroring Figure 3(d)'s asymmetric "
+      "bowl.\n");
+}
+
+}  // namespace
+}  // namespace qasca
+
+int main() {
+  qasca::RunAll();
+  return 0;
+}

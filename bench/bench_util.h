@@ -1,0 +1,32 @@
+#ifndef QASCA_BENCH_BENCH_UTIL_H_
+#define QASCA_BENCH_BENCH_UTIL_H_
+
+#include <vector>
+
+#include "core/distribution_matrix.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace qasca::bench {
+
+/// Random n-by-2 distribution matrix with target probabilities uniform in
+/// [0,1] — the paper's simulated-data generator for F-score experiments
+/// (Section 6.1.1).
+DistributionMatrix RandomBinaryMatrix(int n, util::Rng& rng);
+
+/// Random n-by-l matrix with rows drawn uniformly and normalised — the
+/// paper's generator for Accuracy experiments.
+DistributionMatrix RandomMatrix(int n, int num_labels, util::Rng& rng);
+
+/// Uniformly random result vector over {0, 1}.
+ResultVector RandomBinaryResult(int n, util::Rng& rng);
+
+/// Random estimated matrix Qw derived from Qc by sampling a worker answer
+/// per question under a random confusion matrix and conditioning (Eq. 18) —
+/// the paper's Qw generator for the Figure 4 assignment experiments.
+DistributionMatrix DeriveEstimatedMatrix(const DistributionMatrix& current,
+                                         util::Rng& rng);
+
+}  // namespace qasca::bench
+
+#endif  // QASCA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+#include "bench/experiment_driver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace qasca::bench {
+
+AveragedTraces RunAveraged(const ApplicationSpec& spec,
+                           const std::vector<SystemFactory>& systems,
+                           int seeds, int checkpoints,
+                           bool track_estimation_deviation) {
+  QASCA_CHECK_GT(seeds, 0);
+  AveragedTraces averaged;
+  averaged.spec = spec;
+  for (const SystemFactory& factory : systems) {
+    averaged.system_names.push_back(factory.name);
+  }
+  const size_t num_systems = systems.size();
+  averaged.quality.assign(num_systems, {});
+  averaged.estimation_deviation.assign(num_systems, {});
+  averaged.final_quality.assign(num_systems, 0.0);
+  averaged.max_assignment_seconds.assign(num_systems, 0.0);
+  averaged.result_selection_gain.assign(num_systems, 0.0);
+
+  for (int seed = 0; seed < seeds; ++seed) {
+    ExperimentOptions options;
+    options.seed = 1000 + 97 * seed;
+    options.checkpoints = checkpoints;
+    options.track_estimation_deviation = track_estimation_deviation;
+    ExperimentResult result = RunParallelExperiment(spec, systems, options);
+    for (size_t s = 0; s < num_systems; ++s) {
+      const SystemTrace& trace = result.systems[s];
+      if (seed == 0) {
+        averaged.completed_hits = trace.completed_hits;
+        averaged.quality[s].assign(trace.quality.size(), 0.0);
+        averaged.estimation_deviation[s].assign(
+            trace.estimation_deviation.size(), 0.0);
+      }
+      for (size_t c = 0; c < trace.quality.size(); ++c) {
+        averaged.quality[s][c] += trace.quality[c] / seeds;
+      }
+      for (size_t c = 0; c < trace.estimation_deviation.size(); ++c) {
+        averaged.estimation_deviation[s][c] +=
+            trace.estimation_deviation[c] / seeds;
+      }
+      averaged.final_quality[s] += trace.final_quality / seeds;
+      averaged.max_assignment_seconds[s] = std::max(
+          averaged.max_assignment_seconds[s], trace.max_assignment_seconds);
+      averaged.result_selection_gain[s] += trace.result_selection_gain / seeds;
+    }
+  }
+  return averaged;
+}
+
+int SeedsFromEnv(int fallback) {
+  const char* value = std::getenv("QASCA_BENCH_SEEDS");
+  if (value == nullptr) return fallback;
+  int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+void PrintQualitySeries(const AveragedTraces& traces) {
+  std::vector<std::string> header = {"HITs"};
+  for (const std::string& name : traces.system_names) header.push_back(name);
+  util::Table table(header);
+  for (size_t c = 0; c < traces.completed_hits.size(); ++c) {
+    table.AddRow().Cell(int64_t{traces.completed_hits[c]});
+    for (size_t s = 0; s < traces.system_names.size(); ++s) {
+      table.Percent(traces.quality[s][c], 2);
+    }
+  }
+  table.Print();
+}
+
+}  // namespace qasca::bench

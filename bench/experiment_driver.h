@@ -1,0 +1,47 @@
+#ifndef QASCA_BENCH_EXPERIMENT_DRIVER_H_
+#define QASCA_BENCH_EXPERIMENT_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "simulation/experiment.h"
+
+namespace qasca::bench {
+
+/// Seed-averaged traces for one application across systems. The paper runs
+/// each application once on live AMT workers; a simulation can and should
+/// average a few independent worlds to separate policy effects from
+/// single-run noise.
+struct AveragedTraces {
+  ApplicationSpec spec;
+  std::vector<std::string> system_names;
+  /// Checkpoint x-axis (completed HITs), shared by all systems and seeds.
+  std::vector<int> completed_hits;
+  /// [system][checkpoint] mean quality.
+  std::vector<std::vector<double>> quality;
+  /// [system][checkpoint] mean worker-quality estimation deviation.
+  std::vector<std::vector<double>> estimation_deviation;
+  /// [system] mean final quality (Table 4).
+  std::vector<double> final_quality;
+  /// [system] worst assignment latency over all runs (Figure 6(a)).
+  std::vector<double> max_assignment_seconds;
+  /// [system] mean optimal-result-selection gain (Table 3).
+  std::vector<double> result_selection_gain;
+};
+
+/// Runs the parallel experiment `seeds` times and averages.
+AveragedTraces RunAveraged(const ApplicationSpec& spec,
+                           const std::vector<SystemFactory>& systems,
+                           int seeds, int checkpoints,
+                           bool track_estimation_deviation);
+
+/// Number of seeds to average, from the QASCA_BENCH_SEEDS environment
+/// variable; `fallback` if unset.
+int SeedsFromEnv(int fallback);
+
+/// Prints a quality-vs-completed-HITs table for every system.
+void PrintQualitySeries(const AveragedTraces& traces);
+
+}  // namespace qasca::bench
+
+#endif  // QASCA_BENCH_EXPERIMENT_DRIVER_H_

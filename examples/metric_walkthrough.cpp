@@ -1,0 +1,99 @@
+// A guided tour of the paper's worked examples (Figure 2, Examples 1-7)
+// using the library's core API directly — no platform, no simulation. Run
+// it next to the paper: every number printed here appears in the text.
+//
+// Build & run:  ./build/examples/metric_walkthrough
+
+#include <cstdio>
+#include <vector>
+
+#include "core/assignment/fscore_online.h"
+#include "core/assignment/topk_benefit.h"
+#include "core/metrics/accuracy.h"
+#include "core/metrics/fscore.h"
+#include "model/posterior.h"
+#include "model/prior.h"
+
+int main() {
+  using namespace qasca;
+
+  // ---- Figure 2's current distribution matrix Qc (6 questions, 2 labels).
+  DistributionMatrix qc(6, 2);
+  qc.SetRow(0, std::vector<double>{0.8, 0.2});
+  qc.SetRow(1, std::vector<double>{0.6, 0.4});
+  qc.SetRow(2, std::vector<double>{0.25, 0.75});
+  qc.SetRow(3, std::vector<double>{0.5, 0.5});
+  qc.SetRow(4, std::vector<double>{0.9, 0.1});
+  qc.SetRow(5, std::vector<double>{0.3, 0.7});
+
+  // ---- Section 3.1: Accuracy* and Theorem 1.
+  AccuracyMetric accuracy;
+  ResultVector some_result = {0, 1, 1, 0, 0, 0};
+  std::printf("Accuracy*(Qc, R=[1,2,2,1,1,1]) = %.2f%%   (paper: 60.83%%)\n",
+              100 * accuracy.Evaluate(qc, some_result));
+  std::printf("F(Qc) under Accuracy          = %.2f%%   (paper: 70.83%%)\n",
+              100 * accuracy.Quality(qc));
+
+  // ---- Section 3.2, Example 2: argmax labelling is not optimal for
+  //      F-score.
+  DistributionMatrix example2(2, 2);
+  example2.SetRow(0, std::vector<double>{0.35, 0.65});
+  example2.SetRow(1, std::vector<double>{0.55, 0.45});
+  std::printf("\nExample 2 (alpha = 0.5):\n");
+  std::printf("  E[F] with argmax R~=[2,1]   = %.2f%%   (paper: 48.58%%)\n",
+              100 * BruteForceExpectedFScore(example2, {1, 0}, 0.5));
+  std::printf("  E[F] with optimal R*=[1,1]  = %.2f%%   (paper: 53.58%%)\n",
+              100 * BruteForceExpectedFScore(example2, {0, 0}, 0.5));
+
+  // ---- Example 3: Algorithm 1's Dinkelbach iteration.
+  DistributionMatrix example3(2, 2);
+  example3.SetRow(0, std::vector<double>{0.35, 0.65});
+  example3.SetRow(1, std::vector<double>{0.9, 0.1});
+  FScoreMetric fscore_half(0.5);
+  FScoreQualityResult quality = fscore_half.ComputeQuality(example3);
+  std::printf("\nExample 3: lambda* = %.3f in %d iterations, threshold "
+              "theta = %.3f, R* = [%d,%d]   (paper: 0.8, 3 iters, 0.4, "
+              "[2,1])\n",
+              quality.lambda, quality.iterations, quality.lambda * 0.5,
+              quality.optimal_result[0] + 1, quality.optimal_result[1] + 1);
+
+  // ---- Section 5, Example 6: Bayesian posterior from two answers.
+  WorkerModel w1 = WorkerModel::Wp(0.7, 3);
+  WorkerModel w2 = WorkerModel::Wp(0.6, 3);
+  WorkerModelLookup lookup = [&](WorkerId id) -> const WorkerModel& {
+    return id == 1 ? w1 : w2;
+  };
+  std::vector<double> posterior = ComputePosteriorRow(
+      AnswerList{{1, 2}, {2, 0}}, UniformPrior(3), lookup);
+  std::printf("\nExample 6: Qc2 = [%.3f, %.3f, %.3f]   (paper: [0.346, "
+              "0.115, 0.539])\n",
+              posterior[0], posterior[1], posterior[2]);
+
+  // ---- Figure 2 + Examples 4-5: task assignment, both metrics.
+  DistributionMatrix qw = qc;
+  qw.SetRow(0, std::vector<double>{0.923, 0.077});
+  qw.SetRow(1, std::vector<double>{0.818, 0.182});
+  qw.SetRow(3, std::vector<double>{0.75, 0.25});
+  qw.SetRow(5, std::vector<double>{0.125, 0.875});
+  AssignmentRequest request;
+  request.current = &qc;
+  request.estimated = &qw;
+  request.candidates = {0, 1, 3, 5};  // S^w = {q1, q2, q4, q6}
+  request.k = 2;
+
+  AssignmentResult by_accuracy = AssignTopKBenefit(request);
+  std::printf("\nExample 4 (Accuracy): assign {q%d, q%d}   (paper: {q2, "
+              "q4})\n",
+              by_accuracy.selected[0] + 1, by_accuracy.selected[1] + 1);
+
+  FScoreAssignmentOptions options;
+  options.alpha = 0.75;
+  AssignmentResult by_fscore = AssignFScoreOnline(request, options);
+  std::printf("Example 5 (F-score, alpha=0.75): assign {q%d, q%d}, delta* "
+              "= %.3f   (paper: {q1, q2}, 0.832)\n",
+              by_fscore.selected[0] + 1, by_fscore.selected[1] + 1,
+              by_fscore.objective);
+  std::printf("\nSame state, different metric, different HIT — the point "
+              "of quality-aware assignment.\n");
+  return 0;
+}

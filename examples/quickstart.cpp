@@ -1,0 +1,74 @@
+// Quickstart: deploy a small crowdsourcing application on the QASCA engine,
+// serve HITs to a simulated crowd, and read back the results.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "platform/engine.h"
+#include "platform/qasca_strategy.h"
+#include "simulation/simulated_worker.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qasca;
+
+  // 1. The requester's configuration (the paper's Appendix A deployment):
+  //    60 two-label questions, 4 questions per HIT, $0.02 per HIT, enough
+  //    budget for 45 HITs (z = 3 answers per question), judged by Accuracy.
+  AppConfig config;
+  config.name = "quickstart";
+  config.num_questions = 60;
+  config.num_labels = 2;
+  config.questions_per_hit = 4;
+  config.pay_per_hit = 0.02;
+  config.budget = 0.02 * 45;
+  config.metric = MetricSpec::Accuracy();
+
+  // 2. The engine: QASCA's quality-aware strategy behind the HIT workflow.
+  TaskAssignmentEngine engine(config, std::make_unique<QascaStrategy>(),
+                              /*seed=*/2026);
+
+  // 3. A simulated crowd: 10 workers of varying latent quality and the
+  //    hidden ground truth they answer against.
+  util::Rng rng(7);
+  WorkerPoolSpec pool_spec;
+  pool_spec.num_workers = 10;
+  pool_spec.num_labels = 2;
+  pool_spec.mean_accuracy = 0.8;
+  std::vector<SimulatedWorker> crowd = GenerateWorkerPool(pool_spec, rng);
+  GroundTruthVector truth(config.num_questions);
+  for (LabelIndex& t : truth) t = rng.UniformInt(2);
+
+  // 4. Serve HITs until the budget is spent: each arriving worker requests
+  //    a HIT, answers it, and completes it.
+  while (!engine.BudgetExhausted()) {
+    const SimulatedWorker& worker =
+        crowd[rng.UniformInt(static_cast<int>(crowd.size()))];
+    util::StatusOr<std::vector<QuestionIndex>> hit =
+        engine.RequestHit(worker.id);
+    if (!hit.ok()) continue;  // e.g. this worker has seen every question
+    std::vector<LabelIndex> answers;
+    for (QuestionIndex q : *hit) {
+      answers.push_back(worker.AnswerQuestion(truth[q], rng));
+    }
+    util::Status status = engine.CompleteHit(worker.id, answers);
+    QASCA_CHECK(status.ok()) << status.ToString();
+  }
+
+  // 5. Read the results: the metric-optimal result vector R*.
+  ResultVector results = engine.CurrentResults();
+  int correct = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i] == truth[i]) ++correct;
+  }
+  std::printf("completed HITs : %d\n", engine.completed_hits());
+  std::printf("answers stored : %d\n",
+              engine.completed_hits() * config.questions_per_hit);
+  std::printf("accuracy       : %d/%d = %.1f%%\n", correct,
+              config.num_questions,
+              100.0 * correct / config.num_questions);
+  std::printf("fitted workers : %zu (each with an estimated quality model)\n",
+              engine.database().parameters().workers.size());
+  return 0;
+}

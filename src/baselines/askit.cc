@@ -1,0 +1,31 @@
+#include "baselines/askit.h"
+
+#include <cmath>
+#include <span>
+
+#include "baselines/scoring.h"
+#include "platform/database.h"
+#include "util/logging.h"
+
+namespace qasca {
+
+std::vector<QuestionIndex> AskItStrategy::SelectQuestions(
+    const StrategyContext& context,
+    const std::vector<QuestionIndex>& candidates, int k) {
+  QASCA_CHECK(context.database != nullptr);
+  QASCA_CHECK(context.rng != nullptr);
+  const DistributionMatrix& qc = context.database->current();
+
+  std::vector<double> scores(candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    std::span<const double> row = qc.Row(candidates[c]);
+    double entropy = 0.0;
+    for (double p : row) {
+      if (p > 0.0) entropy -= p * std::log(p);
+    }
+    scores[c] = entropy;
+  }
+  return baselines_internal::TopKByScore(candidates, scores, k, *context.rng);
+}
+
+}  // namespace qasca

@@ -1,0 +1,26 @@
+#ifndef QASCA_BASELINES_ASKIT_H_
+#define QASCA_BASELINES_ASKIT_H_
+
+#include <string>
+#include <vector>
+
+#include "platform/strategy.h"
+
+namespace qasca {
+
+/// AskIt! (Boim et al., ICDE 2012 [3]) as characterised in Section 6.2.1:
+/// an entropy-like uncertainty measure ranks the questions, and the HIT is
+/// filled with the k most uncertain ones. Uncertainty of question i is the
+/// Shannon entropy of its current distribution Qc_i.
+class AskItStrategy final : public AssignmentStrategy {
+ public:
+  std::string name() const override { return "AskIt!"; }
+
+  std::vector<QuestionIndex> SelectQuestions(
+      const StrategyContext& context,
+      const std::vector<QuestionIndex>& candidates, int k) override;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_BASELINES_ASKIT_H_

@@ -1,0 +1,35 @@
+#include "baselines/cdas.h"
+
+#include <algorithm>
+#include <span>
+
+#include "baselines/scoring.h"
+#include "platform/database.h"
+#include "util/logging.h"
+
+namespace qasca {
+
+std::vector<QuestionIndex> CdasStrategy::SelectQuestions(
+    const StrategyContext& context,
+    const std::vector<QuestionIndex>& candidates, int k) {
+  QASCA_CHECK(context.database != nullptr);
+  QASCA_CHECK(context.rng != nullptr);
+  const DistributionMatrix& qc = context.database->current();
+
+  // Score: live questions first (confidence below threshold), then by
+  // fewest answers. Encoded as a single descending score:
+  //   live:       score = 1e6 - answer_count   (always > terminated)
+  //   terminated: score =     - answer_count
+  std::vector<double> scores(candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    QuestionIndex i = candidates[c];
+    std::span<const double> row = qc.Row(i);
+    double confidence = *std::max_element(row.begin(), row.end());
+    double answers = context.database->AnswerCount(i);
+    bool live = confidence < confidence_threshold_;
+    scores[c] = (live ? 1e6 : 0.0) - answers;
+  }
+  return baselines_internal::TopKByScore(candidates, scores, k, *context.rng);
+}
+
+}  // namespace qasca

@@ -1,0 +1,38 @@
+#ifndef QASCA_BASELINES_CDAS_H_
+#define QASCA_BASELINES_CDAS_H_
+
+#include <string>
+#include <vector>
+
+#include "platform/strategy.h"
+
+namespace qasca {
+
+/// CDAS (Liu et al., PVLDB 2012 [30]) as characterised in Section 6.2.1: a
+/// quality-sensitive answering model measures the confidence of each
+/// question's current result and *terminates* questions whose results are
+/// already confident; the HIT is filled with k non-terminated questions.
+///
+/// Confidence of question i is the posterior probability of its current
+/// result, max_j Qc_{i,j}. Questions reaching `confidence_threshold` are
+/// terminated. Among live questions the least-answered are preferred
+/// (CDAS's round-based distribution spreads answers evenly); if fewer than
+/// k are live, terminated questions with the fewest answers fill the rest.
+class CdasStrategy final : public AssignmentStrategy {
+ public:
+  explicit CdasStrategy(double confidence_threshold = 0.9)
+      : confidence_threshold_(confidence_threshold) {}
+
+  std::string name() const override { return "CDAS"; }
+
+  std::vector<QuestionIndex> SelectQuestions(
+      const StrategyContext& context,
+      const std::vector<QuestionIndex>& candidates, int k) override;
+
+ private:
+  double confidence_threshold_;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_BASELINES_CDAS_H_

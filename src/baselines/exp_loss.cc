@@ -1,0 +1,27 @@
+#include "baselines/exp_loss.h"
+
+#include <algorithm>
+#include <span>
+
+#include "baselines/scoring.h"
+#include "platform/database.h"
+#include "util/logging.h"
+
+namespace qasca {
+
+std::vector<QuestionIndex> ExpLossStrategy::SelectQuestions(
+    const StrategyContext& context,
+    const std::vector<QuestionIndex>& candidates, int k) {
+  QASCA_CHECK(context.database != nullptr);
+  QASCA_CHECK(context.rng != nullptr);
+  const DistributionMatrix& qc = context.database->current();
+
+  std::vector<double> scores(candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    std::span<const double> row = qc.Row(candidates[c]);
+    scores[c] = 1.0 - *std::max_element(row.begin(), row.end());
+  }
+  return baselines_internal::TopKByScore(candidates, scores, k, *context.rng);
+}
+
+}  // namespace qasca

@@ -1,0 +1,27 @@
+#ifndef QASCA_BASELINES_EXP_LOSS_H_
+#define QASCA_BASELINES_EXP_LOSS_H_
+
+#include <string>
+#include <vector>
+
+#include "platform/strategy.h"
+
+namespace qasca {
+
+/// ExpLoss (Section 6.2.1): selects the k questions with the highest
+/// expected loss min_j sum_{j'} P(t=j') * 1{j != j'} = 1 - max_j Qc_{i,j} —
+/// i.e. the questions whose current result is most likely wrong. As the
+/// paper notes, inherently ambiguous questions keep a high expected loss
+/// forever and soak up assignments, which is why MaxMargin outperforms it.
+class ExpLossStrategy final : public AssignmentStrategy {
+ public:
+  std::string name() const override { return "ExpLoss"; }
+
+  std::vector<QuestionIndex> SelectQuestions(
+      const StrategyContext& context,
+      const std::vector<QuestionIndex>& candidates, int k) override;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_BASELINES_EXP_LOSS_H_

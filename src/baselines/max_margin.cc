@@ -1,0 +1,47 @@
+#include "baselines/max_margin.h"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "baselines/scoring.h"
+#include "platform/database.h"
+#include "util/logging.h"
+
+namespace qasca {
+
+std::vector<QuestionIndex> MaxMarginStrategy::SelectQuestions(
+    const StrategyContext& context,
+    const std::vector<QuestionIndex>& candidates, int k) {
+  QASCA_CHECK(context.database != nullptr);
+  QASCA_CHECK(context.typical_worker != nullptr);
+  QASCA_CHECK(context.rng != nullptr);
+  const DistributionMatrix& qc = context.database->current();
+  const WorkerModel& typical = *context.typical_worker;
+  const int num_labels = qc.num_labels();
+
+  std::vector<double> scores(candidates.size());
+  std::vector<double> conditioned(num_labels);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    std::span<const double> row = qc.Row(candidates[c]);
+    double current_max = *std::max_element(row.begin(), row.end());
+
+    // E_{j'}[ max_j P(t=j | one more answer j') ] - current max. For each
+    // answer j', the unnormalised posterior is row[j]*P(a=j'|t=j); its
+    // maximum divided by the answer's marginal probability gives the
+    // conditioned maximum, so the expectation telescopes into a sum of
+    // unnormalised maxima.
+    double expected_max = 0.0;
+    for (int answered = 0; answered < num_labels; ++answered) {
+      double best = 0.0;
+      for (int j = 0; j < num_labels; ++j) {
+        best = std::max(best, row[j] * typical.AnswerProbability(answered, j));
+      }
+      expected_max += best;
+    }
+    scores[c] = expected_max - current_max;
+  }
+  return baselines_internal::TopKByScore(candidates, scores, k, *context.rng);
+}
+
+}  // namespace qasca

@@ -1,0 +1,23 @@
+#include "baselines/random_strategy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qasca {
+
+std::vector<QuestionIndex> RandomStrategy::SelectQuestions(
+    const StrategyContext& context,
+    const std::vector<QuestionIndex>& candidates, int k) {
+  QASCA_CHECK(context.rng != nullptr);
+  std::vector<int> picks =
+      context.rng->SampleWithoutReplacement(static_cast<int>(candidates.size()),
+                                            k);
+  std::vector<QuestionIndex> selected;
+  selected.reserve(k);
+  for (int index : picks) selected.push_back(candidates[index]);
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace qasca

@@ -1,0 +1,25 @@
+#ifndef QASCA_BASELINES_RANDOM_STRATEGY_H_
+#define QASCA_BASELINES_RANDOM_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "platform/strategy.h"
+
+namespace qasca {
+
+/// The "Baseline" system of Section 6.2.1: assigns k questions drawn
+/// uniformly at random from the worker's candidate set. This mirrors AMT's
+/// own metric-oblivious behaviour.
+class RandomStrategy final : public AssignmentStrategy {
+ public:
+  std::string name() const override { return "Baseline"; }
+
+  std::vector<QuestionIndex> SelectQuestions(
+      const StrategyContext& context,
+      const std::vector<QuestionIndex>& candidates, int k) override;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_BASELINES_RANDOM_STRATEGY_H_

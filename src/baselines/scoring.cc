@@ -1,0 +1,34 @@
+#include "baselines/scoring.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace qasca::baselines_internal {
+
+std::vector<QuestionIndex> TopKByScore(
+    const std::vector<QuestionIndex>& candidates,
+    const std::vector<double>& scores, int k, util::Rng& rng) {
+  QASCA_CHECK_EQ(candidates.size(), scores.size());
+  QASCA_CHECK_GT(k, 0);
+  QASCA_CHECK_LE(static_cast<size_t>(k), candidates.size());
+
+  // Random jitter order breaks score ties uniformly: permute positions,
+  // then select on (score, permuted position).
+  std::vector<int> jitter = rng.Permutation(static_cast<int>(candidates.size()));
+  std::vector<int> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                   [&](int a, int b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     return jitter[a] < jitter[b];
+                   });
+  std::vector<QuestionIndex> selected;
+  selected.reserve(k);
+  for (int c = 0; c < k; ++c) selected.push_back(candidates[order[c]]);
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace qasca::baselines_internal

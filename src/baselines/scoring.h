@@ -1,0 +1,20 @@
+#ifndef QASCA_BASELINES_SCORING_H_
+#define QASCA_BASELINES_SCORING_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace qasca::baselines_internal {
+
+/// Selects the k questions with the *largest* scores; ties are broken
+/// uniformly at random (scores.size() == candidates.size()). Returns the
+/// chosen question indices in ascending order.
+std::vector<QuestionIndex> TopKByScore(
+    const std::vector<QuestionIndex>& candidates,
+    const std::vector<double>& scores, int k, util::Rng& rng);
+
+}  // namespace qasca::baselines_internal
+
+#endif  // QASCA_BASELINES_SCORING_H_

@@ -1,0 +1,41 @@
+#include "core/assignment/assignment.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qasca {
+
+DistributionMatrix BuildAssignmentMatrix(
+    const DistributionMatrix& current, const DistributionMatrix& estimated,
+    const std::vector<QuestionIndex>& selected) {
+  QASCA_CHECK_EQ(current.num_questions(), estimated.num_questions());
+  QASCA_CHECK_EQ(current.num_labels(), estimated.num_labels());
+  DistributionMatrix result = current;
+  for (QuestionIndex i : selected) {
+    result.SetRow(i, estimated.Row(i));
+  }
+  return result;
+}
+
+void ValidateRequest(const AssignmentRequest& request) {
+  QASCA_CHECK(request.current != nullptr);
+  QASCA_CHECK(request.estimated != nullptr);
+  QASCA_CHECK_EQ(request.current->num_questions(),
+                 request.estimated->num_questions());
+  QASCA_CHECK_EQ(request.current->num_labels(),
+                 request.estimated->num_labels());
+  QASCA_CHECK_GT(request.k, 0);
+  QASCA_CHECK_LE(static_cast<size_t>(request.k), request.candidates.size());
+  std::vector<QuestionIndex> sorted = request.candidates;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t c = 0; c < sorted.size(); ++c) {
+    QASCA_CHECK_GE(sorted[c], 0);
+    QASCA_CHECK_LT(sorted[c], request.current->num_questions());
+    if (c > 0) {
+      QASCA_CHECK_NE(sorted[c - 1], sorted[c]) << "duplicate candidate";
+    }
+  }
+}
+
+}  // namespace qasca

@@ -1,0 +1,54 @@
+#ifndef QASCA_CORE_ASSIGNMENT_ASSIGNMENT_H_
+#define QASCA_CORE_ASSIGNMENT_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "core/distribution_matrix.h"
+#include "core/types.h"
+
+namespace qasca {
+
+/// Inputs common to every task-assignment call (Definition 1): the current
+/// distribution matrix Qc, the estimated distribution matrix Qw for the
+/// requesting worker, the worker's candidate set S^w (questions not yet
+/// assigned to them), and the HIT size k.
+///
+/// Rows of `estimated` outside `candidates` are never read.
+struct AssignmentRequest {
+  const DistributionMatrix* current = nullptr;    // Qc
+  const DistributionMatrix* estimated = nullptr;  // Qw
+  /// The candidate set S^w: distinct question indices, any order.
+  std::vector<QuestionIndex> candidates;
+  int k = 0;
+};
+
+/// Outcome of an assignment: the chosen questions (ascending order) plus the
+/// objective value F(Q^{X*}) the optimizer converged to and iteration
+/// diagnostics for the efficiency experiments (Figure 4).
+struct AssignmentResult {
+  std::vector<QuestionIndex> selected;
+  /// The optimal objective value (Accuracy*(Q^X*, R^X*) or delta* for
+  /// F-score*).
+  double objective = 0.0;
+  /// Outer iterations (the paper's u; 1 for the Accuracy top-k algorithm).
+  int outer_iterations = 0;
+  /// Total inner Dinkelbach iterations across all Update calls (the paper's
+  /// u*v bound; 0 for Accuracy).
+  int inner_iterations = 0;
+};
+
+/// Builds the assignment distribution matrix Q^X (Eq. 1): rows of `current`
+/// with the rows of `selected` questions replaced by the worker's estimated
+/// rows.
+DistributionMatrix BuildAssignmentMatrix(
+    const DistributionMatrix& current, const DistributionMatrix& estimated,
+    const std::vector<QuestionIndex>& selected);
+
+/// Validates structural invariants of `request` (matching shapes, distinct
+/// in-range candidates, 0 < k <= |S^w|). Aborts on violation; assignment
+/// entry points call this first.
+void ValidateRequest(const AssignmentRequest& request);
+
+}  // namespace qasca
+
+#endif  // QASCA_CORE_ASSIGNMENT_ASSIGNMENT_H_

@@ -1,0 +1,21 @@
+#ifndef QASCA_CORE_ASSIGNMENT_BRUTE_FORCE_H_
+#define QASCA_CORE_ASSIGNMENT_BRUTE_FORCE_H_
+
+#include "core/assignment/assignment.h"
+#include "core/metrics/metric.h"
+
+namespace qasca {
+
+/// Reference implementation of Definition 1 by exhaustive enumeration: for
+/// every one of the C(|S^w|, k) feasible assignments X, build Q^X (Eq. 1),
+/// compute F(Q^X) = max_R F*(Q^X, R) with the metric's optimal-result
+/// algorithm, and return the maximiser.
+///
+/// Exponential in k; used only to validate the linear-time algorithms in
+/// tests and to reproduce the paper's illustrative examples (Examples 4–5).
+AssignmentResult AssignBruteForce(const AssignmentRequest& request,
+                                  const EvaluationMetric& metric);
+
+}  // namespace qasca
+
+#endif  // QASCA_CORE_ASSIGNMENT_BRUTE_FORCE_H_

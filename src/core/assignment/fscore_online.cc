@@ -1,0 +1,123 @@
+#include "core/assignment/fscore_online.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/fractional.h"
+#include "core/metrics/fscore.h"
+#include "util/logging.h"
+
+namespace qasca {
+namespace {
+
+constexpr double kDeltaTolerance = 1e-12;
+constexpr int kMaxOuterIterations = 1000;
+
+// One Update step (Definition 2 / Algorithm 3): given delta, build the 0-1
+// fractional program of Theorem 4 and solve it over "exactly k questions
+// from the candidate set". Returns the maximising selection, the updated
+// delta_{t+1}, and the inner Dinkelbach iteration count v.
+FractionalSolution UpdateDelta(const AssignmentRequest& request,
+                               const FScoreAssignmentOptions& options,
+                               double delta) {
+  const DistributionMatrix& qc = *request.current;
+  const DistributionMatrix& qw = *request.estimated;
+  const int n = qc.num_questions();
+  const double alpha = options.alpha;
+  const double threshold = delta * alpha;
+
+  ZeroOneFractionalProgram problem;
+  problem.b.assign(n, 0.0);
+  problem.d.assign(n, 0.0);
+
+  // beta / gamma accumulate the "if unassigned" contribution of every
+  // question; b_i / d_i hold the swing from assigning candidate i
+  // (Theorem 4's construction, with \hat{r}^c, \hat{r}^w given by the
+  // delta*alpha threshold of Eq. 15).
+  for (int i = 0; i < n; ++i) {
+    double pc = qc.At(i, options.target_label);
+    bool rc = pc >= threshold;
+    if (rc) {
+      problem.beta += pc;
+      problem.gamma += alpha;
+    }
+    problem.gamma += (1.0 - alpha) * pc;
+  }
+  for (QuestionIndex i : request.candidates) {
+    double pc = qc.At(i, options.target_label);
+    double pw = qw.At(i, options.target_label);
+    bool rc = pc >= threshold;
+    bool rw = pw >= threshold;
+    problem.b[i] = (rw ? pw : 0.0) - (rc ? pc : 0.0);
+    problem.d[i] = alpha * ((rw ? 1.0 : 0.0) - (rc ? 1.0 : 0.0)) +
+                   (1.0 - alpha) * (pw - pc);
+  }
+
+  return SolveExactlyK(problem, request.candidates, request.k,
+                       /*lambda_init=*/0.0);
+}
+
+}  // namespace
+
+AssignmentResult AssignFScoreOnline(const AssignmentRequest& request,
+                                    const FScoreAssignmentOptions& options) {
+  ValidateRequest(request);
+  QASCA_CHECK_GT(options.alpha, 0.0);
+  QASCA_CHECK_LT(options.alpha, 1.0);
+  QASCA_CHECK_GE(options.target_label, 0);
+  QASCA_CHECK_LT(options.target_label, request.current->num_labels());
+
+  const DistributionMatrix& qc = *request.current;
+  const DistributionMatrix& qw = *request.estimated;
+
+  // Degenerate instance: every target probability is zero, so F-score* is 0
+  // for every assignment; return the first k candidates.
+  double total_target_mass = 0.0;
+  for (int i = 0; i < qc.num_questions(); ++i) {
+    total_target_mass += qc.At(i, options.target_label);
+  }
+  for (QuestionIndex i : request.candidates) {
+    total_target_mass += qw.At(i, options.target_label);
+  }
+  if (total_target_mass <= 0.0) {
+    AssignmentResult result;
+    result.selected.assign(request.candidates.begin(),
+                           request.candidates.begin() + request.k);
+    return result;
+  }
+
+  double delta = 0.0;
+  AssignmentResult result;
+  if (options.warm_start) {
+    // delta'_init = F(Qc): a valid lower bound on delta* because the
+    // optimum over Q^X differs from Qc in only k rows and delta increases
+    // monotonically from any lower bound (Theorem 3).
+    FScoreMetric metric(options.alpha, options.target_label);
+    delta = metric.ComputeQuality(qc).lambda;
+  }
+
+  for (int outer = 1; outer <= kMaxOuterIterations; ++outer) {
+    FractionalSolution update = UpdateDelta(request, options, delta);
+    result.outer_iterations = outer;
+    result.inner_iterations += update.iterations;
+    if (std::fabs(update.value - delta) <= kDeltaTolerance) {
+      result.objective = update.value;
+      result.selected.clear();
+      for (int i = 0; i < qc.num_questions(); ++i) {
+        if (update.z[i]) result.selected.push_back(i);
+      }
+      QASCA_CHECK_EQ(static_cast<int>(result.selected.size()), request.k);
+      return result;
+    }
+    // Theorem 3 gives monotone increase whenever delta <= delta*. The warm
+    // start delta'_init = F(Qc) can exceed delta* (a worker's answers may
+    // lower achievable quality); in that case the first Update returns the
+    // value of a *feasible* (X, R) pair, which is <= delta*, and monotone
+    // convergence resumes from that valid lower bound.
+    delta = update.value;
+  }
+  QASCA_CHECK(false) << "F-score online assignment failed to converge";
+  return result;  // Unreachable.
+}
+
+}  // namespace qasca

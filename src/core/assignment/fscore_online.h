@@ -1,0 +1,38 @@
+#ifndef QASCA_CORE_ASSIGNMENT_FSCORE_ONLINE_H_
+#define QASCA_CORE_ASSIGNMENT_FSCORE_ONLINE_H_
+
+#include "core/assignment/assignment.h"
+
+namespace qasca {
+
+/// Options for the F-score Online Assignment Algorithm.
+struct FScoreAssignmentOptions {
+  /// Target label (the paper's L_1).
+  LabelIndex target_label = 0;
+  /// Emphasis parameter alpha in (0,1).
+  double alpha = 0.5;
+  /// If true, initialise delta with F(Qc) = max_R F-score*(Qc, R, alpha)
+  /// computed by Algorithm 1 (the paper's delta'_init, Section 6.1.3, shown
+  /// in Figure 4(a) to avoid the slowdown of delta_init = 0 at large alpha).
+  /// If false, start from delta_init = 0.
+  bool warm_start = true;
+};
+
+/// The F-score Online Assignment Algorithm (Section 4.2, Algorithms 2–3).
+///
+/// Iteratively lifts delta toward delta* = max_X max_R F-score*(Q^X, R, alpha)
+/// (Eq. 13). Each Update step (Definition 2) thresholds Qc/Qw rows at
+/// delta*alpha to fix the tentative result vectors, reduces the resulting
+/// maximisation over feasible X to a 0-1 fractional program with an
+/// exactly-k constraint (Theorem 4), and solves it with the Dinkelbach
+/// framework. Theorem 3 guarantees monotone convergence to delta*, at which
+/// point the maximising X* is returned.
+///
+/// Complexity O(u * v * n) where u is the number of Update calls and v the
+/// Dinkelbach iterations per call; the paper observes u*v <= 10.
+AssignmentResult AssignFScoreOnline(const AssignmentRequest& request,
+                                    const FScoreAssignmentOptions& options);
+
+}  // namespace qasca
+
+#endif  // QASCA_CORE_ASSIGNMENT_FSCORE_ONLINE_H_

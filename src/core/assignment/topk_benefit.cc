@@ -1,0 +1,67 @@
+#include "core/assignment/topk_benefit.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace qasca {
+namespace {
+
+double RowMax(std::span<const double> row) {
+  return *std::max_element(row.begin(), row.end());
+}
+
+}  // namespace
+
+AssignmentResult AssignTopKBenefitDecomposable(
+    const AssignmentRequest& request, const RowQualityFn& row_quality) {
+  ValidateRequest(request);
+  const DistributionMatrix& current = *request.current;
+  const DistributionMatrix& estimated = *request.estimated;
+
+  // Benefit of assigning each candidate (Section 4.1, generalised to any
+  // decomposable row quality).
+  std::vector<std::pair<double, QuestionIndex>> benefits;
+  benefits.reserve(request.candidates.size());
+  for (QuestionIndex i : request.candidates) {
+    benefits.emplace_back(
+        row_quality(estimated.Row(i)) - row_quality(current.Row(i)), i);
+  }
+
+  // Linear-time top-k selection (PICK [2]); ties broken by question index
+  // for determinism.
+  auto greater = [](const std::pair<double, QuestionIndex>& a,
+                    const std::pair<double, QuestionIndex>& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  };
+  std::nth_element(benefits.begin(), benefits.begin() + (request.k - 1),
+                   benefits.end(), greater);
+
+  AssignmentResult result;
+  result.outer_iterations = 1;
+  result.selected.reserve(request.k);
+  for (int c = 0; c < request.k; ++c) {
+    result.selected.push_back(benefits[c].second);
+  }
+  std::sort(result.selected.begin(), result.selected.end());
+
+  // Objective: the fixed term (quality of every current row) plus the
+  // selected benefits, averaged (Eq. 12).
+  double total = 0.0;
+  for (int i = 0; i < current.num_questions(); ++i) {
+    total += row_quality(current.Row(i));
+  }
+  for (int c = 0; c < request.k; ++c) total += benefits[c].first;
+  result.objective = total / current.num_questions();
+  return result;
+}
+
+AssignmentResult AssignTopKBenefit(const AssignmentRequest& request) {
+  return AssignTopKBenefitDecomposable(
+      request, [](std::span<const double> row) { return RowMax(row); });
+}
+
+}  // namespace qasca

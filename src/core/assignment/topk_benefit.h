@@ -1,0 +1,40 @@
+#ifndef QASCA_CORE_ASSIGNMENT_TOPK_BENEFIT_H_
+#define QASCA_CORE_ASSIGNMENT_TOPK_BENEFIT_H_
+
+#include <functional>
+#include <span>
+
+#include "core/assignment/assignment.h"
+
+namespace qasca {
+
+/// Per-row quality of a decomposable metric: the best attainable
+/// contribution of one question given its label distribution. For Accuracy*
+/// this is max_j Q_{i,j}; CostAccuracyMetric::RowQuality is another
+/// instance.
+using RowQualityFn = std::function<double(std::span<const double>)>;
+
+/// The Top-K Benefit Algorithm for Accuracy* (Section 4.1).
+///
+/// By Theorem 1 the optimal result of each question depends only on its own
+/// row, so Accuracy*(Q^X, R^X) decomposes (Eq. 12) into a fixed term plus,
+/// for each assigned question, the benefit
+///   Benefit(q_i) = max_j Qw_{i,j} - max_j Qc_{i,j}.
+/// The optimal HIT therefore consists of the k candidate questions with the
+/// largest benefits, found here by linear-time selection — O(|S^w|) overall.
+///
+/// Returns the selected questions and the exact optimal objective
+/// Accuracy*(Q^{X*}, R^{X*}).
+AssignmentResult AssignTopKBenefit(const AssignmentRequest& request);
+
+/// The same algorithm for *any* per-question-decomposable metric
+/// F(Q) = (1/n) * sum_i row_quality(Q_i): optimal because Eq. 12's
+/// decomposition only needs decomposability, not the specific argmax form.
+/// Covers the future-work "more evaluation metrics" direction for the whole
+/// decomposable family (e.g. cost-sensitive accuracy).
+AssignmentResult AssignTopKBenefitDecomposable(const AssignmentRequest& request,
+                                               const RowQualityFn& row_quality);
+
+}  // namespace qasca
+
+#endif  // QASCA_CORE_ASSIGNMENT_TOPK_BENEFIT_H_

@@ -1,0 +1,49 @@
+#include "core/metrics/accuracy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qasca {
+
+double AccuracyMetric::EvaluateAgainstTruth(const GroundTruthVector& truth,
+                                            const ResultVector& result) const {
+  QASCA_CHECK_EQ(truth.size(), result.size());
+  QASCA_CHECK(!truth.empty());
+  int correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == result[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+double AccuracyMetric::Evaluate(const DistributionMatrix& q,
+                                const ResultVector& result) const {
+  QASCA_CHECK_EQ(static_cast<int>(result.size()), q.num_questions());
+  QASCA_CHECK_GT(q.num_questions(), 0);
+  double total = 0.0;
+  for (int i = 0; i < q.num_questions(); ++i) {
+    total += q.At(i, result[i]);
+  }
+  return total / q.num_questions();
+}
+
+ResultVector AccuracyMetric::OptimalResult(const DistributionMatrix& q) const {
+  ResultVector result(q.num_questions());
+  for (int i = 0; i < q.num_questions(); ++i) {
+    result[i] = q.ArgMaxLabel(i);
+  }
+  return result;
+}
+
+double AccuracyMetric::Quality(const DistributionMatrix& q) const {
+  QASCA_CHECK_GT(q.num_questions(), 0);
+  double total = 0.0;
+  for (int i = 0; i < q.num_questions(); ++i) {
+    std::span<const double> row = q.Row(i);
+    total += *std::max_element(row.begin(), row.end());
+  }
+  return total / q.num_questions();
+}
+
+}  // namespace qasca

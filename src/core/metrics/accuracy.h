@@ -1,0 +1,38 @@
+#ifndef QASCA_CORE_METRICS_ACCURACY_H_
+#define QASCA_CORE_METRICS_ACCURACY_H_
+
+#include <string>
+
+#include "core/metrics/metric.h"
+
+namespace qasca {
+
+/// Accuracy (Section 3.1): the fraction of returned labels that are correct,
+/// and its distribution-based variant Accuracy* (Eq. 3), the expected
+/// fraction of correct labels under Q.
+///
+/// By Theorem 1 the optimal result for Accuracy* is, per question, the label
+/// with the highest probability; the quality of Q is the mean of the row
+/// maxima.
+class AccuracyMetric final : public EvaluationMetric {
+ public:
+  std::string name() const override { return "Accuracy"; }
+
+  /// Accuracy(T, R) = (1/n) * |{i : t_i == r_i}| (Eq. 2).
+  double EvaluateAgainstTruth(const GroundTruthVector& truth,
+                              const ResultVector& result) const override;
+
+  /// Accuracy*(Q, R) = (1/n) * sum_i Q_{i, r_i} (Eq. 3).
+  double Evaluate(const DistributionMatrix& q,
+                  const ResultVector& result) const override;
+
+  /// R*_i = argmax_j Q_{i,j} (Theorem 1).
+  ResultVector OptimalResult(const DistributionMatrix& q) const override;
+
+  /// F(Q) = (1/n) * sum_i max_j Q_{i,j}, computed directly.
+  double Quality(const DistributionMatrix& q) const override;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_CORE_METRICS_ACCURACY_H_

@@ -1,0 +1,111 @@
+#include "core/metrics/combined.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace qasca {
+
+CombinedMetric::CombinedMetric(double beta, double alpha,
+                               LabelIndex target_label)
+    : beta_(beta),
+      alpha_(alpha),
+      target_label_(target_label),
+      fscore_(alpha, target_label) {
+  QASCA_CHECK_GE(beta, 0.0);
+  QASCA_CHECK_LE(beta, 1.0);
+}
+
+std::string CombinedMetric::name() const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer),
+                "Combined(beta=%.2f, alpha=%.2f)", beta_, alpha_);
+  return buffer;
+}
+
+double CombinedMetric::EvaluateAgainstTruth(const GroundTruthVector& truth,
+                                            const ResultVector& result) const {
+  return beta_ * accuracy_.EvaluateAgainstTruth(truth, result) +
+         (1.0 - beta_) * fscore_.EvaluateAgainstTruth(truth, result);
+}
+
+double CombinedMetric::Evaluate(const DistributionMatrix& q,
+                                const ResultVector& result) const {
+  return beta_ * accuracy_.Evaluate(q, result) +
+         (1.0 - beta_) * fscore_.Evaluate(q, result);
+}
+
+ResultVector CombinedMetric::OptimalResult(const DistributionMatrix& q) const {
+  const int n = q.num_questions();
+  const int num_labels = q.num_labels();
+  QASCA_CHECK_LT(target_label_, num_labels);
+  QASCA_CHECK_GT(n, 0);
+
+  // Per question: target probability, the best non-target probability, and
+  // the best non-target label (what an unselected question returns).
+  std::vector<double> target_probability(n);
+  std::vector<double> best_other(n);
+  std::vector<LabelIndex> best_other_label(n);
+  double target_mass = 0.0;
+  double base_accuracy = 0.0;  // sum of M_i: accuracy mass if none selected
+  for (int i = 0; i < n; ++i) {
+    std::span<const double> row = q.Row(i);
+    target_probability[i] = row[target_label_];
+    target_mass += target_probability[i];
+    double best = -1.0;
+    LabelIndex best_label = target_label_ == 0 ? 1 : 0;
+    for (int j = 0; j < num_labels; ++j) {
+      if (j == target_label_) continue;
+      if (row[j] > best) {
+        best = row[j];
+        best_label = j;
+      }
+    }
+    best_other[i] = best;
+    best_other_label[i] = best_label;
+    base_accuracy += best;
+  }
+  const double gamma = (1.0 - alpha_) * target_mass;
+
+  // Sweep the number m of returned-as-target questions; for each m the
+  // per-item score is fixed, so linear-time selection finds the optimal
+  // m-subset.
+  std::vector<int> order(n);
+  std::vector<double> scores(n);
+  double best_objective = beta_ * base_accuracy / n;  // m = 0
+  int best_m = 0;
+  std::vector<int> best_selection;
+  for (int m = 1; m <= n; ++m) {
+    double denominator = alpha_ * m + gamma;
+    if (denominator <= 0.0) continue;  // degenerate: no target mass at all
+    for (int i = 0; i < n; ++i) {
+      scores[i] = beta_ * (target_probability[i] - best_other[i]) / n +
+                  (1.0 - beta_) * target_probability[i] / denominator;
+    }
+    std::iota(order.begin(), order.end(), 0);
+    std::nth_element(order.begin(), order.begin() + (m - 1), order.end(),
+                     [&](int a, int b) {
+                       return scores[a] > scores[b] ||
+                              (scores[a] == scores[b] && a < b);
+                     });
+    double objective = beta_ * base_accuracy / n;
+    for (int c = 0; c < m; ++c) objective += scores[order[c]];
+    if (objective > best_objective + 1e-15) {
+      best_objective = objective;
+      best_m = m;
+      best_selection.assign(order.begin(), order.begin() + m);
+    }
+  }
+
+  ResultVector result(n);
+  for (int i = 0; i < n; ++i) result[i] = best_other_label[i];
+  if (best_m > 0) {
+    for (int i : best_selection) result[i] = target_label_;
+  }
+  return result;
+}
+
+}  // namespace qasca

@@ -1,0 +1,65 @@
+#ifndef QASCA_CORE_METRICS_COMBINED_H_
+#define QASCA_CORE_METRICS_COMBINED_H_
+
+#include <string>
+
+#include "core/metrics/accuracy.h"
+#include "core/metrics/fscore.h"
+#include "core/metrics/metric.h"
+
+namespace qasca {
+
+/// A requester with *two* metrics in mind — the paper's future-work item
+/// Section 8(5): the convex combination
+///
+///   Combined*(Q, R) = beta * Accuracy*(Q, R)
+///                   + (1 - beta) * F-score*(Q, R, alpha)
+///
+/// over a shared target label.
+///
+/// Neither Theorem 1 nor Theorem 2 applies directly, but an exchange
+/// argument restores structure: among result vectors that return exactly m
+/// questions as target, both summands improve by swapping a returned
+/// question for an unreturned one with a higher target probability, so for
+/// every m the optimum selects the m questions with the largest per-item
+/// scores
+///
+///   s_i(m) = beta * (Q_{i,t} - M_i) / n
+///          + (1 - beta) * Q_{i,t} / (alpha * m + gamma),
+///
+/// where M_i is the best non-target probability of question i and
+/// gamma = (1 - alpha) * sum_i Q_{i,t}. Sweeping m = 0..n with linear-time
+/// selection yields the exact optimum in O(n^2) — fast enough for result
+/// inference, and validated against 2^n enumeration in the tests.
+class CombinedMetric final : public EvaluationMetric {
+ public:
+  /// `beta` in [0, 1] weights Accuracy*; `alpha` in (0, 1) is the F-score
+  /// emphasis; `target_label` is shared by both parts.
+  CombinedMetric(double beta, double alpha, LabelIndex target_label = 0);
+
+  double beta() const { return beta_; }
+  double alpha() const { return alpha_; }
+  LabelIndex target_label() const { return target_label_; }
+
+  std::string name() const override;
+
+  double EvaluateAgainstTruth(const GroundTruthVector& truth,
+                              const ResultVector& result) const override;
+
+  double Evaluate(const DistributionMatrix& q,
+                  const ResultVector& result) const override;
+
+  /// Exact optimum by the size-m sweep described above.
+  ResultVector OptimalResult(const DistributionMatrix& q) const override;
+
+ private:
+  double beta_;
+  double alpha_;
+  LabelIndex target_label_;
+  AccuracyMetric accuracy_;
+  FScoreMetric fscore_;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_CORE_METRICS_COMBINED_H_

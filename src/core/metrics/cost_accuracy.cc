@@ -1,0 +1,116 @@
+#include "core/metrics/cost_accuracy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qasca {
+
+CostAccuracyMetric::CostAccuracyMetric(std::vector<double> costs,
+                                       int num_labels)
+    : costs_(std::move(costs)), num_labels_(num_labels), max_cost_(0.0) {
+  QASCA_CHECK_GT(num_labels, 0);
+  QASCA_CHECK_EQ(costs_.size(), static_cast<size_t>(num_labels) * num_labels);
+  for (int t = 0; t < num_labels; ++t) {
+    QASCA_CHECK_EQ(costs_[static_cast<size_t>(t) * num_labels + t], 0.0)
+        << "diagonal costs must be zero";
+    for (int r = 0; r < num_labels; ++r) {
+      double c = costs_[static_cast<size_t>(t) * num_labels + r];
+      QASCA_CHECK_GE(c, 0.0) << "costs must be non-negative";
+      max_cost_ = std::max(max_cost_, c);
+    }
+  }
+  QASCA_CHECK_GT(max_cost_, 0.0) << "cost matrix must not be all zero";
+}
+
+CostAccuracyMetric CostAccuracyMetric::ZeroOne(int num_labels) {
+  std::vector<double> costs(static_cast<size_t>(num_labels) * num_labels,
+                            1.0);
+  for (int t = 0; t < num_labels; ++t) {
+    costs[static_cast<size_t>(t) * num_labels + t] = 0.0;
+  }
+  return CostAccuracyMetric(std::move(costs), num_labels);
+}
+
+double CostAccuracyMetric::CostOf(LabelIndex truth, LabelIndex returned) const {
+  QASCA_CHECK_GE(truth, 0);
+  QASCA_CHECK_LT(truth, num_labels_);
+  QASCA_CHECK_GE(returned, 0);
+  QASCA_CHECK_LT(returned, num_labels_);
+  return costs_[static_cast<size_t>(truth) * num_labels_ + returned];
+}
+
+double CostAccuracyMetric::EvaluateAgainstTruth(
+    const GroundTruthVector& truth, const ResultVector& result) const {
+  QASCA_CHECK_EQ(truth.size(), result.size());
+  QASCA_CHECK(!truth.empty());
+  double total_cost = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    total_cost += CostOf(truth[i], result[i]) / max_cost_;
+  }
+  return 1.0 - total_cost / static_cast<double>(truth.size());
+}
+
+double CostAccuracyMetric::Evaluate(const DistributionMatrix& q,
+                                    const ResultVector& result) const {
+  QASCA_CHECK_EQ(static_cast<int>(result.size()), q.num_questions());
+  QASCA_CHECK_EQ(q.num_labels(), num_labels_);
+  QASCA_CHECK_GT(q.num_questions(), 0);
+  double total_cost = 0.0;
+  for (int i = 0; i < q.num_questions(); ++i) {
+    std::span<const double> row = q.Row(i);
+    double expected = 0.0;
+    for (int t = 0; t < num_labels_; ++t) {
+      expected += row[t] * CostOf(t, result[i]);
+    }
+    total_cost += expected / max_cost_;
+  }
+  return 1.0 - total_cost / q.num_questions();
+}
+
+ResultVector CostAccuracyMetric::OptimalResult(
+    const DistributionMatrix& q) const {
+  QASCA_CHECK_EQ(q.num_labels(), num_labels_);
+  ResultVector result(q.num_questions());
+  for (int i = 0; i < q.num_questions(); ++i) {
+    std::span<const double> row = q.Row(i);
+    double best_cost = 0.0;
+    LabelIndex best = 0;
+    for (int r = 0; r < num_labels_; ++r) {
+      double expected = 0.0;
+      for (int t = 0; t < num_labels_; ++t) {
+        expected += row[t] * CostOf(t, r);
+      }
+      if (r == 0 || expected < best_cost) {
+        best_cost = expected;
+        best = r;
+      }
+    }
+    result[i] = best;
+  }
+  return result;
+}
+
+double CostAccuracyMetric::RowQuality(std::span<const double> row) const {
+  QASCA_CHECK_EQ(static_cast<int>(row.size()), num_labels_);
+  double best_cost = -1.0;
+  for (int r = 0; r < num_labels_; ++r) {
+    double expected = 0.0;
+    for (int t = 0; t < num_labels_; ++t) {
+      expected += row[t] * CostOf(t, r);
+    }
+    if (best_cost < 0.0 || expected < best_cost) best_cost = expected;
+  }
+  return 1.0 - best_cost / max_cost_;
+}
+
+double CostAccuracyMetric::Quality(const DistributionMatrix& q) const {
+  QASCA_CHECK_GT(q.num_questions(), 0);
+  double total = 0.0;
+  for (int i = 0; i < q.num_questions(); ++i) {
+    total += RowQuality(q.Row(i));
+  }
+  return total / q.num_questions();
+}
+
+}  // namespace qasca

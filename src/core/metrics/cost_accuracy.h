@@ -1,0 +1,69 @@
+#ifndef QASCA_CORE_METRICS_COST_ACCURACY_H_
+#define QASCA_CORE_METRICS_COST_ACCURACY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/metrics/metric.h"
+
+namespace qasca {
+
+/// Cost-sensitive accuracy — an instance of the paper's future-work item
+/// "more evaluation metrics" (Section 8(3)) that stays within the
+/// decomposable family, so the whole Accuracy* machinery (Theorem 1 and the
+/// Top-K Benefit assignment of Section 4.1) carries over.
+///
+/// A requester supplies an l-by-l cost matrix C where C[t][r] >= 0 is the
+/// penalty for returning label r when the truth is t (C[t][t] = 0). The
+/// metric value is 1 minus the (normalised) mean expected cost:
+///
+///   CostAccuracy*(Q, R) = 1 - (1/n) * sum_i sum_t Q_{i,t} * C[t][r_i] / Cmax
+///
+/// where Cmax = max_t,r C[t][r] normalises into [0, 1]. With the 0/1 cost
+/// matrix this reduces exactly to Accuracy* (Eq. 3).
+///
+/// Because the objective decomposes per question, the optimal result picks,
+/// per row, the label with the smallest expected cost, and the benefit of
+/// assigning a question to a worker is the expected-cost reduction —
+/// directly usable by AssignTopKBenefit via DecomposableQuality().
+class CostAccuracyMetric final : public EvaluationMetric {
+ public:
+  /// `costs` is row-major l*l, costs[t * l + r] >= 0 with zero diagonal.
+  CostAccuracyMetric(std::vector<double> costs, int num_labels);
+
+  /// The classical 0/1 cost matrix (reduces to plain Accuracy).
+  static CostAccuracyMetric ZeroOne(int num_labels);
+
+  int num_labels() const { return num_labels_; }
+  double CostOf(LabelIndex truth, LabelIndex returned) const;
+
+  std::string name() const override { return "CostAccuracy"; }
+
+  /// 1 - mean normalised cost of R against known truth.
+  double EvaluateAgainstTruth(const GroundTruthVector& truth,
+                              const ResultVector& result) const override;
+
+  /// 1 - mean normalised *expected* cost under Q.
+  double Evaluate(const DistributionMatrix& q,
+                  const ResultVector& result) const override;
+
+  /// Per-question expected-cost minimiser (the Theorem 1 analogue).
+  ResultVector OptimalResult(const DistributionMatrix& q) const override;
+
+  double Quality(const DistributionMatrix& q) const override;
+
+  /// The per-row quality max_r (1 - expected normalised cost of r) — the
+  /// decomposable building block: Quality(Q) is its mean, and the benefit
+  /// of assigning question i to a worker is RowQuality(Qw_i) -
+  /// RowQuality(Qc_i).
+  double RowQuality(std::span<const double> row) const;
+
+ private:
+  std::vector<double> costs_;
+  int num_labels_;
+  double max_cost_;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_CORE_METRICS_COST_ACCURACY_H_

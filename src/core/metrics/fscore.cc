@@ -1,0 +1,208 @@
+#include "core/metrics/fscore.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/fractional.h"
+#include "util/logging.h"
+
+namespace qasca {
+namespace {
+
+// Distribution of the number of successes among independent Bernoulli trials
+// with the given probabilities (Poisson-binomial), via the standard O(n^2)
+// counting DP. result[s] = P(exactly s successes).
+std::vector<double> PoissonBinomial(const std::vector<double>& probabilities) {
+  std::vector<double> dist(probabilities.size() + 1, 0.0);
+  dist[0] = 1.0;
+  size_t trials = 0;
+  for (double p : probabilities) {
+    ++trials;
+    for (size_t s = trials; s-- > 0;) {
+      dist[s + 1] += dist[s] * p;
+      dist[s] *= (1.0 - p);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+FScoreMetric::FScoreMetric(double alpha, LabelIndex target_label)
+    : alpha_(alpha), target_label_(target_label) {
+  QASCA_CHECK_GT(alpha, 0.0) << "alpha must be in (0,1)";
+  QASCA_CHECK_LT(alpha, 1.0) << "alpha must be in (0,1)";
+  QASCA_CHECK_GE(target_label, 0);
+}
+
+std::string FScoreMetric::name() const {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "F-score(alpha=%.2f)", alpha_);
+  return buffer;
+}
+
+double FScoreMetric::EvaluateAgainstTruth(const GroundTruthVector& truth,
+                                          const ResultVector& result) const {
+  QASCA_CHECK_EQ(truth.size(), result.size());
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    bool returned_target = result[i] == target_label_;
+    bool true_target = truth[i] == target_label_;
+    if (returned_target && true_target) numerator += 1.0;
+    if (returned_target) denominator += alpha_;
+    if (true_target) denominator += 1.0 - alpha_;
+  }
+  if (denominator <= 0.0) return 0.0;
+  return numerator / denominator;
+}
+
+double FScoreMetric::Evaluate(const DistributionMatrix& q,
+                              const ResultVector& result) const {
+  return FScoreStar(q, result, alpha_, target_label_);
+}
+
+FScoreMetric::QualityResult FScoreMetric::ComputeQuality(
+    const DistributionMatrix& q) const {
+  return SolveFScoreQuality(q, alpha_, target_label_);
+}
+
+double FScoreStar(const DistributionMatrix& q, const ResultVector& result,
+                  double alpha, LabelIndex target_label) {
+  QASCA_CHECK_EQ(static_cast<int>(result.size()), q.num_questions());
+  QASCA_CHECK_LT(target_label, q.num_labels());
+  QASCA_CHECK_GE(alpha, 0.0);
+  QASCA_CHECK_LE(alpha, 1.0);
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (int i = 0; i < q.num_questions(); ++i) {
+    double target_probability = q.At(i, target_label);
+    if (result[i] == target_label) {
+      numerator += target_probability;
+      denominator += alpha;
+    }
+    denominator += (1.0 - alpha) * target_probability;
+  }
+  if (denominator <= 0.0) return 0.0;
+  return numerator / denominator;
+}
+
+FScoreQualityResult SolveFScoreQuality(const DistributionMatrix& q,
+                                       double alpha,
+                                       LabelIndex target_label) {
+  QASCA_CHECK_LT(target_label, q.num_labels());
+  QASCA_CHECK_GE(alpha, 0.0);
+  QASCA_CHECK_LE(alpha, 1.0);
+  const int n = q.num_questions();
+
+  // Reduction of Eq. 10: b_i = Q_{i,1}, d_i = alpha, beta = 0,
+  // gamma = (1 - alpha) * sum_i Q_{i,1}.
+  ZeroOneFractionalProgram problem;
+  problem.b.resize(n);
+  problem.d.assign(n, alpha);
+  double target_mass = 0.0;
+  for (int i = 0; i < n; ++i) {
+    problem.b[i] = q.At(i, target_label);
+    target_mass += problem.b[i];
+  }
+  problem.gamma = (1.0 - alpha) * target_mass;
+
+  FScoreQualityResult result;
+  result.optimal_result.assign(n, target_label == 0 ? 1 : 0);
+  // Degenerate corner: with zero total target mass every result scores 0
+  // and (at alpha = 1, where gamma = 0 regardless) the empty selection
+  // would make the fractional program's denominator vanish. Return the
+  // all-non-target optimum directly. Note gamma = 0 at alpha = 1 is
+  // otherwise fine: the Dinkelbach iterate always keeps the top question
+  // selected, so the denominator alpha * |selected| stays positive.
+  if (target_mass <= 0.0) {
+    result.lambda = 0.0;
+    return result;
+  }
+
+  FractionalSolution solution = SolveUnconstrained(problem, /*lambda_init=*/0);
+  result.lambda = solution.value;
+  result.iterations = solution.iterations;
+  // The final z was selected with the converged lambda*, so it realises the
+  // Theorem 2 threshold rule r_i = target iff Q_{i,1} >= lambda* * alpha.
+  LabelIndex non_target = target_label == 0 ? 1 : 0;
+  for (int i = 0; i < n; ++i) {
+    result.optimal_result[i] = solution.z[i] ? target_label : non_target;
+  }
+  return result;
+}
+
+ResultVector FScoreMetric::OptimalResult(const DistributionMatrix& q) const {
+  return ComputeQuality(q).optimal_result;
+}
+
+double FScoreMetric::Quality(const DistributionMatrix& q) const {
+  return ComputeQuality(q).lambda;
+}
+
+double ExactExpectedFScore(const DistributionMatrix& q,
+                           const ResultVector& result, double alpha,
+                           LabelIndex target_label) {
+  QASCA_CHECK_EQ(static_cast<int>(result.size()), q.num_questions());
+  // Split target-label probabilities by whether the question is returned as
+  // target. F-score(T', R, alpha) depends on T' only through
+  //   A = #true targets returned as target, and
+  //   B = #true targets returned as non-target,
+  // so E[F] = sum_{a,b} P(A=a) P(B=b) * a / (alpha*m + (1-alpha)*(a+b)).
+  std::vector<double> returned_probabilities;
+  std::vector<double> other_probabilities;
+  for (int i = 0; i < q.num_questions(); ++i) {
+    double p = q.At(i, target_label);
+    if (result[i] == target_label) {
+      returned_probabilities.push_back(p);
+    } else {
+      other_probabilities.push_back(p);
+    }
+  }
+  const double m = static_cast<double>(returned_probabilities.size());
+  std::vector<double> pa = PoissonBinomial(returned_probabilities);
+  std::vector<double> pb = PoissonBinomial(other_probabilities);
+
+  double expectation = 0.0;
+  for (size_t a = 1; a < pa.size(); ++a) {
+    if (pa[a] == 0.0) continue;
+    for (size_t b = 0; b < pb.size(); ++b) {
+      if (pb[b] == 0.0) continue;
+      double denominator =
+          alpha * m + (1.0 - alpha) * static_cast<double>(a + b);
+      expectation += pa[a] * pb[b] * static_cast<double>(a) / denominator;
+    }
+  }
+  return expectation;
+}
+
+double BruteForceExpectedFScore(const DistributionMatrix& q,
+                                const ResultVector& result, double alpha,
+                                LabelIndex target_label) {
+  const int n = q.num_questions();
+  QASCA_CHECK_LE(n, 24) << "brute-force enumeration is exponential";
+  // F-score only depends on whether each t_i equals the target label, so it
+  // suffices to enumerate target/non-target patterns with probabilities
+  // Q_{i,target} and 1 - Q_{i,target}.
+  double expectation = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double probability = 1.0;
+    double numerator = 0.0;
+    double denominator = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double p = q.At(i, target_label);
+      bool true_target = (mask >> i) & 1u;
+      probability *= true_target ? p : 1.0 - p;
+      bool returned_target = result[i] == target_label;
+      if (returned_target && true_target) numerator += 1.0;
+      if (returned_target) denominator += alpha;
+      if (true_target) denominator += 1.0 - alpha;
+    }
+    if (probability == 0.0 || denominator <= 0.0) continue;
+    expectation += probability * numerator / denominator;
+  }
+  return expectation;
+}
+
+}  // namespace qasca

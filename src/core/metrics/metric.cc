@@ -1,0 +1,32 @@
+#include "core/metrics/metric.h"
+
+#include <cmath>
+
+#include "core/metrics/accuracy.h"
+#include "core/metrics/cost_accuracy.h"
+#include "core/metrics/fscore.h"
+#include "util/logging.h"
+
+namespace qasca {
+
+int MetricSpec::CostLabels() const {
+  QASCA_CHECK(kind == Kind::kCostAccuracy);
+  int num_labels = static_cast<int>(std::lround(std::sqrt(costs.size())));
+  QASCA_CHECK_EQ(static_cast<size_t>(num_labels) * num_labels, costs.size())
+      << "cost matrix must be square";
+  return num_labels;
+}
+
+std::unique_ptr<EvaluationMetric> MetricSpec::Make() const {
+  switch (kind) {
+    case Kind::kAccuracy:
+      return std::make_unique<AccuracyMetric>();
+    case Kind::kFScore:
+      return std::make_unique<FScoreMetric>(alpha, target_label);
+    case Kind::kCostAccuracy:
+      return std::make_unique<CostAccuracyMetric>(costs, CostLabels());
+  }
+  return nullptr;
+}
+
+}  // namespace qasca

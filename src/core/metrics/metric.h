@@ -1,0 +1,81 @@
+#ifndef QASCA_CORE_METRICS_METRIC_H_
+#define QASCA_CORE_METRICS_METRIC_H_
+
+#include <memory>
+#include <string>
+
+#include "core/distribution_matrix.h"
+#include "core/types.h"
+
+namespace qasca {
+
+/// An application-driven evaluation metric F (Section 3).
+///
+/// Each metric provides three views used throughout the paper:
+///  * F(T, R)   — the classical definition against known ground truth;
+///  * F*(Q, R)  — the generalisation to a distribution matrix Q;
+///  * F(Q)      — the quality of Q itself, i.e. max_R F*(Q, R), together
+///                with the optimal result vector R* attaining it.
+class EvaluationMetric {
+ public:
+  virtual ~EvaluationMetric() = default;
+
+  /// Human-readable name such as "Accuracy" or "F-score(alpha=0.50)".
+  virtual std::string name() const = 0;
+
+  /// The classical metric F(T, R) computed against ground truth.
+  virtual double EvaluateAgainstTruth(const GroundTruthVector& truth,
+                                      const ResultVector& result) const = 0;
+
+  /// The distribution-based generalisation F*(Q, R) (Eq. 3 / Eq. 9).
+  virtual double Evaluate(const DistributionMatrix& q,
+                          const ResultVector& result) const = 0;
+
+  /// The optimal result vector R* = argmax_R F*(Q, R) (Theorems 1 and 2).
+  virtual ResultVector OptimalResult(const DistributionMatrix& q) const = 0;
+
+  /// The quality of Q: F(Q) = F*(Q, R*). The default computes OptimalResult
+  /// and evaluates it; subclasses may short-circuit.
+  virtual double Quality(const DistributionMatrix& q) const {
+    return Evaluate(q, OptimalResult(q));
+  }
+};
+
+/// Identifies a metric in configuration structs; Make() instantiates it.
+struct MetricSpec {
+  enum class Kind {
+    kAccuracy,
+    kFScore,
+    /// Cost-sensitive accuracy with a requester-supplied loss matrix — the
+    /// library's instance of the paper's "more evaluation metrics" future
+    /// work. Stays decomposable, so assignment reuses Top-K Benefit.
+    kCostAccuracy,
+  };
+
+  Kind kind = Kind::kAccuracy;
+  /// F-score emphasis parameter alpha in (0,1); ignored otherwise.
+  double alpha = 0.5;
+  /// Target label for F-score (the paper's L_1); ignored otherwise.
+  LabelIndex target_label = 0;
+  /// Row-major l*l loss matrix for kCostAccuracy (zero diagonal,
+  /// non-negative entries); ignored otherwise.
+  std::vector<double> costs;
+
+  static MetricSpec Accuracy() { return {Kind::kAccuracy, 0.0, 0, {}}; }
+  static MetricSpec FScore(double alpha, LabelIndex target_label = 0) {
+    return {Kind::kFScore, alpha, target_label, {}};
+  }
+  static MetricSpec CostAccuracy(std::vector<double> costs) {
+    return {Kind::kCostAccuracy, 0.0, 0, std::move(costs)};
+  }
+
+  /// Number of labels implied by `costs` (kCostAccuracy only).
+  int CostLabels() const;
+
+  /// Instantiates the metric this spec describes.
+  std::unique_ptr<EvaluationMetric> Make() const;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_CORE_METRICS_METRIC_H_

@@ -1,0 +1,47 @@
+#ifndef QASCA_CORE_TYPES_H_
+#define QASCA_CORE_TYPES_H_
+
+#include <vector>
+
+namespace qasca {
+
+/// Index of a question in the pool, in [0, n). The paper writes questions
+/// q_1..q_n (1-based); the library is 0-based throughout.
+using QuestionIndex = int;
+
+/// Index of a label, in [0, l). The paper writes labels L_1..L_l; label 0 here
+/// corresponds to L_1, which is the *target label* in F-score applications.
+using LabelIndex = int;
+
+/// A result vector R = [r_1..r_n]: the label returned for each question.
+using ResultVector = std::vector<LabelIndex>;
+
+/// A ground-truth vector T = [t_1..t_n]: the true label of each question.
+using GroundTruthVector = std::vector<LabelIndex>;
+
+/// An assignment vector X = [x_1..x_n]: x_i == 1 iff question i is placed in
+/// the HIT under construction (Definition 1).
+using AssignmentVector = std::vector<unsigned char>;
+
+/// Identifier of a worker on the (simulated) crowdsourcing platform.
+using WorkerId = int;
+
+/// One crowd answer: worker `worker` answered with label `label`. The tuple
+/// (w, j) of the paper's answer set D_i.
+struct Answer {
+  WorkerId worker = 0;
+  LabelIndex label = 0;
+
+  friend bool operator==(const Answer&, const Answer&) = default;
+};
+
+/// All answers collected so far for one question (the paper's D_i).
+using AnswerList = std::vector<Answer>;
+
+/// Answers for every question (the paper's D = {D_1..D_n}), indexed by
+/// question.
+using AnswerSet = std::vector<AnswerList>;
+
+}  // namespace qasca
+
+#endif  // QASCA_CORE_TYPES_H_

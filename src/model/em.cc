@@ -1,0 +1,180 @@
+#include "model/em.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/posterior.h"
+#include "model/prior.h"
+#include "util/logging.h"
+
+namespace qasca {
+namespace {
+
+// Per-worker view of the answer set: which questions the worker answered
+// and with which label.
+struct WorkerAnswers {
+  std::vector<QuestionIndex> questions;
+  std::vector<LabelIndex> labels;
+};
+
+std::unordered_map<WorkerId, WorkerAnswers> GroupByWorker(
+    const AnswerSet& answers) {
+  std::unordered_map<WorkerId, WorkerAnswers> grouped;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    for (const Answer& answer : answers[i]) {
+      WorkerAnswers& wa = grouped[answer.worker];
+      wa.questions.push_back(static_cast<QuestionIndex>(i));
+      wa.labels.push_back(answer.label);
+    }
+  }
+  return grouped;
+}
+
+// M-step: re-fit one worker's model from the current posteriors.
+WorkerModel FitWorker(const WorkerAnswers& wa,
+                      const DistributionMatrix& posterior, int num_labels,
+                      const EmOptions& options) {
+  if (options.worker_kind == WorkerModel::Kind::kWorkerProbability) {
+    // m_w = expected fraction of this worker's answers that match the true
+    // label, Laplace-smoothed.
+    double agree = options.smoothing;
+    double total = 2.0 * options.smoothing;
+    for (size_t a = 0; a < wa.questions.size(); ++a) {
+      agree += posterior.At(wa.questions[a], wa.labels[a]);
+      total += 1.0;
+    }
+    return WorkerModel::Wp(std::clamp(agree / total, 0.0, 1.0), num_labels);
+  }
+
+  // Confusion matrix: M[j][j'] = expected count of (true j, answered j')
+  // over expected count of true j among this worker's answers.
+  std::vector<double> counts(static_cast<size_t>(num_labels) * num_labels,
+                             options.smoothing);
+  for (size_t a = 0; a < wa.questions.size(); ++a) {
+    std::span<const double> row = posterior.Row(wa.questions[a]);
+    for (int j = 0; j < num_labels; ++j) {
+      counts[static_cast<size_t>(j) * num_labels + wa.labels[a]] += row[j];
+    }
+  }
+  for (int j = 0; j < num_labels; ++j) {
+    double row_total = 0.0;
+    for (int j2 = 0; j2 < num_labels; ++j2) {
+      row_total += counts[static_cast<size_t>(j) * num_labels + j2];
+    }
+    for (int j2 = 0; j2 < num_labels; ++j2) {
+      counts[static_cast<size_t>(j) * num_labels + j2] /= row_total;
+    }
+  }
+  return WorkerModel::Cm(std::move(counts), num_labels);
+}
+
+}  // namespace
+
+const WorkerModel& EmResult::WorkerFor(WorkerId worker) const {
+  auto it = workers.find(worker);
+  return it != workers.end() ? it->second : fallback;
+}
+
+namespace {
+
+// Shared E/M loop: iterate from the posterior already stored in `result`.
+EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
+                         const EmOptions& options, EmResult result) {
+  const int n = static_cast<int>(answers.size());
+  std::unordered_map<WorkerId, WorkerAnswers> grouped =
+      GroupByWorker(answers);
+
+  for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    result.iterations = iteration;
+
+    // M-step: worker models and prior from posteriors.
+    result.workers.clear();
+    for (const auto& [worker, wa] : grouped) {
+      result.workers.emplace(
+          worker, FitWorker(wa, result.posterior, num_labels, options));
+    }
+    if (options.estimate_prior) {
+      result.prior = EstimatePrior(result.posterior);
+    }
+
+    // E-step: posteriors from worker models and prior (Eq. 16).
+    WorkerModelLookup lookup = [&result](WorkerId worker) -> const WorkerModel& {
+      return result.WorkerFor(worker);
+    };
+    double max_change = 0.0;
+    for (int i = 0; i < n; ++i) {
+      std::vector<double> row =
+          ComputePosteriorRow(answers[i], result.prior, lookup);
+      for (int j = 0; j < num_labels; ++j) {
+        max_change =
+            std::max(max_change, std::fabs(row[j] - result.posterior.At(i, j)));
+      }
+      result.posterior.SetRow(i, row);
+    }
+    if (max_change <= options.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace
+
+EmResult RunEm(const AnswerSet& answers, int num_labels,
+               const EmOptions& options) {
+  QASCA_CHECK_GT(num_labels, 0);
+  const int n = static_cast<int>(answers.size());
+
+  EmResult result;
+  result.prior = UniformPrior(num_labels);
+  result.posterior = DistributionMatrix(n, num_labels);
+  result.fallback = options.worker_kind == WorkerModel::Kind::kConfusionMatrix
+                        ? WorkerModel::PerfectCm(num_labels)
+                        : WorkerModel::PerfectWp(num_labels);
+
+  // Dawid–Skene bootstrap: initialise posteriors from smoothed vote counts.
+  std::vector<double> votes(num_labels);
+  for (int i = 0; i < n; ++i) {
+    std::fill(votes.begin(), votes.end(), 1.0);
+    for (const Answer& answer : answers[i]) votes[answer.label] += 1.0;
+    result.posterior.SetRowNormalized(i, votes);
+  }
+  return RunEmIterations(answers, num_labels, options, std::move(result));
+}
+
+EmResult RunEmWarmStart(const AnswerSet& answers, int num_labels,
+                        const EmOptions& options, const EmResult& previous) {
+  QASCA_CHECK_GT(num_labels, 0);
+  const int n = static_cast<int>(answers.size());
+  if (previous.posterior.num_questions() != n ||
+      previous.posterior.num_labels() != num_labels ||
+      previous.workers.empty()) {
+    // Shape changed (different question pool) or nothing was ever fitted.
+    // The second case matters: an all-uniform posterior is a *fixed point*
+    // of the EM update (the symmetric saddle), so warm-starting from a
+    // blank state would never leave it — bootstrap from votes instead.
+    return RunEm(answers, num_labels, options);
+  }
+  EmResult result;
+  result.prior = previous.prior.size() == static_cast<size_t>(num_labels)
+                     ? previous.prior
+                     : UniformPrior(num_labels);
+  result.fallback = options.worker_kind == WorkerModel::Kind::kConfusionMatrix
+                        ? WorkerModel::PerfectCm(num_labels)
+                        : WorkerModel::PerfectWp(num_labels);
+  // Seed from the previous *worker models*, not the previous posteriors: an
+  // initial E-step against the full (old + new) answer set re-anchors every
+  // posterior to the data, so stale per-question beliefs cannot persist and
+  // the label-flip degeneracies a posterior-seeded restart can drift into
+  // are avoided.
+  result.posterior = DistributionMatrix(n, num_labels);
+  WorkerModelLookup lookup =
+      [&previous](WorkerId worker) -> const WorkerModel& {
+    return previous.WorkerFor(worker);
+  };
+  for (int i = 0; i < n; ++i) {
+    result.posterior.SetRow(
+        i, ComputePosteriorRow(answers[i], result.prior, lookup));
+  }
+  return RunEmIterations(answers, num_labels, options, std::move(result));
+}
+
+}  // namespace qasca

@@ -1,0 +1,66 @@
+#ifndef QASCA_MODEL_EM_H_
+#define QASCA_MODEL_EM_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/distribution_matrix.h"
+#include "core/types.h"
+#include "model/worker_model.h"
+
+namespace qasca {
+
+/// Configuration of the EM parameter-estimation pass (Section 5.2; the
+/// Dawid–Skene algorithm [1] with the EM machinery of [10], as used by
+/// Ipeirotis et al. [22]).
+struct EmOptions {
+  /// Worker parameterisation to fit: full confusion matrices or single-value
+  /// worker probabilities (Table 2 compares the two).
+  WorkerModel::Kind worker_kind = WorkerModel::Kind::kConfusionMatrix;
+  /// Maximum E/M rounds.
+  int max_iterations = 50;
+  /// Convergence threshold on the max absolute change of any posterior cell.
+  double tolerance = 1e-6;
+  /// Additive (Laplace) smoothing applied in the M-step so that workers with
+  /// few answers do not collapse to 0/1 probabilities.
+  double smoothing = 1.0;
+  /// If false, the prior is kept fixed at its initial (uniform) value
+  /// instead of being re-estimated each round.
+  bool estimate_prior = true;
+};
+
+/// Output of EM: fitted worker models, label prior, the posterior
+/// distribution matrix Qc implied by the final parameters, and diagnostics.
+struct EmResult {
+  std::unordered_map<WorkerId, WorkerModel> workers;
+  std::vector<double> prior;
+  DistributionMatrix posterior{0, 1};
+  int iterations = 0;
+  /// Model returned for workers absent from `workers` — a perfect worker,
+  /// matching the paper's new-worker assumption (Section 5.2).
+  WorkerModel fallback = WorkerModel::PerfectWp(2);
+
+  /// The fitted model of `worker`, or `fallback` if the worker never
+  /// answered.
+  const WorkerModel& WorkerFor(WorkerId worker) const;
+};
+
+/// Runs EM over the answer set: E-step computes per-question posteriors from
+/// the current worker models and prior (Eq. 16); M-step re-estimates worker
+/// models and prior from the posteriors. Initialisation uses smoothed
+/// per-question vote counts, the standard Dawid–Skene bootstrap.
+EmResult RunEm(const AnswerSet& answers, int num_labels,
+               const EmOptions& options);
+
+/// Warm-started EM: initialises the posteriors from `previous` (falling back
+/// to the vote bootstrap for questions whose answer count changed shape) and
+/// iterates from there. On the platform's HIT-completion path — where each
+/// refit sees the previous answer set plus k new answers — this converges in
+/// one or two rounds instead of the cold fit's half dozen, with the same
+/// fixed point.
+EmResult RunEmWarmStart(const AnswerSet& answers, int num_labels,
+                        const EmOptions& options, const EmResult& previous);
+
+}  // namespace qasca
+
+#endif  // QASCA_MODEL_EM_H_

@@ -1,0 +1,44 @@
+#include "model/majority.h"
+
+#include "util/logging.h"
+
+namespace qasca {
+
+ResultVector MajorityVote(const AnswerSet& answers, int num_labels) {
+  QASCA_CHECK_GT(num_labels, 0);
+  ResultVector result(answers.size(), 0);
+  std::vector<int> votes(num_labels);
+  for (size_t i = 0; i < answers.size(); ++i) {
+    std::fill(votes.begin(), votes.end(), 0);
+    for (const Answer& answer : answers[i]) {
+      QASCA_CHECK_GE(answer.label, 0);
+      QASCA_CHECK_LT(answer.label, num_labels);
+      ++votes[answer.label];
+    }
+    int best = 0;
+    for (int j = 1; j < num_labels; ++j) {
+      if (votes[j] > votes[best]) best = j;
+    }
+    result[i] = best;
+  }
+  return result;
+}
+
+DistributionMatrix VoteShareDistribution(const AnswerSet& answers,
+                                         int num_labels, double smoothing) {
+  QASCA_CHECK_GE(smoothing, 0.0);
+  DistributionMatrix distribution(static_cast<int>(answers.size()),
+                                  num_labels);
+  std::vector<double> votes(num_labels);
+  for (size_t i = 0; i < answers.size(); ++i) {
+    std::fill(votes.begin(), votes.end(), smoothing);
+    for (const Answer& answer : answers[i]) votes[answer.label] += 1.0;
+    double total = 0.0;
+    for (double v : votes) total += v;
+    if (total <= 0.0) continue;  // keep the uniform initialisation
+    distribution.SetRowNormalized(static_cast<int>(i), votes);
+  }
+  return distribution;
+}
+
+}  // namespace qasca

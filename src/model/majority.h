@@ -1,0 +1,25 @@
+#ifndef QASCA_MODEL_MAJORITY_H_
+#define QASCA_MODEL_MAJORITY_H_
+
+#include <vector>
+
+#include "core/distribution_matrix.h"
+#include "core/types.h"
+
+namespace qasca {
+
+/// Majority voting — the aggregation AMT itself applies (Section 1) and the
+/// natural lower baseline for the EM pipeline. Ties are broken toward the
+/// smaller label index; unanswered questions fall back to label 0.
+ResultVector MajorityVote(const AnswerSet& answers, int num_labels);
+
+/// Soft majority: each question's label distribution is its (Laplace
+/// `smoothing`-smoothed) vote share. Useful as a model-free distribution
+/// matrix and as the Dawid-Skene bootstrap.
+DistributionMatrix VoteShareDistribution(const AnswerSet& answers,
+                                         int num_labels,
+                                         double smoothing = 1.0);
+
+}  // namespace qasca
+
+#endif  // QASCA_MODEL_MAJORITY_H_

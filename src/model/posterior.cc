@@ -1,0 +1,124 @@
+#include "model/posterior.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qasca {
+namespace {
+
+void NormalizeInPlace(std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    // All labels ruled out (can happen with degenerate 0/1 worker models
+    // giving contradictory answers). Fall back to uniform rather than abort:
+    // the data is inconsistent with the model, not with the caller.
+    std::fill(weights.begin(), weights.end(), 1.0 / weights.size());
+    return;
+  }
+  for (double& w : weights) w /= total;
+}
+
+}  // namespace
+
+std::vector<double> ComputePosteriorRow(const AnswerList& answers,
+                                        const std::vector<double>& prior,
+                                        const WorkerModelLookup& models) {
+  const int num_labels = static_cast<int>(prior.size());
+  QASCA_CHECK_GT(num_labels, 0);
+  std::vector<double> weights(prior.begin(), prior.end());
+  for (const Answer& answer : answers) {
+    const WorkerModel& model = models(answer.worker);
+    QASCA_CHECK_EQ(model.num_labels(), num_labels);
+    for (int j = 0; j < num_labels; ++j) {
+      weights[j] *= model.AnswerProbability(answer.label, j);
+    }
+  }
+  NormalizeInPlace(weights);
+  return weights;
+}
+
+DistributionMatrix ComputeCurrentDistribution(
+    const AnswerSet& answers, const std::vector<double>& prior,
+    const WorkerModelLookup& models) {
+  const int n = static_cast<int>(answers.size());
+  const int num_labels = static_cast<int>(prior.size());
+  DistributionMatrix qc(n, num_labels);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row = ComputePosteriorRow(answers[i], prior, models);
+    qc.SetRow(i, row);
+  }
+  return qc;
+}
+
+std::vector<double> EstimateWorkerRow(std::span<const double> current_row,
+                                      const WorkerModel& model, QwMode mode,
+                                      util::Rng& rng) {
+  const int num_labels = static_cast<int>(current_row.size());
+  QASCA_CHECK_EQ(model.num_labels(), num_labels);
+
+  // Predicted answer distribution P(a = j' | D_i) (Eq. 17). For WP models
+  // the double sum collapses to a closed form — O(l) instead of O(l^2),
+  // which matters for many-label applications like CompanyLogo (l = 214).
+  std::vector<double> answer_distribution(num_labels, 0.0);
+  if (model.kind() == WorkerModel::Kind::kWorkerProbability &&
+      num_labels > 1) {
+    double m = model.worker_probability();
+    double off = (1.0 - m) / (num_labels - 1);
+    for (int answered = 0; answered < num_labels; ++answered) {
+      answer_distribution[answered] =
+          m * current_row[answered] + off * (1.0 - current_row[answered]);
+    }
+  } else {
+    for (int answered = 0; answered < num_labels; ++answered) {
+      for (int truth = 0; truth < num_labels; ++truth) {
+        answer_distribution[answered] +=
+            model.AnswerProbability(answered, truth) * current_row[truth];
+      }
+    }
+  }
+
+  auto conditioned = [&](LabelIndex answered) {
+    // Qw_{i,j} proportional to Qc_{i,j} * P(a = answered | t = j) (Eq. 18).
+    std::vector<double> weights(num_labels);
+    for (int j = 0; j < num_labels; ++j) {
+      weights[j] = current_row[j] * model.AnswerProbability(answered, j);
+    }
+    NormalizeInPlace(weights);
+    return weights;
+  };
+
+  if (mode == QwMode::kSampled) {
+    LabelIndex sampled = rng.SampleWeighted(answer_distribution);
+    return conditioned(sampled);
+  }
+
+  // kExpected: mixture of the conditioned posteriors weighted by the
+  // predicted answer distribution.
+  std::vector<double> expected(num_labels, 0.0);
+  for (int answered = 0; answered < num_labels; ++answered) {
+    if (answer_distribution[answered] <= 0.0) continue;
+    std::vector<double> weights = conditioned(answered);
+    for (int j = 0; j < num_labels; ++j) {
+      expected[j] += answer_distribution[answered] * weights[j];
+    }
+  }
+  NormalizeInPlace(expected);
+  return expected;
+}
+
+DistributionMatrix EstimateWorkerDistribution(
+    const DistributionMatrix& current, const WorkerModel& model,
+    const std::vector<QuestionIndex>& candidates, QwMode mode,
+    util::Rng& rng) {
+  DistributionMatrix qw = current;
+  for (QuestionIndex i : candidates) {
+    std::vector<double> row =
+        EstimateWorkerRow(current.Row(i), model, mode, rng);
+    qw.SetRow(i, row);
+  }
+  return qw;
+}
+
+}  // namespace qasca

@@ -1,0 +1,58 @@
+#ifndef QASCA_MODEL_POSTERIOR_H_
+#define QASCA_MODEL_POSTERIOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/distribution_matrix.h"
+#include "core/types.h"
+#include "model/worker_model.h"
+#include "util/rng.h"
+
+namespace qasca {
+
+/// Resolves a worker id to that worker's current model. Supplied by the
+/// caller (platform database, EM output, or simulation oracle).
+using WorkerModelLookup = std::function<const WorkerModel&(WorkerId)>;
+
+/// Posterior distribution of one question's true label given its answers
+/// (Eq. 16): weight_j = p_j * prod_{(w,j') in answers} P(a_w = j' | t = j),
+/// normalised. With no answers this returns the prior.
+std::vector<double> ComputePosteriorRow(const AnswerList& answers,
+                                        const std::vector<double>& prior,
+                                        const WorkerModelLookup& models);
+
+/// The current distribution matrix Qc over all questions (Section 5.1).
+DistributionMatrix ComputeCurrentDistribution(const AnswerSet& answers,
+                                              const std::vector<double>& prior,
+                                              const WorkerModelLookup& models);
+
+/// How the estimated row Qw_i is derived from the predicted answer
+/// distribution (Section 5.3).
+enum class QwMode {
+  /// The paper's method: sample the label the worker would answer by
+  /// weighted random sampling over P(a = j' | D_i) (Eq. 17), then condition
+  /// on it (Eq. 18).
+  kSampled,
+  /// Deterministic ablation: average the conditioned posterior over the
+  /// whole predicted answer distribution instead of sampling one label.
+  kExpected,
+};
+
+/// Estimates row i of Qw for a worker with model `model`, given the current
+/// row Qc_i. `rng` is used only in kSampled mode.
+std::vector<double> EstimateWorkerRow(std::span<const double> current_row,
+                                      const WorkerModel& model, QwMode mode,
+                                      util::Rng& rng);
+
+/// The estimated distribution matrix Qw for a worker (Section 5.3). Only
+/// rows in `candidates` are estimated; all other rows are copied from
+/// `current` (they are never read by the assignment algorithms, but copying
+/// keeps the matrix fully normalised).
+DistributionMatrix EstimateWorkerDistribution(
+    const DistributionMatrix& current, const WorkerModel& model,
+    const std::vector<QuestionIndex>& candidates, QwMode mode, util::Rng& rng);
+
+}  // namespace qasca
+
+#endif  // QASCA_MODEL_POSTERIOR_H_

@@ -1,0 +1,23 @@
+#include "model/prior.h"
+
+#include "util/logging.h"
+
+namespace qasca {
+
+std::vector<double> UniformPrior(int num_labels) {
+  QASCA_CHECK_GT(num_labels, 0);
+  return std::vector<double>(num_labels, 1.0 / num_labels);
+}
+
+std::vector<double> EstimatePrior(const DistributionMatrix& posterior) {
+  QASCA_CHECK_GT(posterior.num_questions(), 0);
+  std::vector<double> prior(posterior.num_labels(), 0.0);
+  for (int i = 0; i < posterior.num_questions(); ++i) {
+    std::span<const double> row = posterior.Row(i);
+    for (int j = 0; j < posterior.num_labels(); ++j) prior[j] += row[j];
+  }
+  for (double& p : prior) p /= posterior.num_questions();
+  return prior;
+}
+
+}  // namespace qasca

@@ -1,0 +1,19 @@
+#ifndef QASCA_MODEL_PRIOR_H_
+#define QASCA_MODEL_PRIOR_H_
+
+#include <vector>
+
+#include "core/distribution_matrix.h"
+
+namespace qasca {
+
+/// The uniform prior p_j = 1/l — the paper's initial state.
+std::vector<double> UniformPrior(int num_labels);
+
+/// Prior estimated as the expected fraction of questions whose ground truth
+/// is each label: p_j = (1/n) * sum_i Q_{i,j} (Section 5.1).
+std::vector<double> EstimatePrior(const DistributionMatrix& posterior);
+
+}  // namespace qasca
+
+#endif  // QASCA_MODEL_PRIOR_H_

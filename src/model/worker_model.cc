@@ -1,0 +1,69 @@
+#include "model/worker_model.h"
+
+#include <cmath>
+
+namespace qasca {
+
+WorkerModel WorkerModel::PerfectWp(int num_labels) {
+  return Wp(1.0, num_labels);
+}
+
+WorkerModel WorkerModel::PerfectCm(int num_labels) {
+  std::vector<double> identity(static_cast<size_t>(num_labels) * num_labels,
+                               0.0);
+  for (int j = 0; j < num_labels; ++j) {
+    identity[static_cast<size_t>(j) * num_labels + j] = 1.0;
+  }
+  return Cm(std::move(identity), num_labels);
+}
+
+WorkerModel WorkerModel::Wp(double m, int num_labels) {
+  QASCA_CHECK_GE(m, 0.0);
+  QASCA_CHECK_LE(m, 1.0);
+  QASCA_CHECK_GT(num_labels, 0);
+  WorkerModel model(Kind::kWorkerProbability, num_labels);
+  model.wp_ = m;
+  return model;
+}
+
+WorkerModel WorkerModel::Cm(std::vector<double> matrix, int num_labels) {
+  QASCA_CHECK_GT(num_labels, 0);
+  QASCA_CHECK_EQ(matrix.size(),
+                 static_cast<size_t>(num_labels) * num_labels);
+  for (int j = 0; j < num_labels; ++j) {
+    double row_sum = 0.0;
+    for (int j2 = 0; j2 < num_labels; ++j2) {
+      double p = matrix[static_cast<size_t>(j) * num_labels + j2];
+      QASCA_CHECK_GE(p, -1e-9) << "negative confusion-matrix entry";
+      row_sum += p;
+    }
+    QASCA_CHECK_LT(std::fabs(row_sum - 1.0), 1e-6)
+        << "confusion-matrix row must sum to 1";
+  }
+  WorkerModel model(Kind::kConfusionMatrix, num_labels);
+  model.cm_ = std::move(matrix);
+  return model;
+}
+
+std::vector<double> WorkerModel::AsConfusionMatrix() const {
+  if (kind_ == Kind::kConfusionMatrix) return cm_;
+  std::vector<double> expanded(static_cast<size_t>(num_labels_) * num_labels_);
+  for (int j = 0; j < num_labels_; ++j) {
+    for (int j2 = 0; j2 < num_labels_; ++j2) {
+      expanded[static_cast<size_t>(j) * num_labels_ + j2] =
+          AnswerProbability(j2, j);
+    }
+  }
+  return expanded;
+}
+
+double WorkerModel::Deviation(const WorkerModel& other) const {
+  QASCA_CHECK_EQ(num_labels_, other.num_labels());
+  std::vector<double> a = AsConfusionMatrix();
+  std::vector<double> b = other.AsConfusionMatrix();
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += std::fabs(a[i] - b[i]);
+  return total / static_cast<double>(a.size());
+}
+
+}  // namespace qasca

@@ -1,0 +1,80 @@
+#ifndef QASCA_MODEL_WORKER_MODEL_H_
+#define QASCA_MODEL_WORKER_MODEL_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "util/logging.h"
+
+namespace qasca {
+
+/// A worker's answering behaviour: the conditional probability
+/// P(a = j' | t = j) that the worker answers label j' when the true label is
+/// j (Section 5.2).
+///
+/// Two parameterisations from the literature are supported:
+///  * Worker Probability (WP) — a single value m in [0,1]:
+///      P(a = j' | t = j) = m               if j' == j,
+///                          (1 - m)/(l - 1) otherwise.
+///  * Confusion Matrix (CM) — a full l-by-l row-stochastic matrix M with
+///      P(a = j' | t = j) = M[j][j'].
+///
+/// CM subsumes WP; Table 2 of the paper compares the two empirically.
+class WorkerModel {
+ public:
+  enum class Kind { kWorkerProbability, kConfusionMatrix };
+
+  /// A perfect worker — the paper's initial assumption for new workers
+  /// (Ipeirotis et al. [22]): WP m = 1.
+  static WorkerModel PerfectWp(int num_labels);
+  /// A perfect worker in CM form: the identity matrix.
+  static WorkerModel PerfectCm(int num_labels);
+  /// WP model with probability `m` of answering the true label.
+  static WorkerModel Wp(double m, int num_labels);
+  /// CM model; `matrix` is row-major l*l, rows sum to 1 (row = true label,
+  /// column = answered label).
+  static WorkerModel Cm(std::vector<double> matrix, int num_labels);
+
+  Kind kind() const { return kind_; }
+  int num_labels() const { return num_labels_; }
+
+  /// P(a = answered | t = truth).
+  double AnswerProbability(LabelIndex answered, LabelIndex truth) const {
+    QASCA_CHECK_GE(answered, 0);
+    QASCA_CHECK_LT(answered, num_labels_);
+    QASCA_CHECK_GE(truth, 0);
+    QASCA_CHECK_LT(truth, num_labels_);
+    if (kind_ == Kind::kWorkerProbability) {
+      if (answered == truth) return wp_;
+      return num_labels_ > 1 ? (1.0 - wp_) / (num_labels_ - 1) : 0.0;
+    }
+    return cm_[static_cast<size_t>(truth) * num_labels_ + answered];
+  }
+
+  /// The WP value m; only valid for WP models.
+  double worker_probability() const {
+    QASCA_CHECK(kind_ == Kind::kWorkerProbability);
+    return wp_;
+  }
+
+  /// Row-major confusion matrix; for WP models, the expanded equivalent.
+  std::vector<double> AsConfusionMatrix() const;
+
+  /// Mean absolute elementwise difference to `other`'s confusion matrix —
+  /// the paper's estimation deviation of worker quality (Section 6.2.3,
+  /// Figure 6(b)).
+  double Deviation(const WorkerModel& other) const;
+
+ private:
+  WorkerModel(Kind kind, int num_labels)
+      : kind_(kind), num_labels_(num_labels) {}
+
+  Kind kind_;
+  int num_labels_;
+  double wp_ = 1.0;
+  std::vector<double> cm_;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_MODEL_WORKER_MODEL_H_

@@ -1,0 +1,61 @@
+#include "model/worker_stats.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace qasca {
+
+std::vector<WorkerSummary> SummarizeWorkers(const AnswerSet& answers,
+                                            const EmResult& parameters,
+                                            const ResultVector& results) {
+  QASCA_CHECK_EQ(answers.size(), results.size());
+  // std::map keeps the output sorted by worker id.
+  std::map<WorkerId, WorkerSummary> summaries;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    for (const Answer& answer : answers[i]) {
+      WorkerSummary& summary = summaries[answer.worker];
+      summary.worker = answer.worker;
+      ++summary.answer_count;
+      if (answer.label == results[i]) {
+        summary.agreement_with_results += 1.0;
+      }
+    }
+  }
+  std::vector<WorkerSummary> out;
+  out.reserve(summaries.size());
+  for (auto& [worker, summary] : summaries) {
+    summary.agreement_with_results /= summary.answer_count;
+    const WorkerModel& model = parameters.WorkerFor(worker);
+    std::vector<double> cm = model.AsConfusionMatrix();
+    const int num_labels = model.num_labels();
+    double diagonal = 0.0;
+    for (int j = 0; j < num_labels; ++j) {
+      diagonal += cm[static_cast<size_t>(j) * num_labels + j];
+    }
+    summary.estimated_quality = diagonal / num_labels;
+    out.push_back(summary);
+  }
+  return out;
+}
+
+std::vector<WorkerSummary> SuspectedSpammers(
+    const std::vector<WorkerSummary>& summaries, double quality_threshold) {
+  std::vector<WorkerSummary> suspects;
+  for (const WorkerSummary& summary : summaries) {
+    if (summary.estimated_quality < quality_threshold) {
+      suspects.push_back(summary);
+    }
+  }
+  std::sort(suspects.begin(), suspects.end(),
+            [](const WorkerSummary& a, const WorkerSummary& b) {
+              if (a.estimated_quality != b.estimated_quality) {
+                return a.estimated_quality < b.estimated_quality;
+              }
+              return a.worker < b.worker;
+            });
+  return suspects;
+}
+
+}  // namespace qasca

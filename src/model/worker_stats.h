@@ -1,0 +1,39 @@
+#ifndef QASCA_MODEL_WORKER_STATS_H_
+#define QASCA_MODEL_WORKER_STATS_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "model/em.h"
+
+namespace qasca {
+
+/// Requester-facing summary of one worker's activity and estimated quality
+/// — the data behind the "estimation of worker quality" analysis of
+/// Section 6.2.3 and the raw material for spam review.
+struct WorkerSummary {
+  WorkerId worker = 0;
+  /// Number of answers the worker contributed.
+  int answer_count = 0;
+  /// Fraction of the worker's answers that agree with the platform's
+  /// current result vector — a ground-truth-free quality proxy.
+  double agreement_with_results = 0.0;
+  /// Mean diagonal of the worker's fitted confusion matrix (estimated
+  /// probability of answering the true label, averaged over labels).
+  double estimated_quality = 0.0;
+};
+
+/// Summarises every worker appearing in `answers` against the fitted
+/// `parameters` and the platform's current `results`. Sorted by worker id.
+std::vector<WorkerSummary> SummarizeWorkers(const AnswerSet& answers,
+                                            const EmResult& parameters,
+                                            const ResultVector& results);
+
+/// Workers whose estimated quality is below `quality_threshold` — a simple
+/// spam-review shortlist. Sorted by ascending estimated quality.
+std::vector<WorkerSummary> SuspectedSpammers(
+    const std::vector<WorkerSummary>& summaries, double quality_threshold);
+
+}  // namespace qasca
+
+#endif  // QASCA_MODEL_WORKER_STATS_H_

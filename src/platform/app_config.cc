@@ -1,0 +1,60 @@
+#include "platform/app_config.h"
+
+#include <algorithm>
+
+namespace qasca {
+
+util::Status AppConfig::Validate() const {
+  if (num_questions <= 0) {
+    return util::Status::InvalidArgument("num_questions must be positive");
+  }
+  if (num_labels < 2) {
+    return util::Status::InvalidArgument("num_labels must be at least 2");
+  }
+  if (questions_per_hit <= 0 || questions_per_hit > num_questions) {
+    return util::Status::InvalidArgument(
+        "questions_per_hit must be in [1, num_questions]");
+  }
+  if (pay_per_hit <= 0.0) {
+    return util::Status::InvalidArgument("pay_per_hit must be positive");
+  }
+  if (budget < pay_per_hit) {
+    return util::Status::InvalidArgument(
+        "budget must afford at least one HIT");
+  }
+  if (metric.kind == MetricSpec::Kind::kCostAccuracy) {
+    size_t expected = static_cast<size_t>(num_labels) * num_labels;
+    if (metric.costs.size() != expected) {
+      return util::Status::InvalidArgument(
+          "cost matrix must be num_labels x num_labels");
+    }
+    double max_cost = 0.0;
+    for (int t = 0; t < num_labels; ++t) {
+      if (metric.costs[static_cast<size_t>(t) * num_labels + t] != 0.0) {
+        return util::Status::InvalidArgument(
+            "cost matrix diagonal must be zero");
+      }
+      for (int r = 0; r < num_labels; ++r) {
+        double c = metric.costs[static_cast<size_t>(t) * num_labels + r];
+        if (c < 0.0) {
+          return util::Status::InvalidArgument("costs must be non-negative");
+        }
+        max_cost = std::max(max_cost, c);
+      }
+    }
+    if (max_cost <= 0.0) {
+      return util::Status::InvalidArgument("cost matrix must not be zero");
+    }
+  }
+  if (metric.kind == MetricSpec::Kind::kFScore) {
+    if (metric.alpha <= 0.0 || metric.alpha >= 1.0) {
+      return util::Status::InvalidArgument("F-score alpha must be in (0,1)");
+    }
+    if (metric.target_label < 0 || metric.target_label >= num_labels) {
+      return util::Status::InvalidArgument("target label out of range");
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace qasca

@@ -1,0 +1,57 @@
+#ifndef QASCA_PLATFORM_APP_CONFIG_H_
+#define QASCA_PLATFORM_APP_CONFIG_H_
+
+#include <string>
+
+#include "core/metrics/metric.h"
+#include "model/em.h"
+#include "model/posterior.h"
+#include "util/status.h"
+
+namespace qasca {
+
+/// Everything a requester supplies when deploying an application — the
+/// contents of the paper's Configuration File plus question-set shape
+/// (Appendix A): n questions with l labels, k questions per HIT, payment b
+/// per HIT, total budget B, and the evaluation metric.
+struct AppConfig {
+  std::string name = "app";
+  /// Number of questions n.
+  int num_questions = 0;
+  /// Number of labels l (>= 2).
+  int num_labels = 2;
+  /// Questions per HIT (the paper's k).
+  int questions_per_hit = 4;
+  /// Payment per HIT in dollars (the paper's b).
+  double pay_per_hit = 0.02;
+  /// Total invested budget in dollars (the paper's B). The engine stops
+  /// issuing HITs once B/b HITs have been assigned.
+  double budget = 1.0;
+  /// The application-driven evaluation metric.
+  MetricSpec metric = MetricSpec::Accuracy();
+  /// Worker-model parameterisation fitted by EM on HIT completion.
+  WorkerModel::Kind worker_kind = WorkerModel::Kind::kConfusionMatrix;
+  /// How Qw rows are derived (Section 5.3; the paper samples).
+  QwMode qw_mode = QwMode::kSampled;
+  /// EM settings used on each HIT-completion event.
+  EmOptions em;
+  /// Warm-start each EM refit from the previous fit's worker models.
+  /// Cheaper per completion, but OFF by default: in the sparse early phase
+  /// (a handful of answers per worker) a warm start can lock in a bad early
+  /// local optimum that the cold vote bootstrap would wash out, noticeably
+  /// hurting end quality. Enable only when seeding from a mature fit.
+  bool warm_start_em = false;
+
+  /// Total number of HITs the budget affords: m = B / b (rounded to the
+  /// nearest whole HIT to absorb floating-point currency arithmetic).
+  int TotalHits() const {
+    return pay_per_hit > 0 ? static_cast<int>(budget / pay_per_hit + 0.5) : 0;
+  }
+
+  /// Checks the configuration for structural errors.
+  util::Status Validate() const;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_PLATFORM_APP_CONFIG_H_

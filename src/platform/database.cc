@@ -1,0 +1,66 @@
+#include "platform/database.h"
+
+#include "model/prior.h"
+#include "util/logging.h"
+
+namespace qasca {
+
+Database::Database(int num_questions, int num_labels)
+    : num_questions_(num_questions),
+      num_labels_(num_labels),
+      answers_(num_questions),
+      current_(num_questions, num_labels) {
+  QASCA_CHECK_GT(num_questions, 0);
+  QASCA_CHECK_GT(num_labels, 1);
+  parameters_.prior = UniformPrior(num_labels);
+  parameters_.posterior = current_;
+  parameters_.fallback = WorkerModel::PerfectWp(num_labels);
+}
+
+void Database::MarkAssigned(WorkerId worker,
+                            const std::vector<QuestionIndex>& questions) {
+  std::unordered_set<QuestionIndex>& assigned = assigned_[worker];
+  for (QuestionIndex q : questions) {
+    QASCA_CHECK_GE(q, 0);
+    QASCA_CHECK_LT(q, num_questions_);
+    bool inserted = assigned.insert(q).second;
+    QASCA_CHECK(inserted) << "question assigned twice to the same worker";
+  }
+}
+
+void Database::RecordAnswer(QuestionIndex question, WorkerId worker,
+                            LabelIndex label) {
+  QASCA_CHECK_GE(question, 0);
+  QASCA_CHECK_LT(question, num_questions_);
+  QASCA_CHECK_GE(label, 0);
+  QASCA_CHECK_LT(label, num_labels_);
+  answers_[question].push_back(Answer{worker, label});
+}
+
+std::vector<QuestionIndex> Database::CandidatesFor(WorkerId worker) const {
+  std::vector<QuestionIndex> candidates;
+  auto it = assigned_.find(worker);
+  if (it == assigned_.end()) {
+    candidates.resize(num_questions_);
+    for (int i = 0; i < num_questions_; ++i) candidates[i] = i;
+    return candidates;
+  }
+  candidates.reserve(num_questions_ - it->second.size());
+  for (int i = 0; i < num_questions_; ++i) {
+    if (!it->second.contains(i)) candidates.push_back(i);
+  }
+  return candidates;
+}
+
+int Database::AnswerCount(QuestionIndex question) const {
+  QASCA_CHECK_GE(question, 0);
+  QASCA_CHECK_LT(question, num_questions_);
+  return static_cast<int>(answers_[question].size());
+}
+
+void Database::SetParameters(EmResult parameters) {
+  parameters_ = std::move(parameters);
+  current_ = parameters_.posterior;
+}
+
+}  // namespace qasca

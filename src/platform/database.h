@@ -1,0 +1,65 @@
+#ifndef QASCA_PLATFORM_DATABASE_H_
+#define QASCA_PLATFORM_DATABASE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/distribution_matrix.h"
+#include "core/types.h"
+#include "model/em.h"
+
+namespace qasca {
+
+/// The Database component of QASCA (Appendix A): stores the answer set D,
+/// the per-worker assignment history that defines each candidate set S^w,
+/// and the model parameters (worker models, prior, current distribution
+/// matrix Qc) refreshed on every HIT completion.
+///
+/// Purely in-memory; the real system backs this with an RDBMS, but nothing
+/// in the paper's algorithms depends on persistence.
+class Database {
+ public:
+  Database(int num_questions, int num_labels);
+
+  int num_questions() const { return num_questions_; }
+  int num_labels() const { return num_labels_; }
+
+  /// Marks `questions` as assigned to `worker`; they leave S^w immediately
+  /// so the worker can never receive duplicates, even across open HITs.
+  void MarkAssigned(WorkerId worker, const std::vector<QuestionIndex>& questions);
+
+  /// Appends one answer to D_i.
+  void RecordAnswer(QuestionIndex question, WorkerId worker, LabelIndex label);
+
+  /// The candidate set S^w: all questions never assigned to `worker`,
+  /// ascending.
+  std::vector<QuestionIndex> CandidatesFor(WorkerId worker) const;
+
+  /// Number of answers collected for `question`.
+  int AnswerCount(QuestionIndex question) const;
+
+  const AnswerSet& answers() const { return answers_; }
+
+  /// Replaces the cached model parameters (worker models + prior +
+  /// posterior Qc) with a fresh EM fit.
+  void SetParameters(EmResult parameters);
+  const EmResult& parameters() const { return parameters_; }
+
+  /// The current distribution matrix Qc. Before any HIT completes this is
+  /// the uniform prior (Section 5.1).
+  const DistributionMatrix& current() const { return current_; }
+  void set_current(DistributionMatrix qc) { current_ = std::move(qc); }
+
+ private:
+  int num_questions_;
+  int num_labels_;
+  AnswerSet answers_;
+  std::unordered_map<WorkerId, std::unordered_set<QuestionIndex>> assigned_;
+  EmResult parameters_;
+  DistributionMatrix current_;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_PLATFORM_DATABASE_H_

@@ -1,0 +1,133 @@
+#include "platform/engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace qasca {
+
+TaskAssignmentEngine::TaskAssignmentEngine(
+    AppConfig config, std::unique_ptr<AssignmentStrategy> strategy,
+    uint64_t seed)
+    : config_(std::move(config)),
+      strategy_(std::move(strategy)),
+      metric_(config_.metric.Make()),
+      database_(config_.num_questions, config_.num_labels),
+      rng_(seed) {
+  util::Status status = config_.Validate();
+  QASCA_CHECK(status.ok()) << status.ToString();
+  QASCA_CHECK(strategy_ != nullptr);
+  config_.em.worker_kind = config_.worker_kind;
+}
+
+util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
+    WorkerId worker) {
+  if (BudgetExhausted()) {
+    return util::Status::ResourceExhausted("budget spent: no HITs left");
+  }
+  if (open_hits_.contains(worker)) {
+    return util::Status::FailedPrecondition(
+        "worker already holds an open HIT");
+  }
+  std::vector<QuestionIndex> candidates = database_.CandidatesFor(worker);
+  const int k = config_.questions_per_hit;
+  if (static_cast<int>(candidates.size()) < k) {
+    return util::Status::NotFound(
+        "fewer than k unassigned questions remain for this worker");
+  }
+
+  WorkerModel typical = ComputeTypicalWorker();
+  StrategyContext context;
+  context.database = &database_;
+  context.metric = &config_.metric;
+  context.worker = worker;
+  const WorkerModel& model = ModelFor(worker);
+  context.worker_model = &model;
+  context.typical_worker = &typical;
+  context.rng = &rng_;
+
+  util::Stopwatch stopwatch;
+  std::vector<QuestionIndex> selected =
+      strategy_->SelectQuestions(context, candidates, k);
+  last_assignment_seconds_ = stopwatch.ElapsedSeconds();
+  max_assignment_seconds_ =
+      std::max(max_assignment_seconds_, last_assignment_seconds_);
+
+  QASCA_CHECK_EQ(static_cast<int>(selected.size()), k)
+      << "strategy returned wrong HIT size";
+  database_.MarkAssigned(worker, selected);
+  trace_.RecordAssignment(worker, selected);
+  open_hits_.emplace(worker, selected);
+  ++assigned_hits_;
+  return selected;
+}
+
+util::Status TaskAssignmentEngine::CompleteHit(
+    WorkerId worker, const std::vector<LabelIndex>& labels) {
+  auto it = open_hits_.find(worker);
+  if (it == open_hits_.end()) {
+    return util::Status::NotFound("worker has no open HIT");
+  }
+  const std::vector<QuestionIndex>& questions = it->second;
+  if (labels.size() != questions.size()) {
+    return util::Status::InvalidArgument(
+        "answer count does not match HIT size");
+  }
+  for (LabelIndex label : labels) {
+    if (label < 0 || label >= config_.num_labels) {
+      return util::Status::InvalidArgument("answer label out of range");
+    }
+  }
+  // Step A: update the answer set D.
+  for (size_t q = 0; q < questions.size(); ++q) {
+    database_.RecordAnswer(questions[q], worker, labels[q]);
+  }
+  trace_.RecordCompletion(worker, questions, labels);
+  open_hits_.erase(it);
+  ++completed_hits_;
+
+  // Steps B + C: re-estimate worker models and prior with EM, then refresh
+  // Qc from the fitted posterior.
+  database_.SetParameters(
+      config_.warm_start_em
+          ? RunEmWarmStart(database_.answers(), config_.num_labels,
+                           config_.em, database_.parameters())
+          : RunEm(database_.answers(), config_.num_labels, config_.em));
+  return util::Status::Ok();
+}
+
+ResultVector TaskAssignmentEngine::CurrentResults() const {
+  return metric_->OptimalResult(database_.current());
+}
+
+double TaskAssignmentEngine::QualityAgainstTruth(
+    const GroundTruthVector& truth) const {
+  return metric_->EvaluateAgainstTruth(truth, CurrentResults());
+}
+
+const WorkerModel& TaskAssignmentEngine::ModelFor(WorkerId worker) const {
+  return database_.parameters().WorkerFor(worker);
+}
+
+WorkerModel TaskAssignmentEngine::ComputeTypicalWorker() const {
+  const auto& workers = database_.parameters().workers;
+  if (workers.empty()) {
+    return WorkerModel::Wp(0.75, config_.num_labels);
+  }
+  double total_quality = 0.0;
+  for (const auto& [id, model] : workers) {
+    std::vector<double> cm = model.AsConfusionMatrix();
+    double diagonal = 0.0;
+    for (int j = 0; j < config_.num_labels; ++j) {
+      diagonal += cm[static_cast<size_t>(j) * config_.num_labels + j];
+    }
+    total_quality += diagonal / config_.num_labels;
+  }
+  return WorkerModel::Wp(
+      std::clamp(total_quality / static_cast<double>(workers.size()), 0.0,
+                 1.0),
+      config_.num_labels);
+}
+
+}  // namespace qasca

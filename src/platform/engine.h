@@ -1,0 +1,98 @@
+#ifndef QASCA_PLATFORM_ENGINE_H_
+#define QASCA_PLATFORM_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics/metric.h"
+#include "platform/app_config.h"
+#include "platform/database.h"
+#include "platform/strategy.h"
+#include "platform/trace.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qasca {
+
+/// The QASCA engine: App Manager + Task Assignment + Database wired
+/// together (Figure 1, Appendix A). Drives the two workflows of Figure 2:
+///
+///  * HIT request  — compute the worker's candidate set S^w, hand Qc and the
+///    worker's fitted model to the assignment strategy, dynamically batch
+///    the chosen k questions into a HIT;
+///  * HIT completion — append the worker's answers to D, re-estimate the
+///    parameters (worker models + prior) with EM, and refresh Qc.
+///
+/// The engine is strategy-pluggable so that the five comparison systems of
+/// Section 6.2.1 run under the identical platform harness; QASCA itself is
+/// the QascaStrategy.
+class TaskAssignmentEngine {
+ public:
+  /// `config` must Validate(); `seed` drives all stochastic choices
+  /// (Qw sampling, tie-breaking) deterministically.
+  TaskAssignmentEngine(AppConfig config,
+                       std::unique_ptr<AssignmentStrategy> strategy,
+                       uint64_t seed);
+
+  /// HIT request event. Fails with ResourceExhausted once the budget's
+  /// B/b HITs have been assigned, FailedPrecondition if the worker already
+  /// holds an open HIT, and NotFound if fewer than k questions remain in
+  /// the worker's candidate set.
+  util::StatusOr<std::vector<QuestionIndex>> RequestHit(WorkerId worker);
+
+  /// HIT completion event. `labels` must parallel the question list the
+  /// worker received from RequestHit.
+  util::Status CompleteHit(WorkerId worker,
+                           const std::vector<LabelIndex>& labels);
+
+  /// The results the requester would receive now: the metric-optimal result
+  /// vector R* for the current Qc.
+  ResultVector CurrentResults() const;
+
+  /// Convenience for experiments: the true quality F(T, R*) of the current
+  /// results against known ground truth.
+  double QualityAgainstTruth(const GroundTruthVector& truth) const;
+
+  const AppConfig& config() const { return config_; }
+  const Database& database() const { return database_; }
+  /// Ordered log of every assignment and completion this engine served.
+  const EventTrace& trace() const { return trace_; }
+  const EvaluationMetric& metric() const { return *metric_; }
+  const AssignmentStrategy& strategy() const { return *strategy_; }
+
+  int assigned_hits() const { return assigned_hits_; }
+  int completed_hits() const { return completed_hits_; }
+  /// HITs the remaining budget still affords.
+  int remaining_hits() const { return config_.TotalHits() - assigned_hits_; }
+  bool BudgetExhausted() const { return remaining_hits() <= 0; }
+
+  /// Wall-clock seconds spent inside the strategy on the most recent /
+  /// slowest HIT request (Figure 6(a) reports the worst case).
+  double last_assignment_seconds() const { return last_assignment_seconds_; }
+  double max_assignment_seconds() const { return max_assignment_seconds_; }
+
+ private:
+  /// Fitted model for `worker` (perfect if unseen).
+  const WorkerModel& ModelFor(WorkerId worker) const;
+
+  /// Representative worker for worker-agnostic policies: a WP model at the
+  /// mean diagonal quality of all fitted workers (0.75 before any fit).
+  WorkerModel ComputeTypicalWorker() const;
+
+  AppConfig config_;
+  std::unique_ptr<AssignmentStrategy> strategy_;
+  std::unique_ptr<EvaluationMetric> metric_;
+  Database database_;
+  EventTrace trace_;
+  util::Rng rng_;
+  std::unordered_map<WorkerId, std::vector<QuestionIndex>> open_hits_;
+  int assigned_hits_ = 0;
+  int completed_hits_ = 0;
+  double last_assignment_seconds_ = 0.0;
+  double max_assignment_seconds_ = 0.0;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_PLATFORM_ENGINE_H_

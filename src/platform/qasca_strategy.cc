@@ -1,0 +1,55 @@
+#include "platform/qasca_strategy.h"
+
+#include "core/assignment/assignment.h"
+#include "core/assignment/fscore_online.h"
+#include "core/assignment/topk_benefit.h"
+#include "core/metrics/cost_accuracy.h"
+#include "platform/database.h"
+#include "util/logging.h"
+
+namespace qasca {
+
+std::vector<QuestionIndex> QascaStrategy::SelectQuestions(
+    const StrategyContext& context,
+    const std::vector<QuestionIndex>& candidates, int k) {
+  QASCA_CHECK(context.database != nullptr);
+  QASCA_CHECK(context.metric != nullptr);
+  QASCA_CHECK(context.worker_model != nullptr);
+  QASCA_CHECK(context.rng != nullptr);
+
+  const DistributionMatrix& qc = context.database->current();
+  DistributionMatrix qw = EstimateWorkerDistribution(
+      qc, *context.worker_model, candidates, qw_mode_, *context.rng);
+
+  AssignmentRequest request;
+  request.current = &qc;
+  request.estimated = &qw;
+  request.candidates = candidates;
+  request.k = k;
+
+  AssignmentResult result;
+  if (context.metric->kind == MetricSpec::Kind::kAccuracy) {
+    result = AssignTopKBenefit(request);
+  } else if (context.metric->kind == MetricSpec::Kind::kCostAccuracy) {
+    // Decomposable like Accuracy*: Top-K Benefit with the metric's row
+    // quality (expected-cost minimiser per question).
+    CostAccuracyMetric metric(context.metric->costs,
+                              context.metric->CostLabels());
+    result = AssignTopKBenefitDecomposable(
+        request,
+        [&metric](std::span<const double> row) {
+          return metric.RowQuality(row);
+        });
+  } else {
+    FScoreAssignmentOptions options;
+    options.alpha = context.metric->alpha;
+    options.target_label = context.metric->target_label;
+    options.warm_start = true;
+    result = AssignFScoreOnline(request, options);
+  }
+  last_outer_iterations_ = result.outer_iterations;
+  last_inner_iterations_ = result.inner_iterations;
+  return result.selected;
+}
+
+}  // namespace qasca

@@ -1,0 +1,128 @@
+#include "platform/storage.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace qasca {
+namespace {
+
+constexpr char kHeader[] = "question,worker,label";
+
+// Parses one non-negative integer field ending at `delimiter`; advances
+// `cursor` past the delimiter. Returns -1 on malformed input.
+long ParseField(const std::string& text, size_t& cursor, char delimiter) {
+  size_t start = cursor;
+  long value = 0;
+  bool any = false;
+  while (cursor < text.size() && text[cursor] >= '0' && text[cursor] <= '9') {
+    value = value * 10 + (text[cursor] - '0');
+    if (value > 1'000'000'000) return -1;
+    ++cursor;
+    any = true;
+  }
+  if (!any || start == cursor) return -1;
+  if (delimiter == '\0') return value;  // caller checks the terminator
+  if (cursor >= text.size() || text[cursor] != delimiter) return -1;
+  ++cursor;
+  return value;
+}
+
+}  // namespace
+
+std::string AnswerSetToCsv(const AnswerSet& answers) {
+  std::string out = kHeader;
+  out += '\n';
+  char line[64];
+  for (size_t i = 0; i < answers.size(); ++i) {
+    for (const Answer& answer : answers[i]) {
+      std::snprintf(line, sizeof(line), "%zu,%d,%d\n", i, answer.worker,
+                    answer.label);
+      out += line;
+    }
+  }
+  return out;
+}
+
+util::StatusOr<AnswerSet> AnswerSetFromCsv(const std::string& csv,
+                                           int num_questions,
+                                           int num_labels) {
+  if (num_questions <= 0 || num_labels <= 0) {
+    return util::Status::InvalidArgument("invalid pool shape");
+  }
+  size_t cursor = 0;
+  // Header line.
+  size_t header_end = csv.find('\n');
+  if (header_end == std::string::npos ||
+      csv.compare(0, header_end, kHeader) != 0) {
+    return util::Status::InvalidArgument(
+        "expected header 'question,worker,label'");
+  }
+  cursor = header_end + 1;
+
+  AnswerSet answers(num_questions);
+  int line_number = 1;
+  while (cursor < csv.size()) {
+    ++line_number;
+    if (csv[cursor] == '\n') {  // tolerate blank lines
+      ++cursor;
+      continue;
+    }
+    long question = ParseField(csv, cursor, ',');
+    long worker = ParseField(csv, cursor, ',');
+    long label = ParseField(csv, cursor, '\0');
+    bool line_ok = question >= 0 && worker >= 0 && label >= 0 &&
+                   (cursor == csv.size() || csv[cursor] == '\n');
+    if (!line_ok) {
+      return util::Status::InvalidArgument(
+          "malformed row at line " + std::to_string(line_number));
+    }
+    if (cursor < csv.size()) ++cursor;  // consume '\n'
+    if (question >= num_questions) {
+      return util::Status::OutOfRange(
+          "question index out of range at line " +
+          std::to_string(line_number));
+    }
+    if (label >= num_labels) {
+      return util::Status::OutOfRange("label out of range at line " +
+                                      std::to_string(line_number));
+    }
+    answers[question].push_back(
+        Answer{static_cast<WorkerId>(worker), static_cast<LabelIndex>(label)});
+  }
+  return answers;
+}
+
+util::Status SaveAnswerSet(const std::string& path, const AnswerSet& answers) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return util::Status::Internal("cannot open " + path + ": " +
+                                  std::strerror(errno));
+  }
+  std::string csv = AnswerSetToCsv(answers);
+  size_t written = std::fwrite(csv.data(), 1, csv.size(), file);
+  int close_result = std::fclose(file);
+  if (written != csv.size() || close_result != 0) {
+    return util::Status::Internal("short write to " + path);
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<AnswerSet> LoadAnswerSet(const std::string& path,
+                                        int num_questions, int num_labels) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return util::Status::NotFound("cannot open " + path + ": " +
+                                  std::strerror(errno));
+  }
+  std::string csv;
+  char buffer[4096];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    csv.append(buffer, read);
+  }
+  std::fclose(file);
+  return AnswerSetFromCsv(csv, num_questions, num_labels);
+}
+
+}  // namespace qasca

@@ -1,0 +1,42 @@
+#ifndef QASCA_PLATFORM_STORAGE_H_
+#define QASCA_PLATFORM_STORAGE_H_
+
+#include <string>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace qasca {
+
+/// CSV persistence for answer sets — the Database component's stable
+/// external format. One answer per line:
+///
+///   question,worker,label
+///   0,17,1
+///   0,3,0
+///   ...
+///
+/// with exactly that header. Question/label indices are 0-based, matching
+/// the library convention.
+///
+/// Serialisation is loss-free (answer order within a question preserved);
+/// parsing validates shape and ranges and returns Status errors rather than
+/// aborting, since files are external input.
+std::string AnswerSetToCsv(const AnswerSet& answers);
+
+/// Parses `csv` into an answer set for a pool of `num_questions` questions
+/// with `num_labels` labels. Fails on a bad header, malformed rows, or
+/// out-of-range indices.
+util::StatusOr<AnswerSet> AnswerSetFromCsv(const std::string& csv,
+                                           int num_questions, int num_labels);
+
+/// Writes AnswerSetToCsv(answers) to `path`.
+util::Status SaveAnswerSet(const std::string& path, const AnswerSet& answers);
+
+/// Reads and parses `path`.
+util::StatusOr<AnswerSet> LoadAnswerSet(const std::string& path,
+                                        int num_questions, int num_labels);
+
+}  // namespace qasca
+
+#endif  // QASCA_PLATFORM_STORAGE_H_

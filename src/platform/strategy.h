@@ -1,0 +1,54 @@
+#ifndef QASCA_PLATFORM_STRATEGY_H_
+#define QASCA_PLATFORM_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/distribution_matrix.h"
+#include "core/metrics/metric.h"
+#include "core/types.h"
+#include "model/worker_model.h"
+#include "util/rng.h"
+
+namespace qasca {
+
+class Database;
+
+/// Everything a task-assignment policy may inspect when a worker requests a
+/// HIT. All pointers are non-owning and valid only for the duration of the
+/// SelectQuestions call.
+struct StrategyContext {
+  /// The system state (answer set, Qc, fitted parameters).
+  const Database* database = nullptr;
+  /// The application's evaluation metric.
+  const MetricSpec* metric = nullptr;
+  /// The requesting worker's id and fitted model (perfect for new workers).
+  WorkerId worker = 0;
+  const WorkerModel* worker_model = nullptr;
+  /// A representative "average worker" model fitted over all workers —
+  /// used by policies that disregard who is asking (MaxMargin).
+  const WorkerModel* typical_worker = nullptr;
+  /// Randomness source for tie-breaking and sampling.
+  util::Rng* rng = nullptr;
+};
+
+/// A task-assignment policy: given the candidate set S^w, choose the k
+/// questions to put in the worker's HIT. Implemented by QASCA itself and by
+/// the five comparison systems of Section 6.2.1.
+class AssignmentStrategy {
+ public:
+  virtual ~AssignmentStrategy() = default;
+
+  /// Name used in experiment reports ("QASCA", "CDAS", ...).
+  virtual std::string name() const = 0;
+
+  /// Selects exactly `k` distinct questions from `candidates`.
+  /// `candidates` is non-empty and has at least k elements.
+  virtual std::vector<QuestionIndex> SelectQuestions(
+      const StrategyContext& context,
+      const std::vector<QuestionIndex>& candidates, int k) = 0;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_PLATFORM_STRATEGY_H_

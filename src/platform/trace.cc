@@ -1,0 +1,66 @@
+#include "platform/trace.h"
+
+#include "util/logging.h"
+
+namespace qasca {
+
+void EventTrace::RecordAssignment(
+    WorkerId worker, const std::vector<QuestionIndex>& questions) {
+  Event event;
+  event.sequence = size();
+  event.kind = Kind::kHitAssigned;
+  event.worker = worker;
+  event.questions = questions;
+  events_.push_back(std::move(event));
+}
+
+void EventTrace::RecordCompletion(
+    WorkerId worker, const std::vector<QuestionIndex>& questions,
+    const std::vector<LabelIndex>& labels) {
+  QASCA_CHECK_EQ(questions.size(), labels.size());
+  Event event;
+  event.sequence = size();
+  event.kind = Kind::kHitCompleted;
+  event.worker = worker;
+  event.questions = questions;
+  event.labels = labels;
+  events_.push_back(std::move(event));
+}
+
+int EventTrace::CountOf(Kind kind) const {
+  int count = 0;
+  for (const Event& event : events_) {
+    if (event.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::string EventTrace::ToJsonLines() const {
+  std::string out;
+  auto append_array = [&out](const char* key, const auto& values) {
+    out += '"';
+    out += key;
+    out += "\":[";
+    for (size_t v = 0; v < values.size(); ++v) {
+      if (v > 0) out += ',';
+      out += std::to_string(values[v]);
+    }
+    out += ']';
+  };
+  for (const Event& event : events_) {
+    out += "{\"seq\":";
+    out += std::to_string(event.sequence);
+    out += ",\"kind\":\"";
+    out += event.kind == Kind::kHitAssigned ? "assigned" : "completed";
+    out += "\",\"worker\":";
+    out += std::to_string(event.worker);
+    out += ',';
+    append_array("questions", event.questions);
+    out += ',';
+    append_array("labels", event.labels);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace qasca

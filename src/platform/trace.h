@@ -1,0 +1,52 @@
+#ifndef QASCA_PLATFORM_TRACE_H_
+#define QASCA_PLATFORM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace qasca {
+
+/// Append-only event log of the platform: every HIT assignment and
+/// completion, in order. The real QASCA persists this in its Database; here
+/// it backs experiment post-mortems (which questions went to which workers
+/// and when) and can be exported as JSON Lines for external analysis.
+class EventTrace {
+ public:
+  enum class Kind { kHitAssigned, kHitCompleted };
+
+  struct Event {
+    /// Monotone 0-based position in the log.
+    int sequence = 0;
+    Kind kind = Kind::kHitAssigned;
+    WorkerId worker = 0;
+    /// The HIT's questions; for completions, parallel to `labels`.
+    std::vector<QuestionIndex> questions;
+    /// Answered labels; empty for assignments.
+    std::vector<LabelIndex> labels;
+  };
+
+  void RecordAssignment(WorkerId worker,
+                        const std::vector<QuestionIndex>& questions);
+  void RecordCompletion(WorkerId worker,
+                        const std::vector<QuestionIndex>& questions,
+                        const std::vector<LabelIndex>& labels);
+
+  const std::vector<Event>& events() const { return events_; }
+  int size() const { return static_cast<int>(events_.size()); }
+
+  /// Number of events of the given kind.
+  int CountOf(Kind kind) const;
+
+  /// One JSON object per line, e.g.
+  /// {"seq":0,"kind":"assigned","worker":3,"questions":[1,4],"labels":[]}.
+  std::string ToJsonLines() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_PLATFORM_TRACE_H_

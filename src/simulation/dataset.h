@@ -1,0 +1,106 @@
+#ifndef QASCA_SIMULATION_DATASET_H_
+#define QASCA_SIMULATION_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/metrics/metric.h"
+#include "core/types.h"
+#include "platform/app_config.h"
+#include "simulation/simulated_worker.h"
+#include "util/rng.h"
+
+namespace qasca {
+
+/// Full recipe for one of the paper's crowdsourcing applications (Table 1
+/// plus Appendix J): question pool shape, ground-truth prior, evaluation
+/// metric, HIT sizing, redundancy, and the worker-pool structure that gives
+/// the application its characteristic confusion behaviour.
+///
+/// The paper's real corpora (IMDB posters, Twitter sentiment, Abt-Buy
+/// product pairs, Fortune-500 logos) are replaced by synthetic generators
+/// that preserve what the algorithms actually consume — see DESIGN.md §2.
+struct ApplicationSpec {
+  std::string name;
+  int num_questions = 1000;
+  int num_labels = 2;
+  /// Ground-truth labels are drawn i.i.d. from this distribution.
+  std::vector<double> truth_prior;
+  MetricSpec metric = MetricSpec::Accuracy();
+  /// Questions per HIT (the paper's k).
+  int questions_per_hit = 4;
+  /// Average answers per question (the paper's z); total HITs
+  /// m = n * z / k.
+  int answers_per_question = 3;
+  WorkerPoolSpec workers;
+  /// Question-difficulty mix: most questions are easy (settled by 1-2
+  /// competent answers), a sizeable minority is hard but resolvable with
+  /// extra answers, and a small tail is inherently ambiguous (answers are
+  /// near-random no matter the skill). This trimodal spread reproduces the
+  /// heterogeneity the paper's introduction motivates — adaptive systems
+  /// win by moving budget from the easy mode to the hard mode — and the
+  /// ExpLoss-vs-MaxMargin behaviour of Section 6.2.3 (ambiguous questions
+  /// keep a high expected loss forever).
+  double easy_difficulty_max = 0.10;
+  double hard_fraction = 0.30;
+  double hard_difficulty_min = 0.30;
+  double hard_difficulty_max = 0.55;
+  double ambiguous_fraction = 0.08;
+  double ambiguous_difficulty_min = 0.80;
+  /// Worker-model parameterisation the platform fits (CM everywhere except
+  /// CompanyLogo, where the paper reduces to a target/non-target view and a
+  /// full 214x214 CM would be hopelessly under-determined).
+  WorkerModel::Kind worker_kind = WorkerModel::Kind::kConfusionMatrix;
+
+  /// Number of HITs the budget affords: m = n * z / k.
+  int TotalHits() const {
+    return num_questions * answers_per_question / questions_per_hit;
+  }
+};
+
+/// FS — Films Posters: which of two films was published earlier.
+/// 1000 two-label questions, Accuracy (Table 1).
+ApplicationSpec FilmPostersApp();
+
+/// SA — Twitter sentiment w.r.t. a company: positive / neutral / negative.
+/// 1000 three-label questions, Accuracy; mislabelling into the *adjacent*
+/// sentiment is more likely (Section 6.2.2's CM-vs-WP observation).
+ApplicationSpec SentimentAnalysisApp();
+
+/// ER — product-pair entity resolution: equal / non-equal. 2000 questions,
+/// balanced F-score on "equal" (alpha = 0.5); identifying "non-equal" is
+/// easier than "equal" (asymmetric per-label difficulty, Section 6.2.2).
+ApplicationSpec EntityResolutionApp();
+
+/// PSA — positive-sentiment picking with high confidence: positive /
+/// non-positive, F-score with alpha = 0.75 (Precision-heavy).
+ApplicationSpec PositiveSentimentApp();
+
+/// NSA — negative-comment collection: negative / non-negative, F-score with
+/// alpha = 0.25 (Recall-heavy).
+ApplicationSpec NegativeSentimentApp();
+
+/// CompanyLogo (Appendix J): 500 questions, 214 country labels, k = 5,
+/// F-score on "USA" (alpha = 0.5) with 128/500 true targets.
+ApplicationSpec CompanyLogoApp();
+
+/// The five Table 1 applications, in paper order (FS, SA, ER, PSA, NSA).
+std::vector<ApplicationSpec> PaperApplications();
+
+/// Draws an i.i.d. ground-truth vector from the spec's prior.
+GroundTruthVector GenerateGroundTruth(const ApplicationSpec& spec,
+                                      util::Rng& rng);
+
+/// Draws each question's inherent difficulty (see ambiguous_fraction et
+/// al.); values in [0, 1] feed SimulatedWorker::AnswerQuestion.
+std::vector<double> GenerateQuestionDifficulty(const ApplicationSpec& spec,
+                                               util::Rng& rng);
+
+/// Translates a spec into the engine-facing configuration, with the
+/// paper's AMT-style economics ($0.12 for a 6-system HIT => $0.02 per
+/// system share) and the budget that affords exactly TotalHits() HITs.
+AppConfig MakeAppConfig(const ApplicationSpec& spec);
+
+}  // namespace qasca
+
+#endif  // QASCA_SIMULATION_DATASET_H_

@@ -1,0 +1,78 @@
+#ifndef QASCA_SIMULATION_EXPERIMENT_H_
+#define QASCA_SIMULATION_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/engine.h"
+#include "platform/strategy.h"
+#include "simulation/dataset.h"
+#include "simulation/simulated_worker.h"
+
+namespace qasca {
+
+/// Named constructor for one competing system.
+struct SystemFactory {
+  std::string name;
+  std::function<std::unique_ptr<AssignmentStrategy>()> make;
+};
+
+/// The six systems of Section 6.2.1 in paper order: Baseline, CDAS, AskIt!,
+/// QASCA, MaxMargin, ExpLoss.
+std::vector<SystemFactory> DefaultSystems();
+
+/// Controls for the parallel end-to-end experiment.
+struct ExperimentOptions {
+  uint64_t seed = 42;
+  /// Number of quality checkpoints recorded along the HIT axis.
+  int checkpoints = 25;
+  /// If true, record the mean worker-quality estimation deviation
+  /// (Figure 6(b)) at each checkpoint — needs the latent pool, slight cost.
+  bool track_estimation_deviation = true;
+};
+
+/// Time series and summary statistics for one system in one experiment.
+struct SystemTrace {
+  std::string name;
+  /// Checkpoint x-axis: number of completed HITs.
+  std::vector<int> completed_hits;
+  /// True quality F(T, R*) of the system's current results at each
+  /// checkpoint (Figure 5).
+  std::vector<double> quality;
+  /// Mean |estimated CM - latent CM| over workers seen so far (Figure 6(b)).
+  std::vector<double> estimation_deviation;
+  /// Final quality when every HIT is completed (Table 4).
+  double final_quality = 0.0;
+  /// Worst-case wall-clock seconds of one assignment (Figure 6(a)).
+  double max_assignment_seconds = 0.0;
+  /// For F-score applications: mean over checkpoints of
+  /// F(T, R*) - F(T, R-tilde), the real quality improvement of optimal
+  /// result selection over the argmax rule (Table 3). 0 for Accuracy apps
+  /// where R* == R-tilde by Theorem 1.
+  double result_selection_gain = 0.0;
+};
+
+/// Outcome of one application's parallel run across all systems.
+struct ExperimentResult {
+  ApplicationSpec spec;
+  GroundTruthVector truth;
+  /// Per-question inherent difficulty used by the simulated workers.
+  std::vector<double> difficulty;
+  std::vector<SystemTrace> systems;
+};
+
+/// Reproduces the paper's "parallel" evaluation protocol (Section 6.2.1):
+/// each arriving worker is served by *every* system, each system picks its
+/// own k questions, and the worker's answer to a given question is cached so
+/// that systems asking the same (worker, question) pair observe the same
+/// label — exactly as when the paper batches k*6 questions into one AMT HIT.
+/// Each system runs m = n*z/k HITs against its own isolated state.
+ExperimentResult RunParallelExperiment(const ApplicationSpec& spec,
+                                       const std::vector<SystemFactory>& systems,
+                                       const ExperimentOptions& options);
+
+}  // namespace qasca
+
+#endif  // QASCA_SIMULATION_EXPERIMENT_H_

@@ -1,0 +1,98 @@
+#include "simulation/simulated_worker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qasca {
+
+LabelIndex SimulatedWorker::AnswerQuestion(LabelIndex truth, util::Rng& rng,
+                                           double difficulty) const {
+  QASCA_CHECK_GE(difficulty, 0.0);
+  QASCA_CHECK_LE(difficulty, 1.0);
+  const int num_labels = latent.num_labels();
+  if (difficulty > 0.0 && rng.Uniform() < difficulty) {
+    return rng.UniformInt(num_labels);
+  }
+  std::vector<double> row(num_labels);
+  for (int answered = 0; answered < num_labels; ++answered) {
+    row[answered] = latent.AnswerProbability(answered, truth);
+  }
+  return rng.SampleWeighted(row);
+}
+
+std::vector<SimulatedWorker> GenerateWorkerPool(const WorkerPoolSpec& spec,
+                                                util::Rng& rng) {
+  QASCA_CHECK_GT(spec.num_workers, 0);
+  QASCA_CHECK_GT(spec.num_labels, 1);
+  QASCA_CHECK(spec.label_difficulty.empty() ||
+              static_cast<int>(spec.label_difficulty.size()) ==
+                  spec.num_labels);
+  QASCA_CHECK_GE(spec.adjacent_confusion_bias, 0.0);
+  QASCA_CHECK_LT(spec.adjacent_confusion_bias, 1.0);
+
+  const int num_labels = spec.num_labels;
+  std::vector<SimulatedWorker> pool;
+  pool.reserve(spec.num_workers);
+  for (int w = 0; w < spec.num_workers; ++w) {
+    if (rng.Uniform() < spec.spammer_fraction) {
+      // Spammer: every row of the CM is the same answer distribution —
+      // uniform clicking blended with a random favourite label, so the
+      // answer is independent of the question's true label.
+      int favourite = rng.UniformInt(num_labels);
+      double bias = rng.Uniform(0.0, 0.5);
+      std::vector<double> cm(static_cast<size_t>(num_labels) * num_labels);
+      for (int truth = 0; truth < num_labels; ++truth) {
+        for (int answered = 0; answered < num_labels; ++answered) {
+          double p = (1.0 - bias) / num_labels +
+                     (answered == favourite ? bias : 0.0);
+          cm[static_cast<size_t>(truth) * num_labels + answered] = p;
+        }
+      }
+      pool.push_back(
+          SimulatedWorker{w, WorkerModel::Cm(std::move(cm), num_labels)});
+      continue;
+    }
+    double base =
+        std::clamp(rng.Gaussian(spec.mean_accuracy, spec.accuracy_stddev),
+                   spec.min_accuracy, spec.max_accuracy);
+    std::vector<double> cm(static_cast<size_t>(num_labels) * num_labels);
+    for (int truth = 0; truth < num_labels; ++truth) {
+      double offset = spec.label_difficulty.empty()
+                          ? 0.0
+                          : spec.label_difficulty[truth];
+      if (spec.label_skill_stddev > 0.0) {
+        offset += rng.Gaussian(0.0, spec.label_skill_stddev);
+      }
+      double diagonal =
+          std::clamp(base + offset, spec.min_accuracy, spec.max_accuracy);
+      double error_mass = 1.0 - diagonal;
+
+      // Spread the error mass over the other labels, optionally biased
+      // toward adjacent label indices.
+      double weight_total = 0.0;
+      std::vector<double> weights(num_labels, 0.0);
+      for (int answered = 0; answered < num_labels; ++answered) {
+        if (answered == truth) continue;
+        double weight = 1.0 - spec.adjacent_confusion_bias;
+        if (std::abs(answered - truth) == 1) {
+          weight += spec.adjacent_confusion_bias * (num_labels - 1);
+        }
+        weights[answered] = weight;
+        weight_total += weight;
+      }
+      for (int answered = 0; answered < num_labels; ++answered) {
+        cm[static_cast<size_t>(truth) * num_labels + answered] =
+            answered == truth
+                ? diagonal
+                : error_mass * weights[answered] / weight_total;
+      }
+    }
+    pool.push_back(
+        SimulatedWorker{w, WorkerModel::Cm(std::move(cm), num_labels)});
+  }
+  return pool;
+}
+
+}  // namespace qasca

@@ -1,0 +1,73 @@
+#ifndef QASCA_SIMULATION_SIMULATED_WORKER_H_
+#define QASCA_SIMULATION_SIMULATED_WORKER_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "model/worker_model.h"
+#include "util/rng.h"
+
+namespace qasca {
+
+/// A stochastic stand-in for an AMT worker: a latent confusion matrix that
+/// the platform never observes. Given a question's true label, the worker
+/// samples an answer from the corresponding CM row — exactly the observable
+/// behaviour (worker, question, label) the paper's algorithms consume, which
+/// is what makes this substitution behaviour-preserving (see DESIGN.md).
+struct SimulatedWorker {
+  WorkerId id = 0;
+  WorkerModel latent = WorkerModel::PerfectWp(2);
+
+  /// Samples the label this worker would answer for a question whose true
+  /// label is `truth`. `difficulty` in [0, 1] is the *question's* inherent
+  /// hardness: with probability `difficulty` the worker answers uniformly
+  /// at random (the question is too ambiguous for skill to help), otherwise
+  /// by their latent confusion matrix. Difficulty 0 reduces to pure
+  /// CM-driven answering. Per-question difficulty is the phenomenon the
+  /// paper's introduction motivates: easy questions settle with fewer than
+  /// z answers while ambiguous ones never settle at all.
+  LabelIndex AnswerQuestion(LabelIndex truth, util::Rng& rng,
+                            double difficulty = 0.0) const;
+};
+
+/// Generation recipe for a pool of simulated workers, with the structural
+/// knobs needed to reproduce the label phenomena of Section 6.2.2:
+/// per-label difficulty (ER: "equal" is harder than "non-equal") and
+/// adjacent-label confusion (SA: "positive" is mistaken for "neutral" more
+/// often than for "negative").
+struct WorkerPoolSpec {
+  int num_workers = 100;
+  int num_labels = 2;
+  /// Mean and spread of a worker's base accuracy (CM diagonal).
+  double mean_accuracy = 0.75;
+  double accuracy_stddev = 0.08;
+  /// Accuracy is clamped into this range after sampling.
+  double min_accuracy = 0.35;
+  double max_accuracy = 0.97;
+  /// Additive per-label offsets to the diagonal (size num_labels or empty).
+  /// Negative values make a label harder to identify correctly.
+  std::vector<double> label_difficulty;
+  /// Fraction of the pool that is spammers: workers whose answers carry
+  /// (almost) no signal — a mixture of uniform clicking and a random
+  /// favourite label. Endemic on AMT; the differentiator for worker-aware
+  /// assignment, which learns to stop routing valuable questions to them.
+  double spammer_fraction = 0.0;
+  /// Per-worker, per-label skill jitter: each worker's diagonal entry for
+  /// each label gets an independent N(0, label_skill_stddev) offset. Real
+  /// crowds have workers who are good at some labels and poor at others —
+  /// structure only a confusion-matrix-aware policy (QASCA's Qw) can
+  /// exploit when routing questions to the requesting worker.
+  double label_skill_stddev = 0.0;
+  /// In [0,1): how strongly off-diagonal error mass is biased toward
+  /// adjacent label indices (0 = uniform errors).
+  double adjacent_confusion_bias = 0.0;
+};
+
+/// Draws `spec.num_workers` workers with independent latent confusion
+/// matrices from the pool distribution.
+std::vector<SimulatedWorker> GenerateWorkerPool(const WorkerPoolSpec& spec,
+                                                util::Rng& rng);
+
+}  // namespace qasca
+
+#endif  // QASCA_SIMULATION_SIMULATED_WORKER_H_

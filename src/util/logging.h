@@ -1,0 +1,66 @@
+#ifndef QASCA_UTIL_LOGGING_H_
+#define QASCA_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace qasca::util {
+
+/// Terminates the process after printing `message` with source location.
+/// Used by the QASCA_CHECK family for unrecoverable programmer errors;
+/// recoverable conditions use util::Status instead.
+[[noreturn]] inline void FatalError(const char* file, int line,
+                                    const std::string& message) {
+  std::fprintf(stderr, "[QASCA FATAL] %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace internal {
+
+/// Stream-collecting helper so check macros can accept `<< "context"`.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line) {
+    stream_ << "Check failed: " << condition;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    FatalError(file_, line_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace qasca::util
+
+/// Aborts with a diagnostic if `condition` is false. Enabled in all build
+/// types: these guard API contracts, not internal debugging.
+#define QASCA_CHECK(condition)                                       \
+  if (condition) {                                                   \
+  } else                                                             \
+    ::qasca::util::internal::CheckMessageBuilder(__FILE__, __LINE__, \
+                                                 #condition)
+
+#define QASCA_CHECK_EQ(a, b) QASCA_CHECK((a) == (b)) << "(" #a " vs " #b ")"
+#define QASCA_CHECK_NE(a, b) QASCA_CHECK((a) != (b)) << "(" #a " vs " #b ")"
+#define QASCA_CHECK_LT(a, b) QASCA_CHECK((a) < (b)) << "(" #a " vs " #b ")"
+#define QASCA_CHECK_LE(a, b) QASCA_CHECK((a) <= (b)) << "(" #a " vs " #b ")"
+#define QASCA_CHECK_GT(a, b) QASCA_CHECK((a) > (b)) << "(" #a " vs " #b ")"
+#define QASCA_CHECK_GE(a, b) QASCA_CHECK((a) >= (b)) << "(" #a " vs " #b ")"
+
+#endif  // QASCA_UTIL_LOGGING_H_

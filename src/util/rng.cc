@@ -1,0 +1,45 @@
+#include "util/rng.h"
+
+#include <numeric>
+
+namespace qasca::util {
+
+int Rng::SampleWeighted(const std::vector<double>& weights) {
+  QASCA_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    QASCA_CHECK_GE(w, 0.0) << "negative sampling weight";
+    total += w;
+  }
+  QASCA_CHECK_GT(total, 0.0) << "all sampling weights are zero";
+  double target = Uniform() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return static_cast<int>(i);
+  }
+  // Floating-point slack: fall back to the last non-zero weight.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int population, int count) {
+  QASCA_CHECK_GE(count, 0);
+  QASCA_CHECK_LE(count, population);
+  std::vector<int> pool(population);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int i = 0; i < count; ++i) {
+    int j = i + UniformInt(population - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+std::vector<int> Rng::Permutation(int count) {
+  return SampleWithoutReplacement(count, count);
+}
+
+}  // namespace qasca::util

@@ -1,0 +1,70 @@
+#ifndef QASCA_UTIL_RNG_H_
+#define QASCA_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace qasca::util {
+
+/// Deterministic pseudo-random source used by every stochastic component in
+/// the library (simulated workers, dataset generators, Qw label sampling).
+///
+/// All randomness flows through explicitly seeded Rng instances so that
+/// experiments and tests are bit-reproducible. The engine is a 64-bit
+/// Mersenne twister; distribution helpers below avoid the libstdc++
+/// distribution objects where cross-platform determinism matters.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    QASCA_CHECK_LT(lo, hi);
+    return lo + (hi - lo) * Uniform();
+  }
+
+  /// Uniform integer in [0, bound).
+  int UniformInt(int bound) {
+    QASCA_CHECK_GT(bound, 0);
+    return static_cast<int>(
+        std::uniform_int_distribution<int>(0, bound - 1)(engine_));
+  }
+
+  /// Gaussian sample with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. This is the weighted random sampling step the paper uses
+  /// to predict the label a worker would answer (Section 5.3, citing [13]).
+  int SampleWeighted(const std::vector<double>& weights);
+
+  /// Samples `count` distinct indices uniformly from [0, population) using a
+  /// partial Fisher–Yates shuffle. Order of the result is random.
+  std::vector<int> SampleWithoutReplacement(int population, int count);
+
+  /// Returns a random permutation of [0, count).
+  std::vector<int> Permutation(int count);
+
+  /// Splits off an independently-seeded child generator; convenient for
+  /// giving each simulated worker its own stream.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qasca::util
+
+#endif  // QASCA_UTIL_RNG_H_

@@ -1,0 +1,53 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qasca::util {
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  QASCA_CHECK_LT(lo, hi);
+  QASCA_CHECK_GT(buckets, 0);
+}
+
+void Histogram::Add(double value) {
+  double unit = (value - lo_) / (hi_ - lo_);
+  int bucket = static_cast<int>(unit * buckets());
+  bucket = std::clamp(bucket, 0, buckets() - 1);
+  ++counts_[bucket];
+  ++total_;
+}
+
+double Histogram::BucketLow(int bucket) const {
+  return lo_ + (hi_ - lo_) * bucket / buckets();
+}
+
+double Histogram::BucketHigh(int bucket) const {
+  return lo_ + (hi_ - lo_) * (bucket + 1) / buckets();
+}
+
+}  // namespace qasca::util

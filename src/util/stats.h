@@ -1,0 +1,74 @@
+#ifndef QASCA_UTIL_STATS_H_
+#define QASCA_UTIL_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace qasca::util {
+
+/// Streaming accumulator for mean / variance / min / max of a sequence of
+/// observations (Welford's algorithm, numerically stable).
+class RunningStats {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket. Used for the paper's frequency plots (Figs 3(b), 3(e),
+/// 4(c)).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double value);
+
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t count(int bucket) const { return counts_[bucket]; }
+  int64_t total() const { return total_; }
+  /// Inclusive lower edge of `bucket`.
+  double BucketLow(int bucket) const;
+  double BucketHigh(int bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Wall-clock stopwatch for the paper's efficiency experiments.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qasca::util
+
+#endif  // QASCA_UTIL_STATS_H_

@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "util/logging.h"
+
+namespace qasca::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  QASCA_CHECK(!header_.empty());
+}
+
+Table& Table::AddRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(const std::string& text) {
+  QASCA_CHECK(!rows_.empty()) << "Cell() before AddRow()";
+  QASCA_CHECK_LT(rows_.back().size(), header_.size()) << "too many cells";
+  rows_.back().push_back(text);
+  return *this;
+}
+
+Table& Table::Cell(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return Cell(std::string(buffer));
+}
+
+Table& Table::Percent(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", precision, value * 100.0);
+  return Cell(std::string(buffer));
+}
+
+Table& Table::Cell(int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  return Cell(std::string(buffer));
+}
+
+void Table::Print(std::FILE* out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::fprintf(out, "%-*s%s", static_cast<int>(widths[c]), cell.c_str(),
+                   c + 1 < header_.size() ? "  " : "\n");
+    }
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::string rule(total > 2 ? total - 2 : total, '-');
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void PrintSection(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace qasca::util

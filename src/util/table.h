@@ -1,0 +1,42 @@
+#ifndef QASCA_UTIL_TABLE_H_
+#define QASCA_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qasca::util {
+
+/// Column-aligned text table used by the benchmark harnesses to print the
+/// same rows/series the paper reports. Cells are strings; numeric helpers
+/// format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begins a new row; subsequent Cell() calls fill it left to right.
+  Table& AddRow();
+  Table& Cell(const std::string& text);
+  Table& Cell(double value, int precision = 4);
+  /// Formats `value` as a percentage ("86.40%").
+  Table& Percent(double value, int precision = 2);
+  Table& Cell(int64_t value);
+
+  /// Renders with aligned columns to `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Renders as comma-separated values, convenient for replotting.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== Figure 3(a) ... ==") so multi-figure bench
+/// binaries stay readable.
+void PrintSection(const std::string& title);
+
+}  // namespace qasca::util
+
+#endif  // QASCA_UTIL_TABLE_H_

@@ -1,0 +1,129 @@
+#include "core/metrics/accuracy.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace qasca {
+namespace {
+
+// The current distribution matrix Qc of Figure 2.
+DistributionMatrix Figure2Qc() {
+  DistributionMatrix qc(6, 2);
+  qc.SetRow(0, std::vector<double>{0.8, 0.2});
+  qc.SetRow(1, std::vector<double>{0.6, 0.4});
+  qc.SetRow(2, std::vector<double>{0.25, 0.75});
+  qc.SetRow(3, std::vector<double>{0.5, 0.5});
+  qc.SetRow(4, std::vector<double>{0.9, 0.1});
+  qc.SetRow(5, std::vector<double>{0.3, 0.7});
+  return qc;
+}
+
+TEST(AccuracyTest, GroundTruthDefinition) {
+  // Section 3.1's example: n=4, T=[2,1,3,2], R=[2,1,3,1] -> 0.75
+  // (labels are 0-based here).
+  AccuracyMetric metric;
+  GroundTruthVector truth = {1, 0, 2, 1};
+  ResultVector result = {1, 0, 2, 0};
+  EXPECT_DOUBLE_EQ(metric.EvaluateAgainstTruth(truth, result), 0.75);
+}
+
+TEST(AccuracyTest, GroundTruthAllCorrectAndAllWrong) {
+  AccuracyMetric metric;
+  GroundTruthVector truth = {0, 1, 0};
+  EXPECT_DOUBLE_EQ(metric.EvaluateAgainstTruth(truth, {0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(metric.EvaluateAgainstTruth(truth, {1, 0, 1}), 0.0);
+}
+
+TEST(AccuracyTest, PaperExampleExpectedAccuracy) {
+  // Section 3.1.1: R = [1,2,2,1,1,1] (1-based) on Figure 2's Qc gives
+  // Accuracy* = 60.83%.
+  AccuracyMetric metric;
+  ResultVector result = {0, 1, 1, 0, 0, 0};
+  EXPECT_NEAR(metric.Evaluate(Figure2Qc(), result), 0.6083, 1e-4);
+}
+
+TEST(AccuracyTest, PaperExampleOptimalQuality) {
+  // Section 3.1.2: F(Qc) = Accuracy*(Qc, R*) = 70.83%.
+  AccuracyMetric metric;
+  DistributionMatrix qc = Figure2Qc();
+  EXPECT_NEAR(metric.Quality(qc), 0.7083, 1e-4);
+  // R* = [1,1,2,1,1,2] (1-based; index 3 ties, argmax picks label 0).
+  EXPECT_EQ(metric.OptimalResult(qc), (ResultVector{0, 0, 1, 0, 0, 1}));
+}
+
+TEST(AccuracyTest, Theorem1OptimalBeatsEveryOtherResult) {
+  // Exhaustively verify Theorem 1 on random small matrices: the argmax
+  // result is at least as good as every alternative result vector.
+  AccuracyMetric metric;
+  util::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    DistributionMatrix q(4, 3);
+    for (int i = 0; i < 4; ++i) {
+      std::vector<double> w = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+      q.SetRowNormalized(i, w);
+    }
+    double best = metric.Evaluate(q, metric.OptimalResult(q));
+    ResultVector r(4);
+    for (int mask = 0; mask < 81; ++mask) {
+      int m = mask;
+      for (int i = 0; i < 4; ++i) {
+        r[i] = m % 3;
+        m /= 3;
+      }
+      EXPECT_LE(metric.Evaluate(q, r), best + 1e-12);
+    }
+  }
+}
+
+TEST(AccuracyTest, QualityEqualsEvaluateOfOptimal) {
+  util::Rng rng(5);
+  AccuracyMetric metric;
+  DistributionMatrix q(10, 4);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> w(4);
+    for (double& x : w) x = rng.Uniform(0.01, 1.0);
+    q.SetRowNormalized(i, w);
+  }
+  EXPECT_NEAR(metric.Quality(q), metric.Evaluate(q, metric.OptimalResult(q)),
+              1e-12);
+}
+
+TEST(AccuracyTest, ExpectationMatchesMonteCarlo) {
+  // Accuracy*(Q, R) is E[Accuracy(T, R)] when T ~ Q.
+  util::Rng rng(6);
+  AccuracyMetric metric;
+  DistributionMatrix q(5, 2);
+  for (int i = 0; i < 5; ++i) {
+    double p = rng.Uniform(0.1, 0.9);
+    q.SetRow(i, std::vector<double>{p, 1.0 - p});
+  }
+  ResultVector result = {0, 1, 0, 1, 0};
+  double expected = metric.Evaluate(q, result);
+
+  double total = 0.0;
+  const int trials = 200000;
+  GroundTruthVector truth(5);
+  for (int t = 0; t < trials; ++t) {
+    for (int i = 0; i < 5; ++i) truth[i] = rng.Uniform() < q.At(i, 0) ? 0 : 1;
+    total += metric.EvaluateAgainstTruth(truth, result);
+  }
+  EXPECT_NEAR(total / trials, expected, 0.005);
+}
+
+TEST(AccuracyTest, UniformMatrixQualityIsOneOverL) {
+  AccuracyMetric metric;
+  DistributionMatrix q(7, 5);
+  EXPECT_NEAR(metric.Quality(q), 0.2, 1e-12);
+}
+
+TEST(AccuracyDeathTest, MismatchedSizesAbort) {
+  AccuracyMetric metric;
+  DistributionMatrix q(3, 2);
+  EXPECT_DEATH((void)metric.Evaluate(q, ResultVector{0, 1}), "Check failed");
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,127 @@
+#include "core/metrics/combined.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace qasca {
+namespace {
+
+DistributionMatrix RandomBinary(int n, util::Rng& rng) {
+  DistributionMatrix q(n, 2);
+  for (int i = 0; i < n; ++i) {
+    double p = rng.Uniform();
+    q.SetRow(i, std::vector<double>{p, 1.0 - p});
+  }
+  return q;
+}
+
+TEST(CombinedMetricTest, EvaluateIsConvexCombination) {
+  util::Rng rng(1);
+  DistributionMatrix q = RandomBinary(10, rng);
+  ResultVector r = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  CombinedMetric combined(0.3, 0.5);
+  AccuracyMetric accuracy;
+  FScoreMetric fscore(0.5);
+  EXPECT_NEAR(combined.Evaluate(q, r),
+              0.3 * accuracy.Evaluate(q, r) + 0.7 * fscore.Evaluate(q, r),
+              1e-12);
+}
+
+TEST(CombinedMetricTest, BetaOneMatchesAccuracyOptimum) {
+  util::Rng rng(2);
+  AccuracyMetric accuracy;
+  for (int trial = 0; trial < 10; ++trial) {
+    DistributionMatrix q = RandomBinary(15, rng);
+    CombinedMetric combined(1.0, 0.5);
+    EXPECT_NEAR(combined.Evaluate(q, combined.OptimalResult(q)),
+                accuracy.Quality(q), 1e-10);
+  }
+}
+
+TEST(CombinedMetricTest, BetaZeroMatchesFScoreOptimum) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    DistributionMatrix q = RandomBinary(15, rng);
+    double alpha = rng.Uniform(0.1, 0.9);
+    CombinedMetric combined(0.0, alpha);
+    FScoreMetric fscore(alpha);
+    EXPECT_NEAR(combined.Evaluate(q, combined.OptimalResult(q)),
+                fscore.Quality(q), 1e-10);
+  }
+}
+
+class CombinedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CombinedSweep, OptimalBeatsEnumeration) {
+  util::Rng rng(7000 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 2 + rng.UniformInt(8);  // 2..9
+    DistributionMatrix q = RandomBinary(n, rng);
+    double beta = rng.Uniform();
+    double alpha = rng.Uniform(0.05, 0.95);
+    CombinedMetric combined(beta, alpha);
+    double claimed = combined.Evaluate(q, combined.OptimalResult(q));
+    ResultVector r(n);
+    double best = 0.0;
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      for (int i = 0; i < n; ++i) r[i] = (mask >> i) & 1u ? 0 : 1;
+      best = std::max(best, combined.Evaluate(q, r));
+    }
+    EXPECT_NEAR(claimed, best, 1e-9)
+        << "n=" << n << " beta=" << beta << " alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombinedSweep, ::testing::Range(0, 10));
+
+TEST(CombinedMetricTest, ThreeLabelOptimalBeatsEnumeration) {
+  util::Rng rng(4);
+  std::vector<double> w(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    DistributionMatrix q(5, 3);
+    for (int i = 0; i < 5; ++i) {
+      for (double& x : w) x = rng.Uniform(0.01, 1.0);
+      q.SetRowNormalized(i, w);
+    }
+    CombinedMetric combined(0.5, 0.4, /*target_label=*/1);
+    double claimed = combined.Evaluate(q, combined.OptimalResult(q));
+    ResultVector r(5);
+    double best = 0.0;
+    for (int mask = 0; mask < 243; ++mask) {
+      int m = mask;
+      for (int i = 0; i < 5; ++i) {
+        r[i] = m % 3;
+        m /= 3;
+      }
+      best = std::max(best, combined.Evaluate(q, r));
+    }
+    EXPECT_NEAR(claimed, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(CombinedMetricTest, GroundTruthCombination) {
+  CombinedMetric combined(0.5, 0.5);
+  GroundTruthVector truth = {0, 0, 1, 1};
+  ResultVector result = {0, 1, 0, 1};
+  AccuracyMetric accuracy;
+  FScoreMetric fscore(0.5);
+  EXPECT_NEAR(combined.EvaluateAgainstTruth(truth, result),
+              0.5 * accuracy.EvaluateAgainstTruth(truth, result) +
+                  0.5 * fscore.EvaluateAgainstTruth(truth, result),
+              1e-12);
+}
+
+TEST(CombinedMetricTest, NameMentionsBothParameters) {
+  EXPECT_EQ(CombinedMetric(0.25, 0.75).name(),
+            "Combined(beta=0.25, alpha=0.75)");
+}
+
+TEST(CombinedMetricDeathTest, RejectsBetaOutOfRange) {
+  EXPECT_DEATH(CombinedMetric(1.5, 0.5), "Check failed");
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,98 @@
+#include "core/distribution_matrix.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qasca {
+namespace {
+
+TEST(DistributionMatrixTest, StartsUniform) {
+  DistributionMatrix q(3, 4);
+  EXPECT_EQ(q.num_questions(), 3);
+  EXPECT_EQ(q.num_labels(), 4);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(q.At(i, j), 0.25);
+  }
+  EXPECT_TRUE(q.IsNormalized());
+}
+
+TEST(DistributionMatrixTest, SetRowStoresExactly) {
+  DistributionMatrix q(2, 2);
+  std::vector<double> row = {0.8, 0.2};
+  q.SetRow(0, row);
+  EXPECT_DOUBLE_EQ(q.At(0, 0), 0.8);
+  EXPECT_DOUBLE_EQ(q.At(0, 1), 0.2);
+  // Row 1 untouched.
+  EXPECT_DOUBLE_EQ(q.At(1, 0), 0.5);
+}
+
+TEST(DistributionMatrixTest, SetRowNormalizedScales) {
+  DistributionMatrix q(1, 3);
+  std::vector<double> weights = {3.0, 1.0, 0.0};
+  q.SetRowNormalized(0, weights);
+  EXPECT_DOUBLE_EQ(q.At(0, 0), 0.75);
+  EXPECT_DOUBLE_EQ(q.At(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(q.At(0, 2), 0.0);
+}
+
+TEST(DistributionMatrixTest, RowSpanMatchesAt) {
+  DistributionMatrix q(2, 2);
+  std::vector<double> row = {0.3, 0.7};
+  q.SetRow(1, row);
+  auto span = q.Row(1);
+  EXPECT_EQ(span.size(), 2u);
+  EXPECT_DOUBLE_EQ(span[0], 0.3);
+  EXPECT_DOUBLE_EQ(span[1], 0.7);
+}
+
+TEST(DistributionMatrixTest, ArgMaxLabel) {
+  DistributionMatrix q(3, 3);
+  q.SetRow(0, std::vector<double>{0.2, 0.5, 0.3});
+  q.SetRow(1, std::vector<double>{0.6, 0.2, 0.2});
+  q.SetRow(2, std::vector<double>{0.4, 0.4, 0.2});  // tie -> smaller index
+  EXPECT_EQ(q.ArgMaxLabel(0), 1);
+  EXPECT_EQ(q.ArgMaxLabel(1), 0);
+  EXPECT_EQ(q.ArgMaxLabel(2), 0);
+}
+
+TEST(DistributionMatrixTest, IsNormalizedDetectsBadRows) {
+  DistributionMatrix q(1, 2);
+  q.SetRow(0, std::vector<double>{0.9, 0.3});
+  EXPECT_FALSE(q.IsNormalized());
+}
+
+TEST(DistributionMatrixTest, CopyIsIndependent) {
+  DistributionMatrix a(1, 2);
+  a.SetRow(0, std::vector<double>{0.9, 0.1});
+  DistributionMatrix b = a;
+  b.SetRow(0, std::vector<double>{0.1, 0.9});
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(b.At(0, 0), 0.1);
+}
+
+TEST(DistributionMatrixTest, ZeroQuestionsAllowed) {
+  DistributionMatrix q(0, 2);
+  EXPECT_EQ(q.num_questions(), 0);
+  EXPECT_TRUE(q.IsNormalized());
+}
+
+TEST(DistributionMatrixDeathTest, OutOfRangeAccessAborts) {
+  DistributionMatrix q(2, 2);
+  EXPECT_DEATH((void)q.At(2, 0), "Check failed");
+  EXPECT_DEATH((void)q.At(0, 2), "Check failed");
+}
+
+TEST(DistributionMatrixDeathTest, BadRowSizeAborts) {
+  DistributionMatrix q(1, 2);
+  EXPECT_DEATH(q.SetRow(0, std::vector<double>{1.0}), "Check failed");
+}
+
+TEST(DistributionMatrixDeathTest, AllZeroWeightsAbort) {
+  DistributionMatrix q(1, 2);
+  EXPECT_DEATH(q.SetRowNormalized(0, std::vector<double>{0.0, 0.0}),
+               "zero");
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,160 @@
+#include "core/fractional.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace qasca {
+namespace {
+
+double Objective(const ZeroOneFractionalProgram& p,
+                 const std::vector<unsigned char>& z) {
+  double num = p.beta;
+  double den = p.gamma;
+  for (size_t i = 0; i < z.size(); ++i) {
+    if (z[i]) {
+      num += p.b[i];
+      den += p.d[i];
+    }
+  }
+  return num / den;
+}
+
+// Exhaustive maximum over all of {0,1}^n.
+double BruteForceUnconstrained(const ZeroOneFractionalProgram& p) {
+  const int n = static_cast<int>(p.b.size());
+  double best = -1e18;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<unsigned char> z(n, 0);
+    for (int i = 0; i < n; ++i) z[i] = (mask >> i) & 1u;
+    best = std::max(best, Objective(p, z));
+  }
+  return best;
+}
+
+// Exhaustive maximum over exactly-k subsets of `candidates`.
+double BruteForceExactlyK(const ZeroOneFractionalProgram& p,
+                          const std::vector<int>& candidates, int k) {
+  const int m = static_cast<int>(candidates.size());
+  double best = -1e18;
+  for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+    if (__builtin_popcount(mask) != k) continue;
+    std::vector<unsigned char> z(p.b.size(), 0);
+    for (int c = 0; c < m; ++c) {
+      if ((mask >> c) & 1u) z[candidates[c]] = 1;
+    }
+    best = std::max(best, Objective(p, z));
+  }
+  return best;
+}
+
+ZeroOneFractionalProgram RandomProgram(util::Rng& rng, int n) {
+  ZeroOneFractionalProgram p;
+  p.b.resize(n);
+  p.d.resize(n);
+  for (int i = 0; i < n; ++i) {
+    p.b[i] = rng.Uniform();
+    p.d[i] = rng.Uniform(0.05, 1.0);
+  }
+  p.beta = rng.Uniform();
+  p.gamma = rng.Uniform(0.5, 2.0);
+  return p;
+}
+
+TEST(FractionalTest, SingleVariableTakesBetterChoice) {
+  ZeroOneFractionalProgram p;
+  p.b = {1.0};
+  p.d = {0.5};
+  p.beta = 0.0;
+  p.gamma = 1.0;
+  // z=0 gives 0; z=1 gives 1/1.5.
+  FractionalSolution solution = SolveUnconstrained(p);
+  EXPECT_NEAR(solution.value, 1.0 / 1.5, 1e-12);
+  EXPECT_EQ(solution.z[0], 1);
+}
+
+TEST(FractionalTest, RejectsHarmfulVariable) {
+  ZeroOneFractionalProgram p;
+  p.b = {0.01};
+  p.d = {1.0};
+  p.beta = 1.0;
+  p.gamma = 1.0;
+  // z=0 gives 1.0; z=1 gives 1.01/2.
+  FractionalSolution solution = SolveUnconstrained(p);
+  EXPECT_NEAR(solution.value, 1.0, 1e-12);
+  EXPECT_EQ(solution.z[0], 0);
+}
+
+TEST(FractionalTest, SolutionVectorAttainsReportedValue) {
+  util::Rng rng(77);
+  ZeroOneFractionalProgram p = RandomProgram(rng, 10);
+  FractionalSolution solution = SolveUnconstrained(p);
+  EXPECT_NEAR(Objective(p, solution.z), solution.value, 1e-12);
+}
+
+class UnconstrainedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnconstrainedSweep, MatchesBruteForce) {
+  util::Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 2 + rng.UniformInt(9);  // 2..10
+    ZeroOneFractionalProgram p = RandomProgram(rng, n);
+    FractionalSolution solution = SolveUnconstrained(p);
+    EXPECT_NEAR(solution.value, BruteForceUnconstrained(p), 1e-10)
+        << "n=" << n << " trial=" << trial;
+    EXPECT_LE(solution.iterations, 20);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnconstrainedSweep, ::testing::Range(0, 10));
+
+class ExactlyKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactlyKSweep, MatchesBruteForce) {
+  util::Rng rng(2000 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 4 + rng.UniformInt(7);  // 4..10
+    ZeroOneFractionalProgram p = RandomProgram(rng, n);
+    // Candidate subset of size >= 2.
+    int m = 2 + rng.UniformInt(n - 1);
+    std::vector<int> candidates = rng.SampleWithoutReplacement(n, m);
+    int k = 1 + rng.UniformInt(m);
+    FractionalSolution solution = SolveExactlyK(p, candidates, k);
+    EXPECT_NEAR(solution.value, BruteForceExactlyK(p, candidates, k), 1e-10)
+        << "n=" << n << " m=" << m << " k=" << k;
+    int selected = 0;
+    for (unsigned char zi : solution.z) selected += zi;
+    EXPECT_EQ(selected, k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactlyKSweep, ::testing::Range(0, 10));
+
+TEST(FractionalTest, ExactlyKRespectsCandidateSet) {
+  util::Rng rng(3);
+  ZeroOneFractionalProgram p = RandomProgram(rng, 6);
+  std::vector<int> candidates = {1, 3, 5};
+  FractionalSolution solution = SolveExactlyK(p, candidates, 2);
+  EXPECT_EQ(solution.z[0], 0);
+  EXPECT_EQ(solution.z[2], 0);
+  EXPECT_EQ(solution.z[4], 0);
+}
+
+TEST(FractionalTest, NegativeSwingCoefficientsHandled) {
+  // The Update Algorithm produces negative b/d entries; the solver must
+  // still converge (denominator stays positive via gamma).
+  ZeroOneFractionalProgram p;
+  p.b = {-0.2, 0.4, -0.1, 0.3};
+  p.d = {-0.1, 0.2, -0.3, 0.1};
+  p.beta = 1.0;
+  p.gamma = 2.0;
+  std::vector<int> candidates = {0, 1, 2, 3};
+  FractionalSolution solution = SolveExactlyK(p, candidates, 2);
+  EXPECT_NEAR(solution.value, BruteForceExactlyK(p, candidates, 2), 1e-10);
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,275 @@
+#include "core/metrics/fscore.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace qasca {
+namespace {
+
+DistributionMatrix MakeBinary(const std::vector<double>& target_probs) {
+  DistributionMatrix q(static_cast<int>(target_probs.size()), 2);
+  for (size_t i = 0; i < target_probs.size(); ++i) {
+    q.SetRow(static_cast<int>(i),
+             std::vector<double>{target_probs[i], 1.0 - target_probs[i]});
+  }
+  return q;
+}
+
+DistributionMatrix RandomBinary(int n, util::Rng& rng) {
+  std::vector<double> p(n);
+  for (double& x : p) x = rng.Uniform();
+  return MakeBinary(p);
+}
+
+ResultVector RandomResult(int n, util::Rng& rng) {
+  ResultVector r(n);
+  for (int i = 0; i < n; ++i) r[i] = rng.UniformInt(2);
+  return r;
+}
+
+TEST(FScoreTest, GroundTruthBalancedExample) {
+  // Precision = 2/3, Recall = 2/4: balanced F-score = 2*P*R/(P+R) = 4/7.
+  FScoreMetric metric(0.5);
+  GroundTruthVector truth = {0, 0, 0, 0, 1, 1};
+  ResultVector result = {0, 0, 1, 1, 0, 1};
+  EXPECT_NEAR(metric.EvaluateAgainstTruth(truth, result), 4.0 / 7.0, 1e-12);
+}
+
+TEST(FScoreTest, AlphaOneSidedLimits) {
+  // alpha near 1 approaches Precision; alpha near 0 approaches Recall.
+  GroundTruthVector truth = {0, 0, 0, 0, 1, 1};
+  ResultVector result = {0, 0, 1, 1, 0, 1};
+  FScoreMetric precisionish(0.999);
+  FScoreMetric recallish(0.001);
+  EXPECT_NEAR(precisionish.EvaluateAgainstTruth(truth, result), 2.0 / 3.0,
+              1e-2);
+  EXPECT_NEAR(recallish.EvaluateAgainstTruth(truth, result), 0.5, 1e-2);
+}
+
+TEST(FScoreTest, ZeroDenominatorConvention) {
+  FScoreMetric metric(0.5);
+  // No returned targets and no true targets: define F = 0.
+  EXPECT_DOUBLE_EQ(metric.EvaluateAgainstTruth({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(FScoreTest, Example2ArgmaxVersusOptimalExpectedFScore) {
+  // Example 2: Q = [[0.35,0.65],[0.55,0.45]], alpha = 0.5.
+  DistributionMatrix q = MakeBinary({0.35, 0.55});
+  // Argmax result R-tilde = [2,1]: E[F] = 48.58%.
+  EXPECT_NEAR(BruteForceExpectedFScore(q, {1, 0}, 0.5), 0.4858, 2e-4);
+  // Optimal R* = [1,1]: E[F] = 53.58%.
+  EXPECT_NEAR(BruteForceExpectedFScore(q, {0, 0}, 0.5), 0.5358, 2e-4);
+}
+
+TEST(FScoreTest, Example2ApproximationValues) {
+  // Section 3.2.2: on Q-hat = [[0.35,0.65],[0.9,0.1]] with R-hat* = [2,1],
+  // E[F] = 79.5% while F-score* = 80%.
+  DistributionMatrix q = MakeBinary({0.35, 0.9});
+  FScoreMetric metric(0.5);
+  EXPECT_NEAR(BruteForceExpectedFScore(q, {1, 0}, 0.5), 0.795, 1e-3);
+  EXPECT_NEAR(metric.Evaluate(q, {1, 0}), 0.80, 1e-12);
+}
+
+TEST(FScoreTest, Example3DinkelbachOnQHat) {
+  // Example 3: lambda converges 0 -> 0.77 -> 0.8 -> 0.8; threshold
+  // theta = 0.4; R* = [2,1].
+  DistributionMatrix q = MakeBinary({0.35, 0.9});
+  FScoreMetric metric(0.5);
+  FScoreMetric::QualityResult result = metric.ComputeQuality(q);
+  EXPECT_NEAR(result.lambda, 0.8, 1e-9);
+  EXPECT_EQ(result.optimal_result, (ResultVector{1, 0}));
+  EXPECT_EQ(result.iterations, 3);
+}
+
+TEST(FScoreTest, Example3DinkelbachOnQ) {
+  // Example 3 second part: lambda* = 0.62, theta = 0.31, R* = [1,1].
+  DistributionMatrix q = MakeBinary({0.35, 0.55});
+  FScoreMetric metric(0.5);
+  FScoreMetric::QualityResult result = metric.ComputeQuality(q);
+  EXPECT_NEAR(result.lambda, 0.9 / 1.45, 1e-9);  // 0.6207 (paper rounds 0.62)
+  EXPECT_EQ(result.optimal_result, (ResultVector{0, 0}));
+}
+
+TEST(FScoreTest, ExactDpMatchesBruteForceEnumeration) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 2 + rng.UniformInt(9);  // 2..10
+    DistributionMatrix q = RandomBinary(n, rng);
+    ResultVector r = RandomResult(n, rng);
+    double alpha = rng.Uniform(0.05, 0.95);
+    EXPECT_NEAR(ExactExpectedFScore(q, r, alpha),
+                BruteForceExpectedFScore(q, r, alpha), 1e-10)
+        << "n=" << n << " alpha=" << alpha;
+  }
+}
+
+TEST(FScoreTest, ApproximationErrorShrinksWithN) {
+  // |F-score* - E[F]| = O(1/n) (Section 3.2.2, Figure 3(c)).
+  util::Rng rng(12);
+  FScoreMetric metric(0.5);
+  double error_small = 0.0;
+  double error_large = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    DistributionMatrix q_small = RandomBinary(20, rng);
+    ResultVector r_small = RandomResult(20, rng);
+    error_small += std::fabs(metric.Evaluate(q_small, r_small) -
+                             ExactExpectedFScore(q_small, r_small, 0.5));
+    DistributionMatrix q_large = RandomBinary(400, rng);
+    ResultVector r_large = RandomResult(400, rng);
+    error_large += std::fabs(metric.Evaluate(q_large, r_large) -
+                             ExactExpectedFScore(q_large, r_large, 0.5));
+  }
+  EXPECT_LT(error_large, error_small);
+  EXPECT_LT(error_large / trials, 1e-3);
+}
+
+TEST(FScoreTest, PrecisionApproximationIsExactAtAlphaOneLimit) {
+  // Section 6.1.2: E[Precision] equals F-score* at alpha -> 1 exactly.
+  util::Rng rng(13);
+  double alpha = 0.999999;
+  for (int trial = 0; trial < 10; ++trial) {
+    DistributionMatrix q = RandomBinary(12, rng);
+    ResultVector r = RandomResult(12, rng);
+    // Ensure at least one returned target so Precision is defined.
+    r[0] = 0;
+    FScoreMetric metric(alpha);
+    EXPECT_NEAR(metric.Evaluate(q, r),
+                BruteForceExpectedFScore(q, r, alpha), 1e-4);
+  }
+}
+
+class OptimalResultSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalResultSweep, Theorem2OptimalBeatsEnumeration) {
+  // For random Q and alpha, the Algorithm 1 result must attain the maximum
+  // of F-score*(Q, R, alpha) over all 2^n result vectors.
+  util::Rng rng(4000 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 2 + rng.UniformInt(7);  // 2..8
+    DistributionMatrix q = RandomBinary(n, rng);
+    double alpha = rng.Uniform(0.05, 0.95);
+    FScoreMetric metric(alpha);
+    FScoreMetric::QualityResult result = metric.ComputeQuality(q);
+
+    double best = 0.0;
+    ResultVector r(n);
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      for (int i = 0; i < n; ++i) r[i] = (mask >> i) & 1u ? 0 : 1;
+      best = std::max(best, metric.Evaluate(q, r));
+    }
+    EXPECT_NEAR(result.lambda, best, 1e-9) << "n=" << n << " alpha=" << alpha;
+    EXPECT_NEAR(metric.Evaluate(q, result.optimal_result), best, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalResultSweep, ::testing::Range(0, 10));
+
+TEST(FScoreTest, ThresholdStructureOfOptimalResult) {
+  // Theorem 2: the optimal result is a threshold rule on Q_{i,1} at
+  // lambda* * alpha.
+  util::Rng rng(14);
+  for (int trial = 0; trial < 20; ++trial) {
+    DistributionMatrix q = RandomBinary(30, rng);
+    double alpha = rng.Uniform(0.1, 0.9);
+    FScoreMetric metric(alpha);
+    FScoreMetric::QualityResult result = metric.ComputeQuality(q);
+    double threshold = result.lambda * alpha;
+    for (int i = 0; i < 30; ++i) {
+      if (q.At(i, 0) >= threshold + 1e-12) {
+        EXPECT_EQ(result.optimal_result[i], 0);
+      } else if (q.At(i, 0) < threshold - 1e-12) {
+        EXPECT_EQ(result.optimal_result[i], 1);
+      }
+    }
+  }
+}
+
+TEST(FScoreTest, ConvergesWithinFifteenIterationsAtScale) {
+  // Section 6.1.2 observes c <= 15 at n = 2000.
+  util::Rng rng(15);
+  DistributionMatrix q = RandomBinary(2000, rng);
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    FScoreMetric metric(alpha);
+    EXPECT_LE(metric.ComputeQuality(q).iterations, 15) << "alpha=" << alpha;
+  }
+}
+
+TEST(FScoreTest, AllZeroTargetProbabilities) {
+  FScoreMetric metric(0.5);
+  DistributionMatrix q = MakeBinary({0.0, 0.0, 0.0});
+  FScoreMetric::QualityResult result = metric.ComputeQuality(q);
+  EXPECT_DOUBLE_EQ(result.lambda, 0.0);
+  EXPECT_EQ(result.optimal_result, (ResultVector{1, 1, 1}));
+}
+
+TEST(FScoreTest, CertainTargetsGivePerfectScore) {
+  FScoreMetric metric(0.5);
+  DistributionMatrix q = MakeBinary({1.0, 1.0});
+  EXPECT_NEAR(metric.Quality(q), 1.0, 1e-12);
+}
+
+TEST(FScoreTest, MultiLabelTargetReduction) {
+  // With l > 2 labels only the target column matters (Appendix J).
+  DistributionMatrix q(2, 4);
+  q.SetRow(0, std::vector<double>{0.7, 0.1, 0.1, 0.1});
+  q.SetRow(1, std::vector<double>{0.2, 0.3, 0.3, 0.2});
+  DistributionMatrix binary = MakeBinary({0.7, 0.2});
+  FScoreMetric metric(0.5, /*target_label=*/0);
+  EXPECT_NEAR(metric.Quality(q), metric.Quality(binary), 1e-12);
+}
+
+TEST(FScoreTest, TargetLabelOtherThanZero) {
+  DistributionMatrix q(2, 3);
+  q.SetRow(0, std::vector<double>{0.1, 0.8, 0.1});
+  q.SetRow(1, std::vector<double>{0.3, 0.6, 0.1});
+  FScoreMetric metric(0.5, /*target_label=*/1);
+  FScoreMetric::QualityResult result = metric.ComputeQuality(q);
+  EXPECT_GT(result.lambda, 0.5);
+  EXPECT_EQ(result.optimal_result[0], 1);
+}
+
+TEST(FScoreTest, FScoreStarEndpointsArePrecisionAndRecall) {
+  // The free function admits the closed interval: alpha = 1 is Precision*
+  // (expected precision of the returned targets), alpha = 0 is Recall*.
+  DistributionMatrix q = MakeBinary({0.9, 0.4, 0.2});
+  ResultVector r = {0, 0, 1};
+  // Precision* = (0.9 + 0.4) / 2.
+  EXPECT_NEAR(FScoreStar(q, r, 1.0), 1.3 / 2.0, 1e-12);
+  // Recall* = (0.9 + 0.4) / (0.9 + 0.4 + 0.2).
+  EXPECT_NEAR(FScoreStar(q, r, 0.0), 1.3 / 1.5, 1e-12);
+}
+
+TEST(FScoreTest, SolveQualityAtRecallEndpointReturnsEverything) {
+  // At alpha = 0 (pure Recall*) the optimum returns every question as
+  // target and scores 1.
+  DistributionMatrix q = MakeBinary({0.9, 0.4, 0.2});
+  FScoreQualityResult result = SolveFScoreQuality(q, 0.0);
+  EXPECT_NEAR(result.lambda, 1.0, 1e-12);
+  EXPECT_EQ(result.optimal_result, (ResultVector{0, 0, 0}));
+}
+
+TEST(FScoreTest, SolveQualityAtPrecisionEndpointReturnsTopQuestion) {
+  // At alpha = 1 (pure Precision*) the optimum returns only the questions
+  // with the maximal target probability.
+  DistributionMatrix q = MakeBinary({0.9, 0.4, 0.2});
+  FScoreQualityResult result = SolveFScoreQuality(q, 1.0);
+  EXPECT_NEAR(result.lambda, 0.9, 1e-12);
+  EXPECT_EQ(result.optimal_result, (ResultVector{0, 1, 1}));
+}
+
+TEST(FScoreTest, NameMentionsAlpha) {
+  EXPECT_EQ(FScoreMetric(0.75).name(), "F-score(alpha=0.75)");
+}
+
+TEST(FScoreDeathTest, InvalidAlphaAborts) {
+  EXPECT_DEATH(FScoreMetric metric(0.0), "alpha");
+  EXPECT_DEATH(FScoreMetric metric(1.0), "alpha");
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,161 @@
+// Cross-cutting invariance and monotonicity properties of the metric and
+// fractional-programming layers — the algebraic facts the paper's proofs
+// lean on, checked on random instances.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fractional.h"
+#include "core/metrics/accuracy.h"
+#include "core/metrics/fscore.h"
+#include "util/rng.h"
+
+namespace qasca {
+namespace {
+
+DistributionMatrix RandomBinary(int n, util::Rng& rng) {
+  DistributionMatrix q(n, 2);
+  for (int i = 0; i < n; ++i) {
+    double p = rng.Uniform();
+    q.SetRow(i, std::vector<double>{p, 1.0 - p});
+  }
+  return q;
+}
+
+TEST(InvariantsTest, FScoreStarIsPermutationInvariant) {
+  // Shuffling questions together with their results leaves F-score*
+  // unchanged (it is a symmetric function of the rows).
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 5 + rng.UniformInt(20);
+    DistributionMatrix q = RandomBinary(n, rng);
+    ResultVector r(n);
+    for (int i = 0; i < n; ++i) r[i] = rng.UniformInt(2);
+    double alpha = rng.Uniform(0.05, 0.95);
+    double original = FScoreStar(q, r, alpha);
+
+    std::vector<int> perm = rng.Permutation(n);
+    DistributionMatrix shuffled(n, 2);
+    ResultVector shuffled_r(n);
+    for (int i = 0; i < n; ++i) {
+      shuffled.SetRow(i, q.Row(perm[i]));
+      shuffled_r[i] = r[perm[i]];
+    }
+    EXPECT_NEAR(FScoreStar(shuffled, shuffled_r, alpha), original, 1e-12);
+  }
+}
+
+TEST(InvariantsTest, AccuracyQualityMonotoneInRowConfidence) {
+  // Sharpening one row toward its argmax label can only raise F(Q) under
+  // Accuracy (the quality is the mean of row maxima).
+  util::Rng rng(2);
+  AccuracyMetric metric;
+  for (int trial = 0; trial < 20; ++trial) {
+    DistributionMatrix q = RandomBinary(10, rng);
+    double before = metric.Quality(q);
+    int i = rng.UniformInt(10);
+    LabelIndex top = q.ArgMaxLabel(i);
+    double p = q.At(i, top);
+    double sharper = p + (1.0 - p) * rng.Uniform();
+    std::vector<double> row = {top == 0 ? sharper : 1.0 - sharper,
+                               top == 0 ? 1.0 - sharper : sharper};
+    q.SetRow(i, row);
+    EXPECT_GE(metric.Quality(q), before - 1e-12);
+  }
+}
+
+TEST(InvariantsTest, FScoreQualityMonotoneInTargetEvidence) {
+  // Raising the target probability of a question that the optimum already
+  // returns as target cannot lower lambda*.
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    DistributionMatrix q = RandomBinary(12, rng);
+    double alpha = rng.Uniform(0.1, 0.9);
+    FScoreQualityResult before = SolveFScoreQuality(q, alpha);
+    // Find a returned-as-target question.
+    int target_question = -1;
+    for (int i = 0; i < 12; ++i) {
+      if (before.optimal_result[i] == 0) {
+        target_question = i;
+        break;
+      }
+    }
+    if (target_question < 0) continue;
+    double p = q.At(target_question, 0);
+    double boosted = p + (1.0 - p) * 0.5;
+    q.SetRow(target_question, std::vector<double>{boosted, 1.0 - boosted});
+    EXPECT_GE(SolveFScoreQuality(q, alpha).lambda, before.lambda - 1e-12);
+  }
+}
+
+TEST(InvariantsTest, FractionalOptimumScalesWithNumerator) {
+  // Scaling every numerator coefficient (b, beta) by c > 0 scales the
+  // optimal value by c and preserves an optimal selection's value.
+  util::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 3 + rng.UniformInt(8);
+    ZeroOneFractionalProgram p;
+    p.b.resize(n);
+    p.d.resize(n);
+    for (int i = 0; i < n; ++i) {
+      p.b[i] = rng.Uniform();
+      p.d[i] = rng.Uniform(0.1, 1.0);
+    }
+    p.beta = rng.Uniform();
+    p.gamma = rng.Uniform(0.5, 2.0);
+    double base = SolveUnconstrained(p).value;
+
+    double c = rng.Uniform(0.5, 3.0);
+    ZeroOneFractionalProgram scaled = p;
+    for (double& b : scaled.b) b *= c;
+    scaled.beta *= c;
+    EXPECT_NEAR(SolveUnconstrained(scaled).value, c * base, 1e-9);
+  }
+}
+
+TEST(InvariantsTest, FractionalOptimumInverselyScalesWithDenominator) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 3 + rng.UniformInt(8);
+    ZeroOneFractionalProgram p;
+    p.b.resize(n);
+    p.d.resize(n);
+    for (int i = 0; i < n; ++i) {
+      p.b[i] = rng.Uniform();
+      p.d[i] = rng.Uniform(0.1, 1.0);
+    }
+    p.beta = rng.Uniform();
+    p.gamma = rng.Uniform(0.5, 2.0);
+    double base = SolveUnconstrained(p).value;
+
+    double c = rng.Uniform(0.5, 3.0);
+    ZeroOneFractionalProgram scaled = p;
+    for (double& d : scaled.d) d *= c;
+    scaled.gamma *= c;
+    EXPECT_NEAR(SolveUnconstrained(scaled).value, base / c, 1e-9);
+  }
+}
+
+TEST(InvariantsTest, AddingCertainTargetRaisesRecallHeavyQuality) {
+  // Appending a question with target probability 1 cannot hurt F-score*
+  // quality: the optimum may always return it as target, adding equal mass
+  // to numerator and to both denominator terms' balance.
+  util::Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 4 + rng.UniformInt(8);
+    DistributionMatrix q = RandomBinary(n, rng);
+    double alpha = rng.Uniform(0.1, 0.9);
+    double before = SolveFScoreQuality(q, alpha).lambda;
+
+    DistributionMatrix extended(n + 1, 2);
+    for (int i = 0; i < n; ++i) extended.SetRow(i, q.Row(i));
+    extended.SetRow(n, std::vector<double>{1.0, 0.0});
+    EXPECT_GE(SolveFScoreQuality(extended, alpha).lambda, before - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,49 @@
+#include "core/metrics/metric.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics/accuracy.h"
+#include "core/metrics/cost_accuracy.h"
+#include "core/metrics/fscore.h"
+
+namespace qasca {
+namespace {
+
+TEST(MetricSpecTest, MakesAccuracy) {
+  auto metric = MetricSpec::Accuracy().Make();
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->name(), "Accuracy");
+}
+
+TEST(MetricSpecTest, MakesFScoreWithParameters) {
+  auto metric = MetricSpec::FScore(0.75, 1).Make();
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->name(), "F-score(alpha=0.75)");
+  auto* fscore = dynamic_cast<FScoreMetric*>(metric.get());
+  ASSERT_NE(fscore, nullptr);
+  EXPECT_EQ(fscore->target_label(), 1);
+}
+
+TEST(MetricSpecTest, MakesCostAccuracy) {
+  auto spec = MetricSpec::CostAccuracy({0.0, 2.0, 1.0, 0.0});
+  EXPECT_EQ(spec.CostLabels(), 2);
+  auto metric = spec.Make();
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->name(), "CostAccuracy");
+  auto* cost = dynamic_cast<CostAccuracyMetric*>(metric.get());
+  ASSERT_NE(cost, nullptr);
+  EXPECT_DOUBLE_EQ(cost->CostOf(0, 1), 2.0);
+}
+
+TEST(MetricSpecDeathTest, NonSquareCostMatrixAborts) {
+  auto spec = MetricSpec::CostAccuracy({0.0, 1.0, 1.0});
+  EXPECT_DEATH((void)spec.CostLabels(), "square");
+}
+
+TEST(MetricSpecTest, DefaultIsAccuracy) {
+  MetricSpec spec;
+  EXPECT_EQ(spec.kind, MetricSpec::Kind::kAccuracy);
+}
+
+}  // namespace
+}  // namespace qasca

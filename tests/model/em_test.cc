@@ -1,0 +1,233 @@
+#include "model/em.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simulation/simulated_worker.h"
+#include "util/rng.h"
+
+namespace qasca {
+namespace {
+
+// Builds a synthetic answer set: `num_workers` workers with planted WP
+// qualities answer every question in `truth` `answers_each` times.
+AnswerSet PlantAnswers(const GroundTruthVector& truth, int num_labels,
+                       const std::vector<double>& worker_quality,
+                       util::Rng& rng) {
+  AnswerSet answers(truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    for (size_t w = 0; w < worker_quality.size(); ++w) {
+      WorkerModel model =
+          WorkerModel::Wp(worker_quality[w], num_labels);
+      SimulatedWorker worker{static_cast<WorkerId>(w), model};
+      answers[i].push_back(
+          Answer{static_cast<WorkerId>(w),
+                 worker.AnswerQuestion(truth[i], rng)});
+    }
+  }
+  return answers;
+}
+
+GroundTruthVector RandomTruth(int n, int num_labels, util::Rng& rng) {
+  GroundTruthVector truth(n);
+  for (int i = 0; i < n; ++i) truth[i] = rng.UniformInt(num_labels);
+  return truth;
+}
+
+TEST(EmTest, EmptyAnswerSetStaysUniform) {
+  EmOptions options;
+  EmResult result = RunEm(AnswerSet(4), 2, options);
+  EXPECT_TRUE(result.workers.empty());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(result.posterior.At(i, 0), 0.5, 1e-9);
+  }
+}
+
+TEST(EmTest, FallbackModelIsPerfect) {
+  EmOptions options;
+  options.worker_kind = WorkerModel::Kind::kWorkerProbability;
+  EmResult result = RunEm(AnswerSet(2), 2, options);
+  EXPECT_DOUBLE_EQ(result.WorkerFor(123).AnswerProbability(0, 0), 1.0);
+}
+
+TEST(EmTest, RecoversLabelsFromReliableCrowd) {
+  util::Rng rng(21);
+  GroundTruthVector truth = RandomTruth(100, 2, rng);
+  AnswerSet answers =
+      PlantAnswers(truth, 2, std::vector<double>(7, 0.85), rng);
+  EmOptions options;
+  EmResult result = RunEm(answers, 2, options);
+  int correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (result.posterior.ArgMaxLabel(static_cast<int>(i)) == truth[i]) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 97);
+}
+
+TEST(EmTest, RecoversPlantedWorkerQualities) {
+  util::Rng rng(22);
+  GroundTruthVector truth = RandomTruth(400, 2, rng);
+  std::vector<double> quality = {0.9, 0.9, 0.6, 0.9, 0.55};
+  AnswerSet answers = PlantAnswers(truth, 2, quality, rng);
+  EmOptions options;
+  options.worker_kind = WorkerModel::Kind::kWorkerProbability;
+  EmResult result = RunEm(answers, 2, options);
+  for (size_t w = 0; w < quality.size(); ++w) {
+    double fitted =
+        result.WorkerFor(static_cast<WorkerId>(w)).worker_probability();
+    EXPECT_NEAR(fitted, quality[w], 0.07) << "worker " << w;
+  }
+}
+
+TEST(EmTest, ConfusionMatrixModeRecoversAsymmetry) {
+  // Workers answer label 1 perfectly but err half the time on label 0:
+  // a planted asymmetric CM the fitted CM must reflect.
+  util::Rng rng(23);
+  GroundTruthVector truth = RandomTruth(600, 2, rng);
+  WorkerModel planted = WorkerModel::Cm({0.6, 0.4, 0.05, 0.95}, 2);
+  AnswerSet answers(truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    for (int w = 0; w < 5; ++w) {
+      SimulatedWorker worker{w, planted};
+      answers[i].push_back(Answer{w, worker.AnswerQuestion(truth[i], rng)});
+    }
+  }
+  EmOptions options;
+  EmResult result = RunEm(answers, 2, options);
+  for (int w = 0; w < 5; ++w) {
+    std::vector<double> cm = result.WorkerFor(w).AsConfusionMatrix();
+    EXPECT_NEAR(cm[0], 0.6, 0.1) << "worker " << w;   // M[0][0]
+    EXPECT_NEAR(cm[3], 0.95, 0.1) << "worker " << w;  // M[1][1]
+    EXPECT_GT(cm[3], cm[0]);
+  }
+}
+
+TEST(EmTest, EstimatesPriorFromSkewedTruth) {
+  util::Rng rng(24);
+  GroundTruthVector truth(300);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = rng.Uniform() < 0.8 ? 0 : 1;
+  }
+  AnswerSet answers =
+      PlantAnswers(truth, 2, std::vector<double>(5, 0.85), rng);
+  EmOptions options;
+  EmResult result = RunEm(answers, 2, options);
+  EXPECT_NEAR(result.prior[0], 0.8, 0.06);
+}
+
+TEST(EmTest, FixedPriorStaysUniform) {
+  util::Rng rng(25);
+  GroundTruthVector truth(100);
+  for (auto& t : truth) t = 0;  // extremely skewed truth
+  AnswerSet answers =
+      PlantAnswers(truth, 2, std::vector<double>(4, 0.9), rng);
+  EmOptions options;
+  options.estimate_prior = false;
+  EmResult result = RunEm(answers, 2, options);
+  EXPECT_DOUBLE_EQ(result.prior[0], 0.5);
+}
+
+TEST(EmTest, ConvergesWithinIterationBudget) {
+  util::Rng rng(26);
+  GroundTruthVector truth = RandomTruth(200, 3, rng);
+  AnswerSet answers =
+      PlantAnswers(truth, 3, std::vector<double>(6, 0.8), rng);
+  EmOptions options;
+  options.max_iterations = 50;
+  EmResult result = RunEm(answers, 3, options);
+  EXPECT_LT(result.iterations, 50);
+}
+
+TEST(EmTest, PosteriorStaysNormalized) {
+  util::Rng rng(27);
+  GroundTruthVector truth = RandomTruth(50, 3, rng);
+  AnswerSet answers =
+      PlantAnswers(truth, 3, std::vector<double>(3, 0.7), rng);
+  EmOptions options;
+  EmResult result = RunEm(answers, 3, options);
+  EXPECT_TRUE(result.posterior.IsNormalized(1e-9));
+}
+
+TEST(EmTest, WarmStartMatchesColdFitQuality) {
+  util::Rng rng(29);
+  GroundTruthVector truth = RandomTruth(300, 2, rng);
+  AnswerSet answers =
+      PlantAnswers(truth, 2, std::vector<double>(6, 0.85), rng);
+  EmOptions options;
+  EmResult cold = RunEm(answers, 2, options);
+  EmResult warm = RunEmWarmStart(answers, 2, options, cold);
+  // Restarting from the fixed point must stay at the fixed point,
+  // converging immediately.
+  EXPECT_LE(warm.iterations, 2);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_NEAR(warm.posterior.At(i, 0), cold.posterior.At(i, 0), 1e-4);
+  }
+}
+
+TEST(EmTest, WarmStartConvergesFasterOnIncrementalAnswers) {
+  util::Rng rng(30);
+  GroundTruthVector truth = RandomTruth(300, 2, rng);
+  AnswerSet answers =
+      PlantAnswers(truth, 2, std::vector<double>(6, 0.8), rng);
+  EmOptions options;
+  EmResult previous = RunEm(answers, 2, options);
+  // A handful of new answers arrive.
+  for (int i = 0; i < 8; ++i) {
+    answers[i].push_back(Answer{0, truth[i]});
+  }
+  EmResult warm = RunEmWarmStart(answers, 2, options, previous);
+  EmResult cold = RunEm(answers, 2, options);
+  EXPECT_LE(warm.iterations, cold.iterations);
+  // Same fixed point either way.
+  int agree = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (warm.posterior.ArgMaxLabel(i) == cold.posterior.ArgMaxLabel(i)) {
+      ++agree;
+    }
+  }
+  EXPECT_GE(agree, 298);
+}
+
+TEST(EmTest, WarmStartWithMismatchedShapeFallsBackToCold) {
+  util::Rng rng(31);
+  GroundTruthVector truth = RandomTruth(50, 2, rng);
+  AnswerSet answers =
+      PlantAnswers(truth, 2, std::vector<double>(4, 0.8), rng);
+  EmOptions options;
+  EmResult tiny = RunEm(AnswerSet(3), 2, options);  // wrong n
+  EmResult result = RunEmWarmStart(answers, 2, options, tiny);
+  EXPECT_EQ(result.posterior.num_questions(), 50);
+  EXPECT_TRUE(result.posterior.IsNormalized(1e-9));
+}
+
+TEST(EmTest, BeatsMajorityVoteWithHeterogeneousWorkers) {
+  // A reliable minority should outvote an unreliable majority once EM has
+  // learned who is who — the core value of Dawid–Skene over majority vote.
+  util::Rng rng(28);
+  GroundTruthVector truth = RandomTruth(500, 2, rng);
+  std::vector<double> quality = {0.95, 0.95, 0.55, 0.55, 0.55};
+  AnswerSet answers = PlantAnswers(truth, 2, quality, rng);
+
+  int majority_correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    int votes[2] = {0, 0};
+    for (const Answer& a : answers[i]) ++votes[a.label];
+    if ((votes[truth[i]] > votes[1 - truth[i]])) ++majority_correct;
+  }
+
+  EmOptions options;
+  EmResult result = RunEm(answers, 2, options);
+  int em_correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (result.posterior.ArgMaxLabel(static_cast<int>(i)) == truth[i]) {
+      ++em_correct;
+    }
+  }
+  EXPECT_GT(em_correct, majority_correct);
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,60 @@
+#include "model/majority.h"
+
+#include <gtest/gtest.h>
+
+namespace qasca {
+namespace {
+
+TEST(MajorityVoteTest, PicksModalLabel) {
+  AnswerSet answers(2);
+  answers[0] = {{1, 0}, {2, 1}, {3, 0}};
+  answers[1] = {{1, 1}, {2, 1}, {3, 0}};
+  ResultVector result = MajorityVote(answers, 2);
+  EXPECT_EQ(result, (ResultVector{0, 1}));
+}
+
+TEST(MajorityVoteTest, TiesBreakTowardSmallerLabel) {
+  AnswerSet answers(1);
+  answers[0] = {{1, 2}, {2, 1}};
+  EXPECT_EQ(MajorityVote(answers, 3)[0], 1);
+}
+
+TEST(MajorityVoteTest, UnansweredDefaultsToLabelZero) {
+  AnswerSet answers(3);
+  answers[1] = {{1, 2}};
+  ResultVector result = MajorityVote(answers, 3);
+  EXPECT_EQ(result, (ResultVector{0, 2, 0}));
+}
+
+TEST(VoteShareTest, SharesMatchCounts) {
+  AnswerSet answers(1);
+  answers[0] = {{1, 0}, {2, 0}, {3, 1}};
+  DistributionMatrix q = VoteShareDistribution(answers, 2, /*smoothing=*/0.0);
+  EXPECT_NEAR(q.At(0, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.At(0, 1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(VoteShareTest, SmoothingPullsTowardUniform) {
+  AnswerSet answers(1);
+  answers[0] = {{1, 0}};
+  DistributionMatrix smoothed = VoteShareDistribution(answers, 2, 1.0);
+  EXPECT_NEAR(smoothed.At(0, 0), 2.0 / 3.0, 1e-12);
+  DistributionMatrix raw = VoteShareDistribution(answers, 2, 0.0);
+  EXPECT_NEAR(raw.At(0, 0), 1.0, 1e-12);
+}
+
+TEST(VoteShareTest, UnansweredStaysUniformWithoutSmoothing) {
+  AnswerSet answers(1);
+  DistributionMatrix q = VoteShareDistribution(answers, 4, 0.0);
+  EXPECT_NEAR(q.At(0, 0), 0.25, 1e-12);
+  EXPECT_TRUE(q.IsNormalized());
+}
+
+TEST(MajorityVoteDeathTest, RejectsOutOfRangeLabel) {
+  AnswerSet answers(1);
+  answers[0] = {{1, 5}};
+  EXPECT_DEATH(MajorityVote(answers, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace qasca

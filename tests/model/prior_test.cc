@@ -1,0 +1,41 @@
+#include "model/prior.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qasca {
+namespace {
+
+TEST(PriorTest, UniformPriorSumsToOne) {
+  std::vector<double> prior = UniformPrior(4);
+  EXPECT_EQ(prior.size(), 4u);
+  for (double p : prior) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(PriorTest, EstimateIsColumnMean) {
+  DistributionMatrix q(2, 2);
+  q.SetRow(0, std::vector<double>{0.8, 0.2});
+  q.SetRow(1, std::vector<double>{0.4, 0.6});
+  std::vector<double> prior = EstimatePrior(q);
+  EXPECT_NEAR(prior[0], 0.6, 1e-12);
+  EXPECT_NEAR(prior[1], 0.4, 1e-12);
+}
+
+TEST(PriorTest, EstimateOfUniformMatrixIsUniform) {
+  DistributionMatrix q(5, 3);
+  std::vector<double> prior = EstimatePrior(q);
+  for (double p : prior) EXPECT_NEAR(p, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PriorTest, EstimateSumsToOne) {
+  DistributionMatrix q(3, 3);
+  q.SetRow(0, std::vector<double>{1.0, 0.0, 0.0});
+  q.SetRow(1, std::vector<double>{0.0, 1.0, 0.0});
+  q.SetRow(2, std::vector<double>{0.2, 0.3, 0.5});
+  std::vector<double> prior = EstimatePrior(q);
+  EXPECT_NEAR(prior[0] + prior[1] + prior[2], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qasca

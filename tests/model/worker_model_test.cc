@@ -1,0 +1,97 @@
+#include "model/worker_model.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qasca {
+namespace {
+
+TEST(WorkerModelTest, WpDiagonalAndOffDiagonal) {
+  WorkerModel model = WorkerModel::Wp(0.6, 3);
+  EXPECT_DOUBLE_EQ(model.AnswerProbability(0, 0), 0.6);
+  EXPECT_DOUBLE_EQ(model.AnswerProbability(1, 0), 0.2);
+  EXPECT_DOUBLE_EQ(model.AnswerProbability(2, 0), 0.2);
+}
+
+TEST(WorkerModelTest, WpRowsSumToOne) {
+  WorkerModel model = WorkerModel::Wp(0.73, 4);
+  for (int truth = 0; truth < 4; ++truth) {
+    double total = 0.0;
+    for (int answered = 0; answered < 4; ++answered) {
+      total += model.AnswerProbability(answered, truth);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(WorkerModelTest, PerfectWpNeverErrs) {
+  WorkerModel model = WorkerModel::PerfectWp(3);
+  EXPECT_DOUBLE_EQ(model.AnswerProbability(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(model.AnswerProbability(0, 1), 0.0);
+}
+
+TEST(WorkerModelTest, CmLookupIsRowTruthColumnAnswer) {
+  // Section 5.2's example CM: [[0.6,0.4],[0.3,0.7]].
+  WorkerModel model = WorkerModel::Cm({0.6, 0.4, 0.3, 0.7}, 2);
+  EXPECT_DOUBLE_EQ(model.AnswerProbability(0, 0), 0.6);
+  EXPECT_DOUBLE_EQ(model.AnswerProbability(1, 0), 0.4);
+  EXPECT_DOUBLE_EQ(model.AnswerProbability(0, 1), 0.3);
+  EXPECT_DOUBLE_EQ(model.AnswerProbability(1, 1), 0.7);
+}
+
+TEST(WorkerModelTest, PerfectCmIsIdentity) {
+  WorkerModel model = WorkerModel::PerfectCm(3);
+  for (int t = 0; t < 3; ++t) {
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_DOUBLE_EQ(model.AnswerProbability(a, t), t == a ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(WorkerModelTest, WpExpandsToEquivalentCm) {
+  WorkerModel wp = WorkerModel::Wp(0.7, 3);
+  std::vector<double> cm = wp.AsConfusionMatrix();
+  WorkerModel expanded = WorkerModel::Cm(cm, 3);
+  for (int t = 0; t < 3; ++t) {
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_DOUBLE_EQ(expanded.AnswerProbability(a, t),
+                       wp.AnswerProbability(a, t));
+    }
+  }
+}
+
+TEST(WorkerModelTest, DeviationOfIdenticalModelsIsZero) {
+  WorkerModel a = WorkerModel::Cm({0.8, 0.2, 0.1, 0.9}, 2);
+  EXPECT_DOUBLE_EQ(a.Deviation(a), 0.0);
+}
+
+TEST(WorkerModelTest, DeviationIsSymmetricMeanAbsolute) {
+  WorkerModel a = WorkerModel::Cm({0.8, 0.2, 0.1, 0.9}, 2);
+  WorkerModel b = WorkerModel::Cm({0.6, 0.4, 0.3, 0.7}, 2);
+  // |0.2|*4 entries / 4 = 0.2.
+  EXPECT_NEAR(a.Deviation(b), 0.2, 1e-12);
+  EXPECT_NEAR(b.Deviation(a), 0.2, 1e-12);
+}
+
+TEST(WorkerModelTest, DeviationAcrossKinds) {
+  WorkerModel wp = WorkerModel::Wp(0.8, 2);
+  WorkerModel cm = WorkerModel::Cm({0.8, 0.2, 0.2, 0.8}, 2);
+  EXPECT_NEAR(wp.Deviation(cm), 0.0, 1e-12);
+}
+
+TEST(WorkerModelDeathTest, CmRowsMustSumToOne) {
+  EXPECT_DEATH(WorkerModel::Cm({0.5, 0.4, 0.3, 0.7}, 2), "sum to 1");
+}
+
+TEST(WorkerModelDeathTest, WpOutOfRangeAborts) {
+  EXPECT_DEATH(WorkerModel::Wp(1.5, 2), "Check failed");
+}
+
+TEST(WorkerModelDeathTest, WorkerProbabilityOnCmAborts) {
+  WorkerModel cm = WorkerModel::PerfectCm(2);
+  EXPECT_DEATH((void)cm.worker_probability(), "Check failed");
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,72 @@
+#include "model/worker_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace qasca {
+namespace {
+
+TEST(WorkerStatsTest, CountsAndAgreement) {
+  AnswerSet answers(3);
+  answers[0] = {{1, 0}, {2, 1}};
+  answers[1] = {{1, 1}};
+  answers[2] = {{2, 0}};
+  ResultVector results = {0, 1, 1};
+  EmResult parameters;  // no fitted workers -> perfect fallback
+
+  std::vector<WorkerSummary> summaries =
+      SummarizeWorkers(answers, parameters, results);
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].worker, 1);
+  EXPECT_EQ(summaries[0].answer_count, 2);
+  EXPECT_DOUBLE_EQ(summaries[0].agreement_with_results, 1.0);  // both match
+  EXPECT_EQ(summaries[1].worker, 2);
+  EXPECT_EQ(summaries[1].answer_count, 2);
+  EXPECT_DOUBLE_EQ(summaries[1].agreement_with_results, 0.0);  // both differ
+}
+
+TEST(WorkerStatsTest, EstimatedQualityFromFittedModels) {
+  AnswerSet answers(1);
+  answers[0] = {{7, 0}};
+  EmResult parameters;
+  parameters.workers.emplace(7, WorkerModel::Cm({0.9, 0.1, 0.3, 0.7}, 2));
+  std::vector<WorkerSummary> summaries =
+      SummarizeWorkers(answers, parameters, {0});
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_NEAR(summaries[0].estimated_quality, 0.8, 1e-12);  // (0.9+0.7)/2
+}
+
+TEST(WorkerStatsTest, UnfittedWorkerUsesFallback) {
+  AnswerSet answers(1);
+  answers[0] = {{5, 0}};
+  EmResult parameters;  // fallback = perfect WP(2)
+  std::vector<WorkerSummary> summaries =
+      SummarizeWorkers(answers, parameters, {0});
+  EXPECT_DOUBLE_EQ(summaries[0].estimated_quality, 1.0);
+}
+
+TEST(WorkerStatsTest, SpammerShortlistSortedByQuality) {
+  std::vector<WorkerSummary> summaries(3);
+  summaries[0] = {1, 10, 0.9, 0.85};
+  summaries[1] = {2, 10, 0.5, 0.52};
+  summaries[2] = {3, 10, 0.4, 0.49};
+  std::vector<WorkerSummary> suspects = SuspectedSpammers(summaries, 0.6);
+  ASSERT_EQ(suspects.size(), 2u);
+  EXPECT_EQ(suspects[0].worker, 3);  // lowest quality first
+  EXPECT_EQ(suspects[1].worker, 2);
+}
+
+TEST(WorkerStatsTest, EmptyAnswerSetGivesEmptySummary) {
+  EmResult parameters;
+  EXPECT_TRUE(SummarizeWorkers(AnswerSet(4), parameters,
+                               ResultVector(4, 0))
+                  .empty());
+}
+
+TEST(WorkerStatsDeathTest, ShapeMismatchAborts) {
+  EmResult parameters;
+  EXPECT_DEATH(SummarizeWorkers(AnswerSet(3), parameters, ResultVector(2, 0)),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace qasca

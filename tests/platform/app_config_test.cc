@@ -1,0 +1,84 @@
+#include "platform/app_config.h"
+
+#include <gtest/gtest.h>
+
+namespace qasca {
+namespace {
+
+AppConfig ValidConfig() {
+  AppConfig config;
+  config.num_questions = 100;
+  config.num_labels = 2;
+  config.questions_per_hit = 4;
+  config.pay_per_hit = 0.02;
+  config.budget = 1.0;
+  return config;
+}
+
+TEST(AppConfigTest, ValidConfigPasses) {
+  EXPECT_TRUE(ValidConfig().Validate().ok());
+}
+
+TEST(AppConfigTest, TotalHitsIsBudgetOverPay) {
+  AppConfig config = ValidConfig();
+  EXPECT_EQ(config.TotalHits(), 50);
+}
+
+TEST(AppConfigTest, TotalHitsRoundsCurrencyNoise) {
+  AppConfig config = ValidConfig();
+  config.pay_per_hit = 0.02;
+  config.budget = 0.02 * 750;  // binary-inexact product
+  EXPECT_EQ(config.TotalHits(), 750);
+}
+
+TEST(AppConfigTest, RejectsZeroQuestions) {
+  AppConfig config = ValidConfig();
+  config.num_questions = 0;
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(AppConfigTest, RejectsSingleLabel) {
+  AppConfig config = ValidConfig();
+  config.num_labels = 1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(AppConfigTest, RejectsHitLargerThanPool) {
+  AppConfig config = ValidConfig();
+  config.questions_per_hit = 101;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(AppConfigTest, RejectsNonPositivePay) {
+  AppConfig config = ValidConfig();
+  config.pay_per_hit = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(AppConfigTest, RejectsBudgetBelowOneHit) {
+  AppConfig config = ValidConfig();
+  config.budget = 0.01;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(AppConfigTest, RejectsBadFScoreAlpha) {
+  AppConfig config = ValidConfig();
+  config.metric = MetricSpec::FScore(0.5);
+  config.metric.alpha = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(AppConfigTest, RejectsTargetLabelOutOfRange) {
+  AppConfig config = ValidConfig();
+  config.metric = MetricSpec::FScore(0.5, /*target_label=*/2);
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(AppConfigTest, AcceptsFScoreMetric) {
+  AppConfig config = ValidConfig();
+  config.metric = MetricSpec::FScore(0.75, 1);
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,61 @@
+#include "platform/database.h"
+
+#include <gtest/gtest.h>
+
+namespace qasca {
+namespace {
+
+TEST(DatabaseTest, FreshDatabaseHasAllCandidates) {
+  Database db(5, 2);
+  std::vector<QuestionIndex> candidates = db.CandidatesFor(7);
+  EXPECT_EQ(candidates, (std::vector<QuestionIndex>{0, 1, 2, 3, 4}));
+}
+
+TEST(DatabaseTest, AssignedQuestionsLeaveCandidateSet) {
+  Database db(5, 2);
+  db.MarkAssigned(1, {0, 3});
+  EXPECT_EQ(db.CandidatesFor(1), (std::vector<QuestionIndex>{1, 2, 4}));
+  // Other workers unaffected.
+  EXPECT_EQ(db.CandidatesFor(2).size(), 5u);
+}
+
+TEST(DatabaseTest, InitialDistributionIsUniform) {
+  Database db(3, 4);
+  EXPECT_DOUBLE_EQ(db.current().At(0, 0), 0.25);
+  EXPECT_TRUE(db.current().IsNormalized());
+}
+
+TEST(DatabaseTest, RecordAnswerAppendsToAnswerSet) {
+  Database db(3, 2);
+  db.RecordAnswer(1, 9, 0);
+  db.RecordAnswer(1, 8, 1);
+  EXPECT_EQ(db.AnswerCount(1), 2);
+  EXPECT_EQ(db.AnswerCount(0), 0);
+  EXPECT_EQ(db.answers()[1][0], (Answer{9, 0}));
+  EXPECT_EQ(db.answers()[1][1], (Answer{8, 1}));
+}
+
+TEST(DatabaseTest, SetParametersRefreshesCurrent) {
+  Database db(2, 2);
+  EmResult parameters;
+  parameters.prior = {0.5, 0.5};
+  parameters.posterior = DistributionMatrix(2, 2);
+  parameters.posterior.SetRow(0, std::vector<double>{0.9, 0.1});
+  db.SetParameters(parameters);
+  EXPECT_DOUBLE_EQ(db.current().At(0, 0), 0.9);
+}
+
+TEST(DatabaseDeathTest, DoubleAssignmentAborts) {
+  Database db(5, 2);
+  db.MarkAssigned(1, {0});
+  EXPECT_DEATH(db.MarkAssigned(1, {0}), "assigned twice");
+}
+
+TEST(DatabaseDeathTest, OutOfRangeAnswerAborts) {
+  Database db(2, 2);
+  EXPECT_DEATH(db.RecordAnswer(5, 0, 0), "Check failed");
+  EXPECT_DEATH(db.RecordAnswer(0, 0, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace qasca

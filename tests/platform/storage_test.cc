@@ -1,0 +1,91 @@
+#include "platform/storage.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace qasca {
+namespace {
+
+AnswerSet SampleAnswers() {
+  AnswerSet answers(3);
+  answers[0] = {{17, 1}, {3, 0}};
+  answers[2] = {{5, 1}};
+  return answers;
+}
+
+TEST(StorageTest, SerialisesWithHeaderAndRows) {
+  EXPECT_EQ(AnswerSetToCsv(SampleAnswers()),
+            "question,worker,label\n"
+            "0,17,1\n"
+            "0,3,0\n"
+            "2,5,1\n");
+}
+
+TEST(StorageTest, EmptyAnswerSetIsJustHeader) {
+  EXPECT_EQ(AnswerSetToCsv(AnswerSet(2)), "question,worker,label\n");
+}
+
+TEST(StorageTest, RoundTripPreservesEverything) {
+  AnswerSet original = SampleAnswers();
+  auto parsed = AnswerSetFromCsv(AnswerSetToCsv(original), 3, 2);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i], original[i]) << "question " << i;
+  }
+}
+
+TEST(StorageTest, RejectsMissingHeader) {
+  auto parsed = AnswerSetFromCsv("0,1,0\n", 2, 2);
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(StorageTest, RejectsMalformedRow) {
+  auto parsed =
+      AnswerSetFromCsv("question,worker,label\n0,banana,0\n", 2, 2);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(StorageTest, RejectsOutOfRangeQuestion) {
+  auto parsed = AnswerSetFromCsv("question,worker,label\n9,1,0\n", 2, 2);
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(StorageTest, RejectsOutOfRangeLabel) {
+  auto parsed = AnswerSetFromCsv("question,worker,label\n0,1,7\n", 2, 2);
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(StorageTest, ToleratesBlankLines) {
+  auto parsed =
+      AnswerSetFromCsv("question,worker,label\n\n0,1,0\n\n", 2, 2);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)[0].size(), 1u);
+}
+
+TEST(StorageTest, ToleratesMissingTrailingNewline) {
+  auto parsed = AnswerSetFromCsv("question,worker,label\n0,1,0", 2, 2);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)[0].size(), 1u);
+}
+
+TEST(StorageTest, SaveAndLoadFile) {
+  std::string path = ::testing::TempDir() + "/qasca_answers_test.csv";
+  AnswerSet original = SampleAnswers();
+  ASSERT_TRUE(SaveAnswerSet(path, original).ok());
+  auto loaded = LoadAnswerSet(path, 3, 2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)[0], original[0]);
+  EXPECT_EQ((*loaded)[2], original[2]);
+  std::remove(path.c_str());
+}
+
+TEST(StorageTest, LoadMissingFileIsNotFound) {
+  auto loaded = LoadAnswerSet("/nonexistent/qasca.csv", 2, 2);
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,66 @@
+#include "platform/trace.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "platform/engine.h"
+#include "platform/qasca_strategy.h"
+
+namespace qasca {
+namespace {
+
+TEST(EventTraceTest, RecordsInOrder) {
+  EventTrace trace;
+  trace.RecordAssignment(7, {1, 2});
+  trace.RecordCompletion(7, {1, 2}, {0, 1});
+  ASSERT_EQ(trace.size(), 2);
+  EXPECT_EQ(trace.events()[0].sequence, 0);
+  EXPECT_EQ(trace.events()[0].kind, EventTrace::Kind::kHitAssigned);
+  EXPECT_EQ(trace.events()[1].sequence, 1);
+  EXPECT_EQ(trace.events()[1].kind, EventTrace::Kind::kHitCompleted);
+  EXPECT_EQ(trace.events()[1].labels, (std::vector<LabelIndex>{0, 1}));
+}
+
+TEST(EventTraceTest, CountOf) {
+  EventTrace trace;
+  trace.RecordAssignment(1, {0});
+  trace.RecordAssignment(2, {1});
+  trace.RecordCompletion(1, {0}, {1});
+  EXPECT_EQ(trace.CountOf(EventTrace::Kind::kHitAssigned), 2);
+  EXPECT_EQ(trace.CountOf(EventTrace::Kind::kHitCompleted), 1);
+}
+
+TEST(EventTraceTest, JsonLinesFormat) {
+  EventTrace trace;
+  trace.RecordAssignment(3, {1, 4});
+  EXPECT_EQ(trace.ToJsonLines(),
+            "{\"seq\":0,\"kind\":\"assigned\",\"worker\":3,"
+            "\"questions\":[1,4],\"labels\":[]}\n");
+}
+
+TEST(EventTraceDeathTest, CompletionShapeMismatchAborts) {
+  EventTrace trace;
+  EXPECT_DEATH(trace.RecordCompletion(1, {0, 1}, {0}), "Check failed");
+}
+
+TEST(EventTraceTest, EngineRecordsItsWorkflows) {
+  AppConfig config;
+  config.num_questions = 12;
+  config.num_labels = 2;
+  config.questions_per_hit = 3;
+  config.pay_per_hit = 0.02;
+  config.budget = 0.02 * 4;
+  TaskAssignmentEngine engine(config, std::make_unique<QascaStrategy>(), 1);
+  auto hit = engine.RequestHit(5);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(engine.CompleteHit(5, {0, 1, 0}).ok());
+  EXPECT_EQ(engine.trace().size(), 2);
+  EXPECT_EQ(engine.trace().events()[0].worker, 5);
+  EXPECT_EQ(engine.trace().events()[0].questions, *hit);
+  EXPECT_EQ(engine.trace().events()[1].labels,
+            (std::vector<LabelIndex>{0, 1, 0}));
+}
+
+}  // namespace
+}  // namespace qasca

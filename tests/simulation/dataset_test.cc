@@ -1,0 +1,89 @@
+#include "simulation/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace qasca {
+namespace {
+
+TEST(DatasetTest, PaperApplicationsMatchTable1) {
+  std::vector<ApplicationSpec> apps = PaperApplications();
+  ASSERT_EQ(apps.size(), 5u);
+
+  EXPECT_EQ(apps[0].name, "FS");
+  EXPECT_EQ(apps[0].num_questions, 1000);
+  EXPECT_EQ(apps[0].metric.kind, MetricSpec::Kind::kAccuracy);
+
+  EXPECT_EQ(apps[1].name, "SA");
+  EXPECT_EQ(apps[1].num_labels, 3);
+  EXPECT_EQ(apps[1].metric.kind, MetricSpec::Kind::kAccuracy);
+
+  EXPECT_EQ(apps[2].name, "ER");
+  EXPECT_EQ(apps[2].num_questions, 2000);
+  EXPECT_EQ(apps[2].metric.kind, MetricSpec::Kind::kFScore);
+  EXPECT_DOUBLE_EQ(apps[2].metric.alpha, 0.5);
+
+  EXPECT_EQ(apps[3].name, "PSA");
+  EXPECT_DOUBLE_EQ(apps[3].metric.alpha, 0.75);
+
+  EXPECT_EQ(apps[4].name, "NSA");
+  EXPECT_DOUBLE_EQ(apps[4].metric.alpha, 0.25);
+
+  for (const ApplicationSpec& app : apps) {
+    EXPECT_EQ(app.questions_per_hit, 4);
+    EXPECT_EQ(app.answers_per_question, 3);
+    // m = n * z / k (Table 1: 750 HITs, 1500 for ER).
+    EXPECT_EQ(app.TotalHits(), app.num_questions * 3 / 4);
+  }
+}
+
+TEST(DatasetTest, CompanyLogoMatchesAppendixJ) {
+  ApplicationSpec app = CompanyLogoApp();
+  EXPECT_EQ(app.num_questions, 500);
+  EXPECT_EQ(app.num_labels, 214);
+  EXPECT_EQ(app.questions_per_hit, 5);
+  EXPECT_EQ(app.TotalHits(), 300);
+  EXPECT_NEAR(app.truth_prior[0], 0.256, 1e-9);
+  double total = 0.0;
+  for (double p : app.truth_prior) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DatasetTest, GroundTruthHasSpecShapeAndPrior) {
+  util::Rng rng(9);
+  ApplicationSpec app = EntityResolutionApp();
+  GroundTruthVector truth = GenerateGroundTruth(app, rng);
+  ASSERT_EQ(truth.size(), 2000u);
+  int target = 0;
+  for (LabelIndex t : truth) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 2);
+    if (t == 0) ++target;
+  }
+  EXPECT_NEAR(target / 2000.0, app.truth_prior[0], 0.04);
+}
+
+TEST(DatasetTest, MakeAppConfigIsValidAndBudgeted) {
+  for (const ApplicationSpec& app : PaperApplications()) {
+    AppConfig config = MakeAppConfig(app);
+    EXPECT_TRUE(config.Validate().ok()) << app.name;
+    EXPECT_EQ(config.TotalHits(), app.TotalHits()) << app.name;
+    EXPECT_EQ(config.num_questions, app.num_questions);
+  }
+}
+
+TEST(DatasetTest, CompanyLogoUsesWpModels) {
+  AppConfig config = MakeAppConfig(CompanyLogoApp());
+  EXPECT_EQ(config.worker_kind, WorkerModel::Kind::kWorkerProbability);
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(DatasetTest, WorkerPoolSpecsAreInternallyConsistent) {
+  for (const ApplicationSpec& app : PaperApplications()) {
+    EXPECT_EQ(app.workers.num_labels, app.num_labels) << app.name;
+    EXPECT_EQ(static_cast<int>(app.truth_prior.size()), app.num_labels)
+        << app.name;
+  }
+}
+
+}  // namespace
+}  // namespace qasca

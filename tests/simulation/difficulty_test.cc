@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "simulation/dataset.h"
+#include "simulation/simulated_worker.h"
+
+namespace qasca {
+namespace {
+
+TEST(DifficultyTest, ZeroDifficultyFollowsLatentModel) {
+  util::Rng rng(1);
+  SimulatedWorker worker{0, WorkerModel::Wp(0.9, 2)};
+  int correct = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    if (worker.AnswerQuestion(0, rng, 0.0) == 0) ++correct;
+  }
+  EXPECT_NEAR(correct / static_cast<double>(trials), 0.9, 0.01);
+}
+
+TEST(DifficultyTest, FullDifficultyIsUniformRegardlessOfSkill) {
+  util::Rng rng(2);
+  SimulatedWorker worker{0, WorkerModel::PerfectWp(2)};
+  int correct = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    if (worker.AnswerQuestion(0, rng, 1.0) == 0) ++correct;
+  }
+  EXPECT_NEAR(correct / static_cast<double>(trials), 0.5, 0.01);
+}
+
+TEST(DifficultyTest, PartialDifficultyInterpolates) {
+  util::Rng rng(3);
+  SimulatedWorker worker{0, WorkerModel::Wp(0.9, 2)};
+  int correct = 0;
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    if (worker.AnswerQuestion(0, rng, 0.5) == 0) ++correct;
+  }
+  // Effective accuracy = 0.5*0.5 + 0.5*0.9 = 0.7.
+  EXPECT_NEAR(correct / static_cast<double>(trials), 0.7, 0.01);
+}
+
+TEST(DifficultyTest, GeneratorRespectsTrimodalBounds) {
+  util::Rng rng(4);
+  ApplicationSpec spec = FilmPostersApp();
+  spec.num_questions = 5000;
+  std::vector<double> difficulty = GenerateQuestionDifficulty(spec, rng);
+  ASSERT_EQ(difficulty.size(), 5000u);
+  int easy = 0;
+  int hard = 0;
+  int ambiguous = 0;
+  for (double d : difficulty) {
+    ASSERT_GE(d, 0.0);
+    ASSERT_LE(d, 1.0);
+    if (d <= spec.easy_difficulty_max) {
+      ++easy;
+    } else if (d >= spec.ambiguous_difficulty_min) {
+      ++ambiguous;
+    } else {
+      ASSERT_GE(d, spec.hard_difficulty_min);
+      ASSERT_LE(d, spec.hard_difficulty_max);
+      ++hard;
+    }
+  }
+  // Mode frequencies track the spec proportions.
+  EXPECT_NEAR(ambiguous / 5000.0, spec.ambiguous_fraction, 0.02);
+  EXPECT_NEAR(hard / 5000.0, spec.hard_fraction, 0.03);
+  EXPECT_NEAR(easy / 5000.0,
+              1.0 - spec.ambiguous_fraction - spec.hard_fraction, 0.03);
+}
+
+TEST(DifficultyTest, SpammerPoolFractionMatchesSpec) {
+  util::Rng rng(5);
+  WorkerPoolSpec spec;
+  spec.num_workers = 1000;
+  spec.num_labels = 2;
+  spec.spammer_fraction = 0.2;
+  int spammers = 0;
+  for (const SimulatedWorker& worker : GenerateWorkerPool(spec, rng)) {
+    // Spammer CMs have identical rows (answer independent of truth).
+    std::vector<double> cm = worker.latent.AsConfusionMatrix();
+    if (cm[0] == cm[2] && cm[1] == cm[3]) ++spammers;
+  }
+  EXPECT_NEAR(spammers / 1000.0, 0.2, 0.035);
+}
+
+TEST(DifficultyDeathTest, OutOfRangeDifficultyAborts) {
+  util::Rng rng(6);
+  SimulatedWorker worker{0, WorkerModel::Wp(0.9, 2)};
+  EXPECT_DEATH((void)worker.AnswerQuestion(0, rng, 1.5), "Check failed");
+}
+
+}  // namespace
+}  // namespace qasca

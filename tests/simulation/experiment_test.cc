@@ -1,0 +1,125 @@
+#include "simulation/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace qasca {
+namespace {
+
+// A small application so the parallel harness runs in well under a second.
+ApplicationSpec TinyApp() {
+  ApplicationSpec spec;
+  spec.name = "tiny";
+  spec.num_questions = 40;
+  spec.num_labels = 2;
+  spec.truth_prior = {0.5, 0.5};
+  spec.metric = MetricSpec::Accuracy();
+  spec.questions_per_hit = 4;
+  spec.answers_per_question = 3;
+  spec.workers.num_workers = 12;
+  spec.workers.num_labels = 2;
+  spec.workers.mean_accuracy = 0.8;
+  return spec;
+}
+
+TEST(ExperimentTest, DefaultSystemsArePaperSixInOrder) {
+  std::vector<SystemFactory> systems = DefaultSystems();
+  ASSERT_EQ(systems.size(), 6u);
+  EXPECT_EQ(systems[0].name, "Baseline");
+  EXPECT_EQ(systems[1].name, "CDAS");
+  EXPECT_EQ(systems[2].name, "AskIt!");
+  EXPECT_EQ(systems[3].name, "QASCA");
+  EXPECT_EQ(systems[4].name, "MaxMargin");
+  EXPECT_EQ(systems[5].name, "ExpLoss");
+  for (const SystemFactory& factory : systems) {
+    auto strategy = factory.make();
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->name(), factory.name);
+  }
+}
+
+TEST(ExperimentTest, TracesCoverTheFullHitAxis) {
+  ApplicationSpec spec = TinyApp();
+  ExperimentOptions options;
+  options.seed = 7;
+  options.checkpoints = 5;
+  std::vector<SystemFactory> systems = {DefaultSystems()[0],
+                                        DefaultSystems()[3]};
+  ExperimentResult result = RunParallelExperiment(spec, systems, options);
+
+  ASSERT_EQ(result.systems.size(), 2u);
+  for (const SystemTrace& trace : result.systems) {
+    ASSERT_FALSE(trace.completed_hits.empty());
+    EXPECT_EQ(trace.completed_hits.front(), 0);
+    EXPECT_EQ(trace.completed_hits.back(), spec.TotalHits());
+    EXPECT_EQ(trace.completed_hits.size(), trace.quality.size());
+    for (double q : trace.quality) {
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(trace.final_quality, trace.quality.back());
+  }
+}
+
+TEST(ExperimentTest, QualityImprovesOverTime) {
+  ApplicationSpec spec = TinyApp();
+  ExperimentOptions options;
+  options.seed = 11;
+  std::vector<SystemFactory> systems = {DefaultSystems()[3]};  // QASCA
+  ExperimentResult result = RunParallelExperiment(spec, systems, options);
+  const SystemTrace& trace = result.systems[0];
+  // Final quality should be well above the ~0.5 uninformed start. (At this
+  // tiny scale — 40 questions, 12 workers — sampling noise is large, so the
+  // bound is deliberately loose; the benches exercise paper scale.)
+  EXPECT_GT(trace.final_quality, trace.quality.front() + 0.1);
+  EXPECT_GT(trace.final_quality, 0.65);
+}
+
+TEST(ExperimentTest, DeterministicUnderSameSeed) {
+  ApplicationSpec spec = TinyApp();
+  ExperimentOptions options;
+  options.seed = 13;
+  std::vector<SystemFactory> systems = {DefaultSystems()[0]};
+  ExperimentResult a = RunParallelExperiment(spec, systems, options);
+  ExperimentResult b = RunParallelExperiment(spec, systems, options);
+  EXPECT_EQ(a.truth, b.truth);
+  EXPECT_EQ(a.systems[0].quality, b.systems[0].quality);
+}
+
+TEST(ExperimentTest, EstimationDeviationShrinks) {
+  ApplicationSpec spec = TinyApp();
+  ExperimentOptions options;
+  options.seed = 17;
+  options.checkpoints = 6;
+  std::vector<SystemFactory> systems = {DefaultSystems()[0]};
+  ExperimentResult result = RunParallelExperiment(spec, systems, options);
+  const std::vector<double>& dev = result.systems[0].estimation_deviation;
+  ASSERT_GE(dev.size(), 3u);
+  // Deviation at the end is below the first *fitted* checkpoint (index 1;
+  // index 0 has no fitted workers yet and reports 0).
+  EXPECT_LT(dev.back(), dev[1] + 1e-9);
+}
+
+TEST(ExperimentTest, FScoreAppReportsSelectionGain) {
+  ApplicationSpec spec = TinyApp();
+  spec.metric = MetricSpec::FScore(0.25, 0);
+  spec.truth_prior = {0.3, 0.7};
+  ExperimentOptions options;
+  options.seed = 19;
+  std::vector<SystemFactory> systems = {DefaultSystems()[0]};
+  ExperimentResult result = RunParallelExperiment(spec, systems, options);
+  // Recall-heavy alpha benefits from optimal result selection; the gain is
+  // at least non-negative on average.
+  EXPECT_GE(result.systems[0].result_selection_gain, -0.02);
+}
+
+TEST(ExperimentTest, AccuracyAppHasZeroSelectionGain) {
+  ApplicationSpec spec = TinyApp();
+  ExperimentOptions options;
+  options.seed = 23;
+  std::vector<SystemFactory> systems = {DefaultSystems()[0]};
+  ExperimentResult result = RunParallelExperiment(spec, systems, options);
+  EXPECT_DOUBLE_EQ(result.systems[0].result_selection_gain, 0.0);
+}
+
+}  // namespace
+}  // namespace qasca

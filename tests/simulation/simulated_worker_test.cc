@@ -1,0 +1,124 @@
+#include "simulation/simulated_worker.h"
+
+#include <gtest/gtest.h>
+
+namespace qasca {
+namespace {
+
+TEST(SimulatedWorkerTest, PerfectWorkerAlwaysAnswersTruth) {
+  util::Rng rng(1);
+  SimulatedWorker worker{0, WorkerModel::PerfectWp(3)};
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(worker.AnswerQuestion(2, rng), 2);
+  }
+}
+
+TEST(SimulatedWorkerTest, AnswerFrequencyMatchesLatentModel) {
+  util::Rng rng(2);
+  SimulatedWorker worker{0, WorkerModel::Wp(0.7, 2)};
+  int correct = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    if (worker.AnswerQuestion(0, rng) == 0) ++correct;
+  }
+  EXPECT_NEAR(correct / static_cast<double>(trials), 0.7, 0.01);
+}
+
+TEST(GenerateWorkerPoolTest, PoolHasRequestedShape) {
+  util::Rng rng(3);
+  WorkerPoolSpec spec;
+  spec.num_workers = 25;
+  spec.num_labels = 3;
+  std::vector<SimulatedWorker> pool = GenerateWorkerPool(spec, rng);
+  ASSERT_EQ(pool.size(), 25u);
+  for (size_t w = 0; w < pool.size(); ++w) {
+    EXPECT_EQ(pool[w].id, static_cast<WorkerId>(w));
+    EXPECT_EQ(pool[w].latent.num_labels(), 3);
+  }
+}
+
+TEST(GenerateWorkerPoolTest, RowsAreValidDistributions) {
+  util::Rng rng(4);
+  WorkerPoolSpec spec;
+  spec.num_workers = 10;
+  spec.num_labels = 4;
+  spec.adjacent_confusion_bias = 0.5;
+  spec.label_difficulty = {-0.1, 0.0, 0.05, 0.1};
+  for (const SimulatedWorker& worker : GenerateWorkerPool(spec, rng)) {
+    std::vector<double> cm = worker.latent.AsConfusionMatrix();
+    for (int truth = 0; truth < 4; ++truth) {
+      double total = 0.0;
+      for (int a = 0; a < 4; ++a) {
+        double p = cm[static_cast<size_t>(truth) * 4 + a];
+        EXPECT_GE(p, 0.0);
+        total += p;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(GenerateWorkerPoolTest, MeanAccuracyNearSpec) {
+  util::Rng rng(5);
+  WorkerPoolSpec spec;
+  spec.num_workers = 400;
+  spec.num_labels = 2;
+  spec.mean_accuracy = 0.8;
+  spec.accuracy_stddev = 0.05;
+  double total = 0.0;
+  for (const SimulatedWorker& worker : GenerateWorkerPool(spec, rng)) {
+    std::vector<double> cm = worker.latent.AsConfusionMatrix();
+    total += (cm[0] + cm[3]) / 2.0;
+  }
+  EXPECT_NEAR(total / 400.0, 0.8, 0.02);
+}
+
+TEST(GenerateWorkerPoolTest, LabelDifficultyCreatesAsymmetry) {
+  util::Rng rng(6);
+  WorkerPoolSpec spec;
+  spec.num_workers = 200;
+  spec.num_labels = 2;
+  spec.mean_accuracy = 0.78;
+  spec.label_difficulty = {-0.10, +0.06};  // ER-style: label 0 harder
+  double diag0 = 0.0;
+  double diag1 = 0.0;
+  for (const SimulatedWorker& worker : GenerateWorkerPool(spec, rng)) {
+    std::vector<double> cm = worker.latent.AsConfusionMatrix();
+    diag0 += cm[0];
+    diag1 += cm[3];
+  }
+  EXPECT_LT(diag0 / 200.0 + 0.1, diag1 / 200.0);
+}
+
+TEST(GenerateWorkerPoolTest, AdjacentBiasShapesConfusions) {
+  util::Rng rng(7);
+  WorkerPoolSpec spec;
+  spec.num_workers = 100;
+  spec.num_labels = 3;
+  spec.mean_accuracy = 0.7;
+  spec.adjacent_confusion_bias = 0.6;
+  double adjacent = 0.0;
+  double far = 0.0;
+  for (const SimulatedWorker& worker : GenerateWorkerPool(spec, rng)) {
+    std::vector<double> cm = worker.latent.AsConfusionMatrix();
+    adjacent += cm[0 * 3 + 1];  // truth "positive", answered "neutral"
+    far += cm[0 * 3 + 2];       // truth "positive", answered "negative"
+  }
+  EXPECT_GT(adjacent, 2.0 * far);
+}
+
+TEST(GenerateWorkerPoolTest, DeterministicGivenSeed) {
+  WorkerPoolSpec spec;
+  spec.num_workers = 5;
+  util::Rng rng_a(8);
+  util::Rng rng_b(8);
+  auto pool_a = GenerateWorkerPool(spec, rng_a);
+  auto pool_b = GenerateWorkerPool(spec, rng_b);
+  for (int w = 0; w < 5; ++w) {
+    EXPECT_DOUBLE_EQ(pool_a[w].latent.AnswerProbability(0, 0),
+                     pool_b[w].latent.AnswerProbability(0, 0));
+  }
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,154 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qasca::util {
+namespace {
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(RngTest, SampleWeightedRespectsZeroWeights) {
+  Rng rng(4);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.SampleWeighted(weights), 1);
+  }
+}
+
+TEST(RngTest, SampleWeightedMatchesDistribution) {
+  Rng rng(5);
+  std::vector<double> weights = {1.0, 3.0};  // 25% / 75%
+  int counts[2] = {0, 0};
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.SampleWeighted(weights)];
+  double fraction = static_cast<double>(counts[1]) / trials;
+  EXPECT_NEAR(fraction, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleWeightedUnnormalizedWeightsWork) {
+  Rng rng(6);
+  std::vector<double> weights = {100.0, 300.0};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.SampleWeighted(weights)];
+  EXPECT_NEAR(counts[1] / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementProducesDistinct) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> sample = rng.SampleWithoutReplacement(20, 8);
+    EXPECT_EQ(sample.size(), 8u);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPopulation) {
+  Rng rng(8);
+  std::vector<int> sample = rng.SampleWithoutReplacement(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform) {
+  // Each element of a population of 4 should appear in a sample of 2 with
+  // probability 1/2.
+  Rng rng(9);
+  int hits[4] = {0, 0, 0, 0};
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (int v : rng.SampleWithoutReplacement(4, 2)) ++hits[v];
+  }
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_NEAR(hits[v] / static_cast<double>(trials), 0.5, 0.02);
+  }
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(10);
+  std::vector<int> perm = rng.Permutation(16);
+  std::vector<int> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  // The child should not replay the parent's stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Uniform() == child.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, GaussianMeanAndSpread) {
+  Rng rng(12);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    double g = rng.Gaussian(2.0, 0.5);
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / trials;
+  double variance = sum_sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(variance, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace qasca::util

@@ -1,0 +1,86 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qasca::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(3.5);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats stats;
+  stats.Add(-1.0);
+  stats.Add(1.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 1.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.BucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.BucketLow(3), 0.75);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(3), 1.0);
+}
+
+TEST(HistogramTest, ValuesLandInBuckets) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);
+  h.Add(0.3);
+  h.Add(0.35);
+  h.Add(0.9);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 2);
+  EXPECT_EQ(h.count(2), 0);
+  EXPECT_EQ(h.count(3), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-5.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 1);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch stopwatch;
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  EXPECT_GE(stopwatch.ElapsedSeconds(), 0.0);
+  stopwatch.Reset();
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace qasca::util

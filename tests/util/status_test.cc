@@ -1,0 +1,73 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace qasca::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 7;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+  EXPECT_EQ(*result, 7);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = Status::NotFound("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result = std::string("payload");
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+Status FailsThrough() {
+  QASCA_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status status = FailsThrough();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(StatusDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> result = Status::Internal("boom");
+  EXPECT_DEATH((void)result.value(), "boom");
+}
+
+}  // namespace
+}  // namespace qasca::util

@@ -1,0 +1,33 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace qasca::util {
+namespace {
+
+TEST(TableTest, CsvRendering) {
+  Table table({"app", "quality"});
+  table.AddRow().Cell("FS").Percent(0.983);
+  table.AddRow().Cell("SA").Percent(0.846);
+  EXPECT_EQ(table.ToCsv(), "app,quality\nFS,98.30%\nSA,84.60%\n");
+}
+
+TEST(TableTest, NumericFormatting) {
+  Table table({"x", "y", "n"});
+  table.AddRow().Cell(1.23456, 2).Cell(0.5).Cell(int64_t{42});
+  EXPECT_EQ(table.ToCsv(), "x,y,n\n1.23,0.5000,42\n");
+}
+
+TEST(TableDeathTest, TooManyCellsAborts) {
+  Table table({"only"});
+  table.AddRow().Cell("a");
+  EXPECT_DEATH(table.Cell("b"), "too many cells");
+}
+
+TEST(TableDeathTest, CellBeforeRowAborts) {
+  Table table({"h"});
+  EXPECT_DEATH(table.Cell("x"), "Cell\\(\\) before AddRow\\(\\)");
+}
+
+}  // namespace
+}  // namespace qasca::util

@@ -1,0 +1,161 @@
+// qasca_sim — command-line driver for the simulated end-to-end comparison.
+//
+// Usage:
+//   qasca_sim [--app FS|SA|ER|PSA|NSA|CompanyLogo] [--seeds N]
+//             [--checkpoints N] [--systems a,b,...] [--csv] [--scale F]
+//
+//   --app          application to run (default FS)
+//   --seeds        number of independent simulated worlds to average
+//                  (default 3)
+//   --checkpoints  quality samples along the HIT axis (default 10)
+//   --systems      comma-separated subset of
+//                  Baseline,CDAS,AskIt!,QASCA,MaxMargin,ExpLoss
+//                  (default: all six)
+//   --scale        shrink factor in (0,1] applied to n and the worker pool
+//                  for quick runs (default 1.0)
+//   --csv          emit CSV instead of an aligned table
+//
+// Examples:
+//   qasca_sim --app ER --seeds 5
+//   qasca_sim --app NSA --systems Baseline,QASCA --scale 0.25 --csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/experiment_driver.h"
+#include "util/table.h"
+
+namespace qasca {
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--app NAME] [--seeds N] [--checkpoints N] "
+               "[--systems a,b,...] [--scale F] [--csv]\n",
+               argv0);
+  std::exit(2);
+}
+
+ApplicationSpec AppByName(const std::string& name) {
+  for (const ApplicationSpec& spec : PaperApplications()) {
+    if (spec.name == name) return spec;
+  }
+  if (name == "CompanyLogo") return CompanyLogoApp();
+  std::fprintf(stderr, "unknown app '%s' (try FS SA ER PSA NSA CompanyLogo)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+std::vector<std::string> SplitCommas(const std::string& value) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : value) {
+    if (c == ',') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+int Run(int argc, char** argv) {
+  std::string app_name = "FS";
+  int seeds = 3;
+  int checkpoints = 10;
+  double scale = 1.0;
+  bool csv = false;
+  std::vector<std::string> system_names;
+
+  for (int a = 1; a < argc; ++a) {
+    std::string flag = argv[a];
+    auto next_value = [&]() -> std::string {
+      if (a + 1 >= argc) Usage(argv[0]);
+      return argv[++a];
+    };
+    if (flag == "--app") {
+      app_name = next_value();
+    } else if (flag == "--seeds") {
+      seeds = std::atoi(next_value().c_str());
+      if (seeds <= 0) Usage(argv[0]);
+    } else if (flag == "--checkpoints") {
+      checkpoints = std::atoi(next_value().c_str());
+      if (checkpoints <= 0) Usage(argv[0]);
+    } else if (flag == "--systems") {
+      system_names = SplitCommas(next_value());
+    } else if (flag == "--scale") {
+      scale = std::atof(next_value().c_str());
+      if (scale <= 0.0 || scale > 1.0) Usage(argv[0]);
+    } else if (flag == "--csv") {
+      csv = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  ApplicationSpec spec = AppByName(app_name);
+  if (scale < 1.0) {
+    spec.num_questions =
+        std::max(spec.questions_per_hit * 4,
+                 static_cast<int>(spec.num_questions * scale));
+    spec.workers.num_workers =
+        std::max(4, static_cast<int>(spec.workers.num_workers * scale));
+  }
+
+  std::vector<SystemFactory> all = DefaultSystems();
+  std::vector<SystemFactory> systems;
+  if (system_names.empty()) {
+    systems = all;
+  } else {
+    for (const std::string& name : system_names) {
+      bool found = false;
+      for (const SystemFactory& factory : all) {
+        if (factory.name == name) {
+          systems.push_back(factory);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown system '%s'\n", name.c_str());
+        return 2;
+      }
+    }
+  }
+
+  std::fprintf(stderr,
+               "running %s: n=%d, k=%d, %d HITs, %d worker(s) pool, %d "
+               "seed(s), metric=%s\n",
+               spec.name.c_str(), spec.num_questions, spec.questions_per_hit,
+               spec.TotalHits(), spec.workers.num_workers, seeds,
+               spec.metric.Make()->name().c_str());
+
+  bench::AveragedTraces traces = bench::RunAveraged(
+      spec, systems, seeds, checkpoints, /*track_estimation_deviation=*/false);
+
+  std::vector<std::string> header = {"HITs"};
+  for (const std::string& name : traces.system_names) header.push_back(name);
+  util::Table table(header);
+  for (size_t c = 0; c < traces.completed_hits.size(); ++c) {
+    table.AddRow().Cell(int64_t{traces.completed_hits[c]});
+    for (size_t s = 0; s < traces.system_names.size(); ++s) {
+      table.Percent(traces.quality[s][c], 2);
+    }
+  }
+  if (csv) {
+    std::fputs(table.ToCsv().c_str(), stdout);
+  } else {
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace qasca
+
+int main(int argc, char** argv) { return qasca::Run(argc, argv); }
