@@ -1,7 +1,6 @@
 #include "core/assignment/assignment.h"
 
-#include <algorithm>
-
+#include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qasca {
@@ -27,15 +26,20 @@ void ValidateRequest(const AssignmentRequest& request) {
                  request.estimated->num_labels());
   QASCA_CHECK_GT(request.k, 0);
   QASCA_CHECK_LE(static_cast<size_t>(request.k), request.candidates.size());
-  std::vector<QuestionIndex> sorted = request.candidates;
-  std::sort(sorted.begin(), sorted.end());
-  for (size_t c = 0; c < sorted.size(); ++c) {
-    QASCA_CHECK_GE(sorted[c], 0);
-    QASCA_CHECK_LT(sorted[c], request.current->num_questions());
-    if (c > 0) {
-      QASCA_CHECK_NE(sorted[c - 1], sorted[c]) << "duplicate candidate";
-    }
+  QASCA_CHECK_OK(invariants::CheckCandidateSet(
+      request.candidates, request.current->num_questions()));
+  // Rows of `estimated` outside the candidate set are allowed to be stale,
+  // so only the current matrix is validated wholesale; the estimated rows
+  // that will actually be read are checked per-candidate.
+  QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(*request.current));
+#if QASCA_ENABLE_DCHECKS
+  for (QuestionIndex i : request.candidates) {
+    util::Status status =
+        invariants::CheckDistributionRow(request.estimated->Row(i));
+    QASCA_DCHECK(status.ok()) << "estimated row " << i << ": "
+                              << status.ToString();
   }
+#endif
 }
 
 }  // namespace qasca

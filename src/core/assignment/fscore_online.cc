@@ -5,6 +5,7 @@
 
 #include "core/fractional.h"
 #include "core/metrics/fscore.h"
+#include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qasca {
@@ -98,6 +99,13 @@ AssignmentResult AssignFScoreOnline(const AssignmentRequest& request,
 
   for (int outer = 1; outer <= kMaxOuterIterations; ++outer) {
     FractionalSolution update = UpdateDelta(request, options, delta);
+    // Theorem 3 monotonicity holds from the second Update on: after one
+    // step delta is the value of a feasible (X, R) pair, hence a valid
+    // lower bound. The very first step may shrink an overshooting warm
+    // start (see below), so it is exempt.
+    if (outer > 1) {
+      QASCA_DCHECK_OK(invariants::CheckLambdaMonotone(delta, update.value));
+    }
     result.outer_iterations = outer;
     result.inner_iterations += update.iterations;
     if (std::fabs(update.value - delta) <= kDeltaTolerance) {
@@ -106,7 +114,8 @@ AssignmentResult AssignFScoreOnline(const AssignmentRequest& request,
       for (int i = 0; i < qc.num_questions(); ++i) {
         if (update.z[i]) result.selected.push_back(i);
       }
-      QASCA_CHECK_EQ(static_cast<int>(result.selected.size()), request.k);
+      QASCA_CHECK_OK(invariants::CheckAssignment(result.selected, request.k,
+                                                 qc.num_questions()));
       return result;
     }
     // Theorem 3 gives monotone increase whenever delta <= delta*. The warm

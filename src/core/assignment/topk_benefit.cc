@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qasca {
@@ -56,6 +57,8 @@ AssignmentResult AssignTopKBenefitDecomposable(
   }
   for (int c = 0; c < request.k; ++c) total += benefits[c].first;
   result.objective = total / current.num_questions();
+  QASCA_DCHECK_OK(invariants::CheckAssignment(result.selected, request.k,
+                                              current.num_questions()));
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/invariants.h"
+
 namespace qasca {
 
 DistributionMatrix::DistributionMatrix(int num_questions, int num_labels)
@@ -18,6 +20,7 @@ void DistributionMatrix::SetRow(QuestionIndex i,
   QASCA_CHECK_GE(i, 0);
   QASCA_CHECK_LT(i, num_questions_);
   QASCA_CHECK_EQ(static_cast<int>(distribution.size()), num_labels_);
+  QASCA_DCHECK_OK(invariants::CheckDistributionRow(distribution));
   double* row = cells_.data() + static_cast<size_t>(i) * num_labels_;
   for (int j = 0; j < num_labels_; ++j) row[j] = distribution[j];
 }
@@ -37,7 +40,7 @@ void DistributionMatrix::SetRowNormalized(QuestionIndex i,
   for (int j = 0; j < num_labels_; ++j) row[j] = weights[j] / total;
 }
 
-LabelIndex DistributionMatrix::ArgMaxLabel(QuestionIndex i) const {
+LabelIndex DistributionMatrix::ArgMaxLabel(QuestionIndex i) const noexcept {
   std::span<const double> row = Row(i);
   LabelIndex best = 0;
   for (int j = 1; j < num_labels_; ++j) {
@@ -46,7 +49,7 @@ LabelIndex DistributionMatrix::ArgMaxLabel(QuestionIndex i) const {
   return best;
 }
 
-bool DistributionMatrix::IsNormalized(double tolerance) const {
+bool DistributionMatrix::IsNormalized(double tolerance) const noexcept {
   for (int i = 0; i < num_questions_; ++i) {
     double total = 0.0;
     for (double p : Row(i)) {

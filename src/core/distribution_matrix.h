@@ -24,11 +24,11 @@ class DistributionMatrix {
   /// distribution — the paper's initial state for Qc (Section 5.1).
   DistributionMatrix(int num_questions, int num_labels);
 
-  int num_questions() const { return num_questions_; }
-  int num_labels() const { return num_labels_; }
+  int num_questions() const noexcept { return num_questions_; }
+  int num_labels() const noexcept { return num_labels_; }
 
   /// Probability that question i's true label is `label` (cell Q_{i,j}).
-  double At(QuestionIndex i, LabelIndex label) const {
+  double At(QuestionIndex i, LabelIndex label) const noexcept {
     QASCA_CHECK_GE(i, 0);
     QASCA_CHECK_LT(i, num_questions_);
     QASCA_CHECK_GE(label, 0);
@@ -37,7 +37,7 @@ class DistributionMatrix {
   }
 
   /// Read-only view of row i (question i's label distribution Q_i).
-  std::span<const double> Row(QuestionIndex i) const {
+  std::span<const double> Row(QuestionIndex i) const noexcept {
     QASCA_CHECK_GE(i, 0);
     QASCA_CHECK_LT(i, num_questions_);
     return {cells_.data() + static_cast<size_t>(i) * num_labels_,
@@ -56,11 +56,11 @@ class DistributionMatrix {
 
   /// Label with the highest probability in row i (ties broken toward the
   /// smaller label index). This is the paper's R-tilde per-question choice.
-  LabelIndex ArgMaxLabel(QuestionIndex i) const;
+  LabelIndex ArgMaxLabel(QuestionIndex i) const noexcept;
 
   /// True if every row sums to 1 within `tolerance` and has no negative
   /// entries. Used by tests and debug assertions.
-  bool IsNormalized(double tolerance = 1e-9) const;
+  bool IsNormalized(double tolerance = 1e-9) const noexcept;
 
  private:
   int num_questions_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qasca {
@@ -28,8 +29,7 @@ double Objective(const ZeroOneFractionalProgram& p,
       denominator += p.d[i];
     }
   }
-  QASCA_CHECK_GT(denominator, 0.0)
-      << "0-1 FP denominator must stay positive over the feasible region";
+  QASCA_CHECK_OK(invariants::CheckFractionalDenominator(denominator));
   return numerator / denominator;
 }
 
@@ -51,6 +51,10 @@ FractionalSolution SolveUnconstrained(const ZeroOneFractionalProgram& problem,
       solution.z[i] = problem.b[i] - lambda * problem.d[i] >= 0.0 ? 1 : 0;
     }
     double updated = Objective(problem, solution.z);
+    // Dinkelbach monotonicity: from a valid lower bound, every iterate's
+    // lambda is non-decreasing. A violation means the caller's lambda_init
+    // contract was broken or the program is malformed.
+    QASCA_DCHECK_OK(invariants::CheckLambdaMonotone(lambda, updated));
     solution.iterations = iteration;
     if (std::fabs(updated - lambda) <= kLambdaTolerance) {
       solution.value = updated;
@@ -69,6 +73,15 @@ FractionalSolution SolveExactlyK(const ZeroOneFractionalProgram& problem,
   QASCA_CHECK_EQ(problem.d.size(), n);
   QASCA_CHECK_GT(k, 0);
   QASCA_CHECK_LE(static_cast<size_t>(k), candidates.size());
+  // Bounds are checked once up front (always on, allocation-free) instead of
+  // per access inside the iteration loop; duplicate detection is the debug
+  // tier — the assignment boundary (ValidateRequest) runs it per request.
+  for (int i : candidates) {
+    QASCA_CHECK_GE(i, 0);
+    QASCA_CHECK_LT(static_cast<size_t>(i), n);
+  }
+  QASCA_DCHECK_OK(
+      invariants::CheckCandidateSet(candidates, static_cast<int>(n)));
 
   // Scratch holding (score, candidate) pairs for the selection step.
   std::vector<std::pair<double, int>> scored(candidates.size());
@@ -79,8 +92,6 @@ FractionalSolution SolveExactlyK(const ZeroOneFractionalProgram& problem,
   for (int iteration = 1; iteration <= kMaxIterations; ++iteration) {
     for (size_t c = 0; c < candidates.size(); ++c) {
       int i = candidates[c];
-      QASCA_CHECK_GE(i, 0);
-      QASCA_CHECK_LT(static_cast<size_t>(i), n);
       scored[c] = {problem.b[i] - lambda * problem.d[i], i};
     }
     // Linear-time top-k selection (the role of the PICK algorithm [2] in
@@ -94,6 +105,7 @@ FractionalSolution SolveExactlyK(const ZeroOneFractionalProgram& problem,
     for (int c = 0; c < k; ++c) solution.z[scored[c].second] = 1;
 
     double updated = Objective(problem, solution.z);
+    QASCA_DCHECK_OK(invariants::CheckLambdaMonotone(lambda, updated));
     solution.iterations = iteration;
     if (std::fabs(updated - lambda) <= kLambdaTolerance) {
       solution.value = updated;

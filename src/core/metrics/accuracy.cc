@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qasca {
@@ -29,6 +30,7 @@ double AccuracyMetric::Evaluate(const DistributionMatrix& q,
 }
 
 ResultVector AccuracyMetric::OptimalResult(const DistributionMatrix& q) const {
+  QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(q));
   ResultVector result(q.num_questions());
   for (int i = 0; i < q.num_questions(); ++i) {
     result[i] = q.ArgMaxLabel(i);
@@ -38,6 +40,7 @@ ResultVector AccuracyMetric::OptimalResult(const DistributionMatrix& q) const {
 
 double AccuracyMetric::Quality(const DistributionMatrix& q) const {
   QASCA_CHECK_GT(q.num_questions(), 0);
+  QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(q));
   double total = 0.0;
   for (int i = 0; i < q.num_questions(); ++i) {
     std::span<const double> row = q.Row(i);

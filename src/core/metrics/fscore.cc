@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/fractional.h"
+#include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qasca {
@@ -94,6 +95,7 @@ FScoreQualityResult SolveFScoreQuality(const DistributionMatrix& q,
   QASCA_CHECK_LT(target_label, q.num_labels());
   QASCA_CHECK_GE(alpha, 0.0);
   QASCA_CHECK_LE(alpha, 1.0);
+  QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(q));
   const int n = q.num_questions();
 
   // Reduction of Eq. 10: b_i = Q_{i,1}, d_i = alpha, beta = 0,

@@ -5,6 +5,7 @@
 
 #include "model/posterior.h"
 #include "model/prior.h"
+#include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qasca {
@@ -68,6 +69,31 @@ WorkerModel FitWorker(const WorkerAnswers& wa,
   return WorkerModel::Cm(std::move(counts), num_labels);
 }
 
+#if QASCA_ENABLE_DCHECKS
+// Log Dirichlet/Beta penalty the smoothed M-step implicitly maximises:
+// smoothing * sum(log theta) over the fitted worker parameters. Adding it
+// to the data log-likelihood gives the objective MAP-EM ascends, which is
+// the quantity the monotonicity DCHECK tracks (the raw likelihood alone may
+// legitimately dip when smoothing > 0). Returns false if any parameter sits
+// on the boundary (log would be -inf; only possible with smoothing == 0,
+// where the penalty is zero anyway and the caller passes over it).
+bool AccumulateLogPenalty(const WorkerModel& model, double smoothing,
+                          double* penalty) {
+  if (smoothing <= 0.0) return true;
+  if (model.kind() == WorkerModel::Kind::kWorkerProbability) {
+    double m = model.worker_probability();
+    if (m <= 0.0 || m >= 1.0) return false;
+    *penalty += smoothing * (std::log(m) + std::log(1.0 - m));
+    return true;
+  }
+  for (double entry : model.AsConfusionMatrix()) {
+    if (entry <= 0.0) return false;
+    *penalty += smoothing * std::log(entry);
+  }
+  return true;
+}
+#endif
+
 }  // namespace
 
 const WorkerModel& EmResult::WorkerFor(WorkerId worker) const {
@@ -84,6 +110,13 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
   std::unordered_map<WorkerId, WorkerAnswers> grouped =
       GroupByWorker(answers);
 
+#if QASCA_ENABLE_DCHECKS
+  // MAP objective (data log-likelihood + log penalty) of the previous
+  // iteration's parameters; EM theory guarantees it never decreases.
+  double previous_objective = 0.0;
+  bool have_previous_objective = false;
+#endif
+
   for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
     result.iterations = iteration;
 
@@ -97,22 +130,54 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
       result.prior = EstimatePrior(result.posterior);
     }
 
+#if QASCA_ENABLE_DCHECKS
+    double objective = 0.0;
+    bool objective_valid = true;
+    for (const auto& [worker, model] : result.workers) {
+      objective_valid =
+          objective_valid &&
+          AccumulateLogPenalty(model, options.smoothing, &objective);
+    }
+#endif
+
     // E-step: posteriors from worker models and prior (Eq. 16).
     WorkerModelLookup lookup = [&result](WorkerId worker) -> const WorkerModel& {
       return result.WorkerFor(worker);
     };
     double max_change = 0.0;
     for (int i = 0; i < n; ++i) {
+      double marginal = 0.0;
       std::vector<double> row =
-          ComputePosteriorRow(answers[i], result.prior, lookup);
+          ComputePosteriorRow(answers[i], result.prior, lookup, &marginal);
       for (int j = 0; j < num_labels; ++j) {
         max_change =
             std::max(max_change, std::fabs(row[j] - result.posterior.At(i, j)));
       }
       result.posterior.SetRow(i, row);
+#if QASCA_ENABLE_DCHECKS
+      if (marginal > 0.0) {
+        objective += std::log(marginal);
+      } else {
+        // Contradictory answers under degenerate 0/1 models: the fallback
+        // row is not a true posterior, so the ascent guarantee lapses.
+        objective_valid = false;
+      }
+#endif
     }
+
+#if QASCA_ENABLE_DCHECKS
+    if (have_previous_objective && objective_valid) {
+      QASCA_DCHECK_OK(invariants::CheckLogLikelihoodMonotone(
+          previous_objective, objective,
+          /*tolerance=*/1e-8 * (1.0 + std::fabs(previous_objective))));
+    }
+    previous_objective = objective;
+    have_previous_objective = objective_valid;
+#endif
+
     if (max_change <= options.tolerance) break;
   }
+  QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(result.posterior));
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "model/majority.h"
 
+#include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qasca {
@@ -38,6 +39,7 @@ DistributionMatrix VoteShareDistribution(const AnswerSet& answers,
     if (total <= 0.0) continue;  // keep the uniform initialisation
     distribution.SetRowNormalized(static_cast<int>(i), votes);
   }
+  QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(distribution));
   return distribution;
 }
 

@@ -2,29 +2,35 @@
 
 #include <algorithm>
 
+#include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qasca {
 namespace {
 
-void NormalizeInPlace(std::vector<double>& weights) {
+// Scales `weights` to sum to one and returns the pre-normalisation total.
+// A non-positive total (all labels ruled out, which can happen with
+// degenerate 0/1 worker models giving contradictory answers) falls back to
+// uniform rather than abort: the data is inconsistent with the model, not
+// with the caller.
+double NormalizeInPlace(std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) total += w;
   if (total <= 0.0) {
-    // All labels ruled out (can happen with degenerate 0/1 worker models
-    // giving contradictory answers). Fall back to uniform rather than abort:
-    // the data is inconsistent with the model, not with the caller.
-    std::fill(weights.begin(), weights.end(), 1.0 / weights.size());
-    return;
+    std::fill(weights.begin(), weights.end(),
+              1.0 / static_cast<double>(weights.size()));
+    return total;
   }
   for (double& w : weights) w /= total;
+  return total;
 }
 
 }  // namespace
 
 std::vector<double> ComputePosteriorRow(const AnswerList& answers,
                                         const std::vector<double>& prior,
-                                        const WorkerModelLookup& models) {
+                                        const WorkerModelLookup& models,
+                                        double* marginal) {
   const int num_labels = static_cast<int>(prior.size());
   QASCA_CHECK_GT(num_labels, 0);
   std::vector<double> weights(prior.begin(), prior.end());
@@ -35,7 +41,9 @@ std::vector<double> ComputePosteriorRow(const AnswerList& answers,
       weights[j] *= model.AnswerProbability(answer.label, j);
     }
   }
-  NormalizeInPlace(weights);
+  double total = NormalizeInPlace(weights);
+  if (marginal != nullptr) *marginal = total;
+  QASCA_DCHECK_OK(invariants::CheckDistributionRow(weights));
   return weights;
 }
 
@@ -105,6 +113,7 @@ std::vector<double> EstimateWorkerRow(std::span<const double> current_row,
     }
   }
   NormalizeInPlace(expected);
+  QASCA_DCHECK_OK(invariants::CheckDistributionRow(expected));
   return expected;
 }
 

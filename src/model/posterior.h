@@ -18,9 +18,17 @@ using WorkerModelLookup = std::function<const WorkerModel&(WorkerId)>;
 /// Posterior distribution of one question's true label given its answers
 /// (Eq. 16): weight_j = p_j * prod_{(w,j') in answers} P(a_w = j' | t = j),
 /// normalised. With no answers this returns the prior.
+///
+/// If `marginal` is non-null it receives the normalisation constant
+/// sum_j weight_j, i.e. the marginal likelihood P(D_i) of this question's
+/// answers under the prior and worker models. EM uses it to track the
+/// observed-data log-likelihood (and to assert its monotone ascent). A
+/// non-positive marginal means the answers are inconsistent with degenerate
+/// 0/1 models; the returned row falls back to uniform in that case.
 std::vector<double> ComputePosteriorRow(const AnswerList& answers,
                                         const std::vector<double>& prior,
-                                        const WorkerModelLookup& models);
+                                        const WorkerModelLookup& models,
+                                        double* marginal = nullptr);
 
 /// The current distribution matrix Qc over all questions (Section 5.1).
 DistributionMatrix ComputeCurrentDistribution(const AnswerSet& answers,

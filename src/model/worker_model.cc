@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/invariants.h"
+
 namespace qasca {
 
 WorkerModel WorkerModel::PerfectWp(int num_labels) {
@@ -28,18 +30,7 @@ WorkerModel WorkerModel::Wp(double m, int num_labels) {
 
 WorkerModel WorkerModel::Cm(std::vector<double> matrix, int num_labels) {
   QASCA_CHECK_GT(num_labels, 0);
-  QASCA_CHECK_EQ(matrix.size(),
-                 static_cast<size_t>(num_labels) * num_labels);
-  for (int j = 0; j < num_labels; ++j) {
-    double row_sum = 0.0;
-    for (int j2 = 0; j2 < num_labels; ++j2) {
-      double p = matrix[static_cast<size_t>(j) * num_labels + j2];
-      QASCA_CHECK_GE(p, -1e-9) << "negative confusion-matrix entry";
-      row_sum += p;
-    }
-    QASCA_CHECK_LT(std::fabs(row_sum - 1.0), 1e-6)
-        << "confusion-matrix row must sum to 1";
-  }
+  QASCA_CHECK_OK(invariants::CheckConfusionMatrix(matrix, num_labels));
   WorkerModel model(Kind::kConfusionMatrix, num_labels);
   model.cm_ = std::move(matrix);
   return model;

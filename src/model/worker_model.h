@@ -35,11 +35,12 @@ class WorkerModel {
   /// column = answered label).
   static WorkerModel Cm(std::vector<double> matrix, int num_labels);
 
-  Kind kind() const { return kind_; }
-  int num_labels() const { return num_labels_; }
+  Kind kind() const noexcept { return kind_; }
+  int num_labels() const noexcept { return num_labels_; }
 
   /// P(a = answered | t = truth).
-  double AnswerProbability(LabelIndex answered, LabelIndex truth) const {
+  double AnswerProbability(LabelIndex answered, LabelIndex truth) const
+      noexcept {
     QASCA_CHECK_GE(answered, 0);
     QASCA_CHECK_LT(answered, num_labels_);
     QASCA_CHECK_GE(truth, 0);
@@ -52,7 +53,7 @@ class WorkerModel {
   }
 
   /// The WP value m; only valid for WP models.
-  double worker_probability() const {
+  double worker_probability() const noexcept {
     QASCA_CHECK(kind_ == Kind::kWorkerProbability);
     return wp_;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/invariants.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -54,8 +55,20 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
   max_assignment_seconds_ =
       std::max(max_assignment_seconds_, last_assignment_seconds_);
 
-  QASCA_CHECK_EQ(static_cast<int>(selected.size()), k)
-      << "strategy returned wrong HIT size";
+  // Every HIT leaving the engine must be exactly k distinct in-range
+  // questions, and each must come from the candidate set the strategy was
+  // given. Always on: a malformed HIT reaching the platform corrupts the
+  // answer set silently.
+  QASCA_CHECK_OK(
+      invariants::CheckAssignment(selected, k, config_.num_questions));
+#if QASCA_ENABLE_DCHECKS
+  for (QuestionIndex question : selected) {
+    QASCA_DCHECK(std::find(candidates.begin(), candidates.end(), question) !=
+                 candidates.end())
+        << "strategy selected question " << question
+        << " outside the candidate set";
+  }
+#endif
   database_.MarkAssigned(worker, selected);
   trace_.RecordAssignment(worker, selected);
   open_hits_.emplace(worker, selected);
@@ -94,6 +107,9 @@ util::Status TaskAssignmentEngine::CompleteHit(
           ? RunEmWarmStart(database_.answers(), config_.num_labels,
                            config_.em, database_.parameters())
           : RunEm(database_.answers(), config_.num_labels, config_.em));
+  // The refreshed Qc is what every later assignment decision reads; a
+  // denormalised row here corrupts all of them without crashing.
+  QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(database_.current()));
   return util::Status::Ok();
 }
 

@@ -61,16 +61,22 @@ class TaskAssignmentEngine {
   const EvaluationMetric& metric() const { return *metric_; }
   const AssignmentStrategy& strategy() const { return *strategy_; }
 
-  int assigned_hits() const { return assigned_hits_; }
-  int completed_hits() const { return completed_hits_; }
+  int assigned_hits() const noexcept { return assigned_hits_; }
+  int completed_hits() const noexcept { return completed_hits_; }
   /// HITs the remaining budget still affords.
-  int remaining_hits() const { return config_.TotalHits() - assigned_hits_; }
-  bool BudgetExhausted() const { return remaining_hits() <= 0; }
+  int remaining_hits() const noexcept {
+    return config_.TotalHits() - assigned_hits_;
+  }
+  bool BudgetExhausted() const noexcept { return remaining_hits() <= 0; }
 
   /// Wall-clock seconds spent inside the strategy on the most recent /
   /// slowest HIT request (Figure 6(a) reports the worst case).
-  double last_assignment_seconds() const { return last_assignment_seconds_; }
-  double max_assignment_seconds() const { return max_assignment_seconds_; }
+  double last_assignment_seconds() const noexcept {
+    return last_assignment_seconds_;
+  }
+  double max_assignment_seconds() const noexcept {
+    return max_assignment_seconds_;
+  }
 
  private:
   /// Fitted model for `worker` (perfect if unseen).

@@ -63,4 +63,69 @@ class CheckMessageBuilder {
 #define QASCA_CHECK_GT(a, b) QASCA_CHECK((a) > (b)) << "(" #a " vs " #b ")"
 #define QASCA_CHECK_GE(a, b) QASCA_CHECK((a) >= (b)) << "(" #a " vs " #b ")"
 
+/// Debug-gated checks for *internal* invariants: probability rows that must
+/// stay normalized, Dinkelbach lambdas that must be monotone, EM likelihoods
+/// that must not decrease. Compiled out in Release builds (the hot paths run
+/// them on every row/iteration, so they must cost nothing when off) and on
+/// in Debug and sanitizer builds. Control with the CMake cache variable
+/// QASCA_DCHECKS=ON|OFF|AUTO (AUTO follows NDEBUG).
+///
+/// Tier summary (see DESIGN.md "Correctness tooling"):
+///  * util::Status — recoverable runtime failures (bad config, budget).
+///  * QASCA_CHECK  — API misuse by the caller; always on.
+///  * QASCA_DCHECK — internal invariants; Debug/sanitizer builds only.
+#ifndef QASCA_ENABLE_DCHECKS
+#ifdef NDEBUG
+#define QASCA_ENABLE_DCHECKS 0
+#else
+#define QASCA_ENABLE_DCHECKS 1
+#endif
+#endif
+
+namespace qasca::util {
+/// Runtime-queryable mirror of QASCA_ENABLE_DCHECKS so tests can skip or
+/// assert death depending on the build flavour.
+inline constexpr bool kDChecksEnabled = QASCA_ENABLE_DCHECKS != 0;
+}  // namespace qasca::util
+
+#if QASCA_ENABLE_DCHECKS
+#define QASCA_DCHECK(condition) QASCA_CHECK(condition)
+#else
+// `true || (condition)` keeps the condition (and any streamed context)
+// compiling in every build type while letting dead-code elimination remove
+// the whole statement.
+#define QASCA_DCHECK(condition) QASCA_CHECK(true || (condition))
+#endif
+
+#define QASCA_DCHECK_EQ(a, b) QASCA_DCHECK((a) == (b)) << "(" #a " vs " #b ")"
+#define QASCA_DCHECK_NE(a, b) QASCA_DCHECK((a) != (b)) << "(" #a " vs " #b ")"
+#define QASCA_DCHECK_LT(a, b) QASCA_DCHECK((a) < (b)) << "(" #a " vs " #b ")"
+#define QASCA_DCHECK_LE(a, b) QASCA_DCHECK((a) <= (b)) << "(" #a " vs " #b ")"
+#define QASCA_DCHECK_GT(a, b) QASCA_DCHECK((a) > (b)) << "(" #a " vs " #b ")"
+#define QASCA_DCHECK_GE(a, b) QASCA_DCHECK((a) >= (b)) << "(" #a " vs " #b ")"
+
+/// Aborts if `expr` (a util::Status expression, typically an invariants::
+/// validator call) is not OK. The _OK variants exist because validators
+/// return Status with a precise diagnostic rather than a bare bool.
+/// QASCA_CHECK_OK is always on; QASCA_DCHECK_OK skips *evaluating* the
+/// validator entirely when DCHECKs are off — that is where the Release-mode
+/// cost savings come from.
+#define QASCA_CHECK_OK(expr)                               \
+  do {                                                     \
+    const auto qasca_check_ok_status = (expr);             \
+    QASCA_CHECK(qasca_check_ok_status.ok())                \
+        << qasca_check_ok_status.ToString();               \
+  } while (false)
+
+#if QASCA_ENABLE_DCHECKS
+#define QASCA_DCHECK_OK(expr) QASCA_CHECK_OK(expr)
+#else
+#define QASCA_DCHECK_OK(expr)                    \
+  do {                                           \
+    if (false) {                                 \
+      static_cast<void>(expr);                   \
+    }                                            \
+  } while (false)
+#endif
+
 #endif  // QASCA_UTIL_LOGGING_H_

@@ -56,9 +56,9 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
@@ -82,8 +82,8 @@ class StatusOr {
     QASCA_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  bool ok() const noexcept { return status_.ok(); }
+  const Status& status() const noexcept { return status_; }
 
   const T& value() const& {
     QASCA_CHECK(ok()) << status_.ToString();

@@ -156,5 +156,29 @@ TEST(FractionalTest, NegativeSwingCoefficientsHandled) {
   EXPECT_NEAR(solution.value, BruteForceExactlyK(p, candidates, 2), 1e-10);
 }
 
+TEST(FractionalTest, IterationCountRegressionPin) {
+  // Pins the Dinkelbach iteration counts on fixed-seed instances. The
+  // framework converges superlinearly (the paper observes <= 15 iterations
+  // at n = 2000); a change that alters these counts either changed the
+  // iteration's semantics or broke a warm-start/threshold rule, and should
+  // be reviewed — not silently absorbed.
+  util::Rng rng(2026);
+  std::vector<int> unconstrained_iterations;
+  std::vector<int> exactly_k_iterations;
+  for (int trial = 0; trial < 5; ++trial) {
+    ZeroOneFractionalProgram p = RandomProgram(rng, 50);
+    FractionalSolution unconstrained = SolveUnconstrained(p);
+    EXPECT_NEAR(Objective(p, unconstrained.z), unconstrained.value, 1e-12);
+    unconstrained_iterations.push_back(unconstrained.iterations);
+
+    std::vector<int> candidates = rng.SampleWithoutReplacement(50, 20);
+    FractionalSolution constrained = SolveExactlyK(p, candidates, 8);
+    EXPECT_NEAR(Objective(p, constrained.z), constrained.value, 1e-12);
+    exactly_k_iterations.push_back(constrained.iterations);
+  }
+  EXPECT_EQ(unconstrained_iterations, (std::vector<int>{6, 5, 5, 7, 5}));
+  EXPECT_EQ(exactly_k_iterations, (std::vector<int>{3, 3, 3, 3, 4}));
+}
+
 }  // namespace
 }  // namespace qasca

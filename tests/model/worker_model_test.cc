@@ -81,7 +81,7 @@ TEST(WorkerModelTest, DeviationAcrossKinds) {
 }
 
 TEST(WorkerModelDeathTest, CmRowsMustSumToOne) {
-  EXPECT_DEATH(WorkerModel::Cm({0.5, 0.4, 0.3, 0.7}, 2), "sum to 1");
+  EXPECT_DEATH(WorkerModel::Cm({0.5, 0.4, 0.3, 0.7}, 2), "sums to");
 }
 
 TEST(WorkerModelDeathTest, WpOutOfRangeAborts) {

@@ -1,0 +1,153 @@
+// Unit tests for the probabilistic-invariant subsystem: the Status-level
+// validators (active in every build type) and the QASCA_CHECK / QASCA_DCHECK
+// abort behaviour (death tests; the DCHECK ones self-skip in builds where
+// DCHECKs are compiled out).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distribution_matrix.h"
+#include "util/invariants.h"
+#include "util/logging.h"
+
+namespace qasca {
+namespace {
+
+TEST(InvariantValidatorsTest, AcceptsWellFormedDistributionRow) {
+  std::vector<double> row = {0.25, 0.25, 0.5};
+  EXPECT_TRUE(invariants::CheckDistributionRow(row).ok());
+}
+
+TEST(InvariantValidatorsTest, RejectsRowThatDoesNotSumToOne) {
+  std::vector<double> row = {0.3, 0.3, 0.3};
+  util::Status status = invariants::CheckDistributionRow(row);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("sums to"), std::string::npos);
+}
+
+TEST(InvariantValidatorsTest, RejectsNegativeEntryAndNaN) {
+  std::vector<double> negative = {1.2, -0.2};
+  EXPECT_FALSE(invariants::CheckDistributionRow(negative).ok());
+  std::vector<double> nan_row = {0.5, std::nan("")};
+  util::Status status = invariants::CheckDistributionRow(nan_row);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not finite"), std::string::npos);
+}
+
+TEST(InvariantValidatorsTest, RejectsEmptyRow) {
+  EXPECT_FALSE(invariants::CheckDistributionRow({}).ok());
+}
+
+TEST(InvariantValidatorsTest, ToleranceIsRespected) {
+  std::vector<double> row = {0.5 + 1e-8, 0.5};
+  EXPECT_TRUE(invariants::CheckDistributionRow(row).ok());
+  EXPECT_FALSE(invariants::CheckDistributionRow(row, 1e-12).ok());
+}
+
+TEST(InvariantValidatorsTest, ChecksDistributionMatrixRowByRow) {
+  DistributionMatrix q(3, 2);  // uniform rows
+  EXPECT_TRUE(invariants::CheckDistributionMatrix(q).ok());
+}
+
+TEST(InvariantValidatorsTest, ConfusionMatrixMustBeRowStochastic) {
+  std::vector<double> good = {0.9, 0.1, 0.2, 0.8};
+  EXPECT_TRUE(invariants::CheckConfusionMatrix(good, 2).ok());
+  std::vector<double> bad_sum = {0.9, 0.3, 0.2, 0.8};
+  util::Status status = invariants::CheckConfusionMatrix(bad_sum, 2);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("true-label row 0"), std::string::npos);
+  std::vector<double> wrong_shape = {1.0, 0.0, 1.0};
+  EXPECT_FALSE(invariants::CheckConfusionMatrix(wrong_shape, 2).ok());
+}
+
+TEST(InvariantValidatorsTest, CandidateSetRejectsDuplicatesAndOutOfRange) {
+  std::vector<int> good = {4, 0, 2};
+  EXPECT_TRUE(invariants::CheckCandidateSet(good, 5).ok());
+  std::vector<int> duplicate = {1, 2, 1};
+  EXPECT_FALSE(invariants::CheckCandidateSet(duplicate, 5).ok());
+  std::vector<int> out_of_range = {0, 5};
+  EXPECT_FALSE(invariants::CheckCandidateSet(out_of_range, 5).ok());
+  std::vector<int> negative = {-1, 2};
+  EXPECT_FALSE(invariants::CheckCandidateSet(negative, 5).ok());
+}
+
+TEST(InvariantValidatorsTest, AssignmentMustHaveExactlyKQuestions) {
+  std::vector<int> selected = {0, 3, 7};
+  EXPECT_TRUE(invariants::CheckAssignment(selected, 3, 10).ok());
+  util::Status k_mismatch = invariants::CheckAssignment(selected, 4, 10);
+  EXPECT_FALSE(k_mismatch.ok());
+  EXPECT_NE(k_mismatch.message().find("exactly k"), std::string::npos);
+  EXPECT_FALSE(invariants::CheckAssignment(selected, 3, 7).ok());
+}
+
+TEST(InvariantValidatorsTest, FractionalDenominatorMustBePositive) {
+  EXPECT_TRUE(invariants::CheckFractionalDenominator(0.5).ok());
+  EXPECT_FALSE(invariants::CheckFractionalDenominator(0.0).ok());
+  EXPECT_FALSE(invariants::CheckFractionalDenominator(-1.0).ok());
+  EXPECT_FALSE(
+      invariants::CheckFractionalDenominator(std::nan("")).ok());
+}
+
+TEST(InvariantValidatorsTest, LambdaMonotoneAllowsDitherWithinTolerance) {
+  EXPECT_TRUE(invariants::CheckLambdaMonotone(0.5, 0.7).ok());
+  EXPECT_TRUE(invariants::CheckLambdaMonotone(0.5, 0.5 - 1e-12).ok());
+  EXPECT_FALSE(invariants::CheckLambdaMonotone(0.5, 0.4).ok());
+  EXPECT_FALSE(invariants::CheckLambdaMonotone(0.5, std::nan("")).ok());
+}
+
+TEST(InvariantValidatorsTest, LogLikelihoodMonotone) {
+  EXPECT_TRUE(invariants::CheckLogLikelihoodMonotone(-120.0, -119.5).ok());
+  EXPECT_FALSE(invariants::CheckLogLikelihoodMonotone(-120.0, -121.0).ok());
+}
+
+using InvariantDeathTest = ::testing::Test;
+
+TEST(InvariantDeathTest, CheckOkAbortsOnBadAssignment) {
+  // QASCA_CHECK_OK is active in every build type.
+  std::vector<int> two = {0, 1};
+  EXPECT_DEATH(QASCA_CHECK_OK(invariants::CheckAssignment(two, 3, 10)),
+               "exactly k");
+}
+
+TEST(InvariantDeathTest, DcheckAbortsOnlyWhenEnabled) {
+  if (!util::kDChecksEnabled) {
+    GTEST_SKIP() << "DCHECKs compiled out in this build";
+  }
+  EXPECT_DEATH(QASCA_DCHECK(1 + 1 == 3) << "arithmetic broke", "Check failed");
+}
+
+TEST(InvariantDeathTest, DcheckIsCompiledOutInReleaseBuilds) {
+  if (util::kDChecksEnabled) {
+    GTEST_SKIP() << "DCHECKs enabled in this build";
+  }
+  // Must not abort, and must not evaluate operands' side effects.
+  int evaluations = 0;
+  QASCA_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(InvariantDeathTest, DcheckOkAbortsOnMalformedRowWhenEnabled) {
+  if (!util::kDChecksEnabled) {
+    GTEST_SKIP() << "DCHECKs compiled out in this build";
+  }
+  std::vector<double> bad_row = {0.9, 0.9};
+  EXPECT_DEATH(QASCA_DCHECK_OK(invariants::CheckDistributionRow(bad_row)),
+               "sums to");
+}
+
+TEST(InvariantDeathTest, SetRowRejectsMalformedRowWhenDchecksOn) {
+  if (!util::kDChecksEnabled) {
+    GTEST_SKIP() << "DCHECKs compiled out in this build";
+  }
+  DistributionMatrix q(2, 2);
+  std::vector<double> bad_row = {0.7, 0.6};
+  EXPECT_DEATH(q.SetRow(0, bad_row), "sums to");
+}
+
+}  // namespace
+}  // namespace qasca

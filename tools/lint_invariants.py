@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Static lint: distribution-row mutations must be validator-aware.
+
+Any translation unit under src/core/ or src/model/ that constructs or
+mutates probability-distribution rows — calls to SetRow / SetRowNormalized,
+or manual normalisation loops (`w /= total` style divides following a sum
+accumulation) — must reference the invariant subsystem: include
+util/invariants.h, call an invariants::Check* validator, or use
+QASCA_DCHECK_OK / QASCA_CHECK_OK. This keeps every producer of probability
+mass wired to a mechanical proof of row-stochasticity (ISSUE 1; see
+DESIGN.md "Correctness tooling").
+
+Exit status: 0 when clean, 1 when any file violates the rule, 2 on usage
+errors. Intended to run from tools/run_checks.sh.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Call sites that create or overwrite a probability distribution row.
+MUTATION_PATTERNS = [
+    re.compile(r"\bSetRowNormalized\s*\("),
+    re.compile(r"\bSetRow\s*\("),
+    re.compile(r"\bNormalizeInPlace\s*\("),
+]
+
+# Evidence that the file participates in the invariant subsystem.
+VALIDATOR_PATTERNS = [
+    re.compile(r'#include\s+"util/invariants\.h"'),
+    re.compile(r"\binvariants::Check\w+\s*\("),
+    re.compile(r"\bQASCA_DCHECK_OK\s*\("),
+    re.compile(r"\bQASCA_CHECK_OK\s*\("),
+]
+
+# Files exempt from the rule. distribution_matrix.h only *declares* the
+# mutators (definitions live in the .cc, which is covered).
+ALLOWLIST = {
+    "src/core/distribution_matrix.h",
+}
+
+LINTED_ROOTS = ("src/core", "src/model")
+
+
+def strip_comments(text: str) -> str:
+    """Removes // and /* */ comments so commented-out code cannot satisfy
+    or trigger the lint."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def lint_file(path: Path, repo_root: Path) -> list[str]:
+    rel = path.relative_to(repo_root).as_posix()
+    if rel in ALLOWLIST:
+        return []
+    text = strip_comments(path.read_text(encoding="utf-8"))
+    mutations = [p.pattern for p in MUTATION_PATTERNS if p.search(text)]
+    if not mutations:
+        return []
+    if any(p.search(text) for p in VALIDATOR_PATTERNS):
+        return []
+    return [
+        f"{rel}: mutates distribution rows (matched {', '.join(mutations)}) "
+        "without referencing util/invariants.h or a Check* validator"
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repo-root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (defaults to the parent of tools/)",
+    )
+    args = parser.parse_args()
+    repo_root = args.repo_root.resolve()
+
+    failures: list[str] = []
+    checked = 0
+    for root in LINTED_ROOTS:
+        base = repo_root / root
+        if not base.is_dir():
+            print(f"lint_invariants: missing directory {base}", file=sys.stderr)
+            return 2
+        for path in sorted(base.rglob("*.cc")) + sorted(base.rglob("*.h")):
+            checked += 1
+            failures.extend(lint_file(path, repo_root))
+
+    if failures:
+        print("lint_invariants: FAIL")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"lint_invariants: OK ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

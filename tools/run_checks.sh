@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Standing correctness gate for the QASCA tree (ISSUE 1; documented in
+# README.md and DESIGN.md "Correctness tooling"). Runs, in order:
+#
+#   1. the custom invariant lint (tools/lint_invariants.py),
+#   2. a warning-clean Release build (-Wall -Wextra -Werror, DCHECKs off),
+#   3. clang-tidy over src/ with the project .clang-tidy profile
+#      (skipped with a notice when clang-tidy is not installed),
+#   4. the asan-ubsan sanitizer preset: full build + ctest with every
+#      QASCA_DCHECK invariant enabled and sanitizer reports fatal,
+#   5. (optional, --tsan) the tsan preset the same way.
+#
+# Exits non-zero as soon as any stage fails. Usage:
+#
+#   tools/run_checks.sh [--quick] [--tsan]
+#
+# --quick limits stage 4's ctest run to tests labelled "invariants"
+# (the probabilistic-invariant suite plus the integration runs that sweep
+# the whole engine) instead of the full suite.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+JOBS="${JOBS:-$(nproc)}"
+QUICK=0
+RUN_TSAN=0
+for arg in "$@"; do
+  case "${arg}" in
+    --quick) QUICK=1 ;;
+    --tsan) RUN_TSAN=1 ;;
+    *)
+      echo "usage: tools/run_checks.sh [--quick] [--tsan]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+stage() { printf '\n==== %s ====\n' "$*"; }
+
+stage "1/5 invariant lint"
+python3 tools/lint_invariants.py
+
+stage "2/5 warning-clean Release build (-Werror)"
+cmake --preset release -DQASCA_WERROR=ON >/dev/null
+cmake --build --preset release -j "${JOBS}"
+
+stage "3/5 clang-tidy (src/)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The release preset's compile commands drive tidy so it sees the same
+  # flags the real build uses.
+  cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cc' -print0 |
+    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-release --quiet
+else
+  echo "clang-tidy not installed on this host; SKIPPED (profile: .clang-tidy)"
+fi
+
+stage "4/5 asan-ubsan preset (DCHECK invariants on, reports fatal)"
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j "${JOBS}"
+if [[ "${QUICK}" -eq 1 ]]; then
+  ctest --preset asan-ubsan-invariants -j "${JOBS}"
+else
+  ctest --preset asan-ubsan -j "${JOBS}"
+fi
+
+if [[ "${RUN_TSAN}" -eq 1 ]]; then
+  stage "5/5 tsan preset"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "${JOBS}"
+  ctest --preset tsan -j "${JOBS}"
+else
+  stage "5/5 tsan preset (skipped; pass --tsan to enable)"
+fi
+
+printf '\nAll checks passed.\n'
