@@ -1,0 +1,250 @@
+// PR 2 hot-path scaling benchmark: end-to-end HIT request/complete cycles
+// on the engine while sweeping AppConfig::num_threads and
+// AppConfig::em_refresh_interval.
+//
+// Measures, per (n, threads) configuration:
+//   * p50 / p95 assignment latency (the strategy call inside RequestHit),
+//   * completions per second (EM refresh is the dominant completion cost),
+//   * a decision hash over every selected question index, in order — equal
+//     hashes across thread counts prove the determinism contract end to end,
+//   * speedup vs the 1-thread run of the same n.
+//
+// Also measures the algorithmic speedup of the incremental Qc refresh:
+// em_refresh_interval 1 (the paper's refit-every-completion engine) vs 8.
+//
+// Emits a single JSON document (schema documented in README.md; written to
+// --out, default stdout). tools/run_bench.sh drives this binary and places
+// BENCH_PR2.json at the repo root.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "platform/engine.h"
+#include "platform/qasca_strategy.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace qasca {
+namespace {
+
+// Deterministic pseudo-noisy worker (~25% wrong): the answer depends only
+// on (worker, question, truth), so every configuration replays the same
+// answer stream and decision hashes are comparable.
+LabelIndex SimulatedAnswer(WorkerId worker, QuestionIndex question,
+                           LabelIndex truth, int num_labels) {
+  uint64_t h = (static_cast<uint64_t>(worker) * 1000003u +
+                static_cast<uint64_t>(question) + 1) *
+               0x9e3779b97f4a7c15ull;
+  h ^= h >> 31;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  if (h % 100 < 25) {
+    return static_cast<LabelIndex>(
+        (static_cast<uint64_t>(truth) + 1 + h % (num_labels - 1)) %
+        num_labels);
+  }
+  return truth;
+}
+
+struct RunResult {
+  double p50_assignment_seconds = 0.0;
+  double p95_assignment_seconds = 0.0;
+  double completions_per_second = 0.0;
+  double total_seconds = 0.0;
+  uint64_t decision_hash = 0;
+  int full_em_refits = 0;
+  int incremental_refreshes = 0;
+};
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double index = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(index);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = index - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+RunResult RunHitCycles(int n, int num_threads, int em_refresh_interval,
+                       int hits) {
+  AppConfig config;
+  config.name = "hotpath";
+  config.num_questions = n;
+  config.num_labels = 2;
+  config.questions_per_hit = 20;
+  config.pay_per_hit = 0.02;
+  config.budget = 0.02 * hits;
+  config.metric = MetricSpec::Accuracy();
+  config.worker_kind = WorkerModel::Kind::kWorkerProbability;
+  config.em.max_iterations = 15;
+  config.num_threads = num_threads;
+  config.em_refresh_interval = em_refresh_interval;
+
+  GroundTruthVector truth(n);
+  for (int q = 0; q < n; ++q) truth[q] = q % 2;
+
+  TaskAssignmentEngine engine(config, std::make_unique<QascaStrategy>(),
+                              /*seed=*/11);
+  RunResult result;
+  std::vector<double> request_seconds;
+  request_seconds.reserve(static_cast<size_t>(hits));
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a
+  double completion_seconds = 0.0;
+
+  util::Stopwatch total;
+  int round = 0;
+  while (!engine.BudgetExhausted()) {
+    const WorkerId worker = round++ % 30;
+    util::Stopwatch stopwatch;
+    auto hit = engine.RequestHit(worker);
+    request_seconds.push_back(stopwatch.ElapsedSeconds());
+    QASCA_CHECK(hit.ok()) << hit.status().ToString();
+    std::vector<LabelIndex> labels;
+    labels.reserve(hit->size());
+    for (QuestionIndex q : *hit) {
+      hash ^= static_cast<uint64_t>(q) + 1;
+      hash *= 1099511628211ull;
+      labels.push_back(SimulatedAnswer(worker, q, truth[q], 2));
+    }
+    stopwatch.Reset();
+    QASCA_CHECK(engine.CompleteHit(worker, labels).ok());
+    completion_seconds += stopwatch.ElapsedSeconds();
+  }
+  result.total_seconds = total.ElapsedSeconds();
+
+  std::sort(request_seconds.begin(), request_seconds.end());
+  result.p50_assignment_seconds = PercentileOfSorted(request_seconds, 0.50);
+  result.p95_assignment_seconds = PercentileOfSorted(request_seconds, 0.95);
+  result.completions_per_second =
+      completion_seconds > 0.0
+          ? static_cast<double>(engine.completed_hits()) / completion_seconds
+          : 0.0;
+  result.decision_hash = hash;
+  result.full_em_refits = engine.full_em_refits();
+  result.incremental_refreshes = engine.incremental_refreshes();
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  std::string commit = "unknown";
+  std::string date = "unknown";
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      QASCA_CHECK(i + 1 < argc) << "missing value for" << arg;
+      return argv[++i];
+    };
+    if (arg == "--commit") {
+      commit = value();
+    } else if (arg == "--date") {
+      date = value();
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_hotpath_scaling [--commit SHA] [--date D] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<int> sizes = {2000, 10000};
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const int kHits = 30;
+
+  std::FILE* out = out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
+  QASCA_CHECK(out != nullptr) << "cannot open" << out_path;
+
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"bench_hotpath_scaling\",\n");
+  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"commit\": \"%s\",\n", commit.c_str());
+  std::fprintf(out, "  \"date\": \"%s\",\n", date.c_str());
+  std::fprintf(out, "  \"machine\": { \"hardware_threads\": %u },\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out,
+               "  \"workload\": { \"metric\": \"accuracy\", \"worker_kind\": "
+               "\"wp\", \"num_labels\": 2, \"k\": 20, \"hits\": %d, "
+               "\"workers\": 30 },\n",
+               kHits);
+
+  // --- thread scaling ---------------------------------------------------
+  bool identical = true;
+  std::fprintf(out, "  \"thread_scaling\": [\n");
+  bool first = true;
+  for (int n : sizes) {
+    double serial_total = 0.0;
+    uint64_t serial_hash = 0;
+    for (int threads : thread_counts) {
+      std::fprintf(stderr, "[bench] n=%d threads=%d ...\n", n, threads);
+      const RunResult r = RunHitCycles(n, threads, /*interval=*/1, kHits);
+      if (threads == 1) {
+        serial_total = r.total_seconds;
+        serial_hash = r.decision_hash;
+      }
+      identical = identical && r.decision_hash == serial_hash;
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      std::fprintf(
+          out,
+          "    { \"n\": %d, \"threads\": %d, "
+          "\"p50_assignment_seconds\": %.6g, "
+          "\"p95_assignment_seconds\": %.6g, "
+          "\"completions_per_second\": %.6g, "
+          "\"total_seconds\": %.6g, "
+          "\"speedup_vs_1_thread\": %.4g, "
+          "\"decision_hash\": \"%016llx\" }",
+          n, threads, r.p50_assignment_seconds, r.p95_assignment_seconds,
+          r.completions_per_second, r.total_seconds,
+          serial_total > 0.0 ? serial_total / r.total_seconds : 1.0,
+          static_cast<unsigned long long>(r.decision_hash));
+    }
+  }
+  std::fprintf(out, "\n  ],\n");
+  std::fprintf(out,
+               "  \"determinism\": { "
+               "\"identical_decisions_across_thread_counts\": %s },\n",
+               identical ? "true" : "false");
+
+  // --- incremental Qc refresh (em_refresh_interval) ---------------------
+  std::fprintf(out, "  \"em_refresh\": [\n");
+  first = true;
+  for (int n : sizes) {
+    double full_total = 0.0;
+    for (int interval : {1, 8}) {
+      std::fprintf(stderr, "[bench] n=%d interval=%d ...\n", n, interval);
+      const RunResult r = RunHitCycles(n, /*threads=*/1, interval, kHits);
+      if (interval == 1) full_total = r.total_seconds;
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      std::fprintf(
+          out,
+          "    { \"n\": %d, \"em_refresh_interval\": %d, "
+          "\"completions_per_second\": %.6g, "
+          "\"total_seconds\": %.6g, "
+          "\"speedup_vs_interval_1\": %.4g, "
+          "\"full_em_refits\": %d, \"incremental_refreshes\": %d }",
+          n, interval, r.completions_per_second, r.total_seconds,
+          full_total > 0.0 ? full_total / r.total_seconds : 1.0,
+          r.full_em_refits, r.incremental_refreshes);
+    }
+  }
+  std::fprintf(out, "\n  ]\n");
+  std::fprintf(out, "}\n");
+  if (out != stdout) std::fclose(out);
+  QASCA_CHECK(identical)
+      << "decision hashes diverged across thread counts";
+  return 0;
+}
+
+}  // namespace
+}  // namespace qasca
+
+int main(int argc, char** argv) { return qasca::Main(argc, argv); }

@@ -6,6 +6,10 @@
 #include "core/distribution_matrix.h"
 #include "core/types.h"
 
+namespace qasca::util {
+class ThreadPool;
+}  // namespace qasca::util
+
 namespace qasca {
 
 /// Inputs common to every task-assignment call (Definition 1): the current
@@ -20,6 +24,11 @@ struct AssignmentRequest {
   /// The candidate set S^w: distinct question indices, any order.
   std::vector<QuestionIndex> candidates;
   int k = 0;
+  /// Optional worker pool for the per-candidate scans (benefit computation,
+  /// Dinkelbach numerator/denominator accumulation). nullptr runs serial;
+  /// any pool size produces bit-identical selections (fixed-grain chunking,
+  /// chunk-ordered reductions — see util/thread_pool.h).
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Outcome of an assignment: the chosen questions (ascending order) plus the

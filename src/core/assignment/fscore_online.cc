@@ -7,12 +7,18 @@
 #include "core/metrics/fscore.h"
 #include "util/invariants.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace qasca {
 namespace {
 
 constexpr double kDeltaTolerance = 1e-12;
 constexpr int kMaxOuterIterations = 1000;
+
+// Fixed chunk grain for the per-question and per-candidate sweeps below;
+// constant so the chunk decomposition and the chunk-ordered folds of the
+// beta/gamma accumulators are identical for every thread count.
+constexpr int kFScoreScanGrain = 512;
 
 // One Update step (Definition 2 / Algorithm 3): given delta, build the 0-1
 // fractional program of Theorem 4 and solve it over "exactly k questions
@@ -34,25 +40,48 @@ FractionalSolution UpdateDelta(const AssignmentRequest& request,
   // beta / gamma accumulate the "if unassigned" contribution of every
   // question; b_i / d_i hold the swing from assigning candidate i
   // (Theorem 4's construction, with \hat{r}^c, \hat{r}^w given by the
-  // delta*alpha threshold of Eq. 15).
-  for (int i = 0; i < n; ++i) {
-    double pc = qc.At(i, options.target_label);
-    bool rc = pc >= threshold;
-    if (rc) {
-      problem.beta += pc;
-      problem.gamma += alpha;
-    }
-    problem.gamma += (1.0 - alpha) * pc;
+  // delta*alpha threshold of Eq. 15). Both sweeps are chunk-parallel: the
+  // beta/gamma reduction folds per-chunk partials in chunk order, and the
+  // candidate sweep writes disjoint b/d slots.
+  const int num_chunks = util::NumChunks(0, n, kFScoreScanGrain);
+  std::vector<double> beta_partials(static_cast<size_t>(num_chunks), 0.0);
+  std::vector<double> gamma_partials(static_cast<size_t>(num_chunks), 0.0);
+  util::ParallelFor(
+      request.pool, 0, n, kFScoreScanGrain, [&](int cb, int ce) {
+        const size_t chunk =
+            static_cast<size_t>(util::ChunkIndex(0, cb, kFScoreScanGrain));
+        double beta = 0.0;
+        double gamma = 0.0;
+        for (int i = cb; i < ce; ++i) {
+          double pc = qc.At(i, options.target_label);
+          bool rc = pc >= threshold;
+          if (rc) {
+            beta += pc;
+            gamma += alpha;
+          }
+          gamma += (1.0 - alpha) * pc;
+        }
+        beta_partials[chunk] = beta;
+        gamma_partials[chunk] = gamma;
+      });
+  for (int c = 0; c < num_chunks; ++c) {
+    problem.beta += beta_partials[static_cast<size_t>(c)];
+    problem.gamma += gamma_partials[static_cast<size_t>(c)];
   }
-  for (QuestionIndex i : request.candidates) {
-    double pc = qc.At(i, options.target_label);
-    double pw = qw.At(i, options.target_label);
-    bool rc = pc >= threshold;
-    bool rw = pw >= threshold;
-    problem.b[i] = (rw ? pw : 0.0) - (rc ? pc : 0.0);
-    problem.d[i] = alpha * ((rw ? 1.0 : 0.0) - (rc ? 1.0 : 0.0)) +
-                   (1.0 - alpha) * (pw - pc);
-  }
+  const int num_candidates = static_cast<int>(request.candidates.size());
+  util::ParallelFor(
+      request.pool, 0, num_candidates, kFScoreScanGrain, [&](int cb, int ce) {
+        for (int c = cb; c < ce; ++c) {
+          QuestionIndex i = request.candidates[static_cast<size_t>(c)];
+          double pc = qc.At(i, options.target_label);
+          double pw = qw.At(i, options.target_label);
+          bool rc = pc >= threshold;
+          bool rw = pw >= threshold;
+          problem.b[i] = (rw ? pw : 0.0) - (rc ? pc : 0.0);
+          problem.d[i] = alpha * ((rw ? 1.0 : 0.0) - (rc ? 1.0 : 0.0)) +
+                         (1.0 - alpha) * (pw - pc);
+        }
+      });
 
   return SolveExactlyK(problem, request.candidates, request.k,
                        /*lambda_init=*/0.0);
@@ -73,13 +102,23 @@ AssignmentResult AssignFScoreOnline(const AssignmentRequest& request,
 
   // Degenerate instance: every target probability is zero, so F-score* is 0
   // for every assignment; return the first k candidates.
-  double total_target_mass = 0.0;
-  for (int i = 0; i < qc.num_questions(); ++i) {
-    total_target_mass += qc.At(i, options.target_label);
-  }
-  for (QuestionIndex i : request.candidates) {
-    total_target_mass += qw.At(i, options.target_label);
-  }
+  double total_target_mass = util::ParallelSum(
+      request.pool, 0, qc.num_questions(), kFScoreScanGrain,
+      [&](int cb, int ce) {
+        double sum = 0.0;
+        for (int i = cb; i < ce; ++i) sum += qc.At(i, options.target_label);
+        return sum;
+      });
+  total_target_mass += util::ParallelSum(
+      request.pool, 0, static_cast<int>(request.candidates.size()),
+      kFScoreScanGrain, [&](int cb, int ce) {
+        double sum = 0.0;
+        for (int c = cb; c < ce; ++c) {
+          sum += qw.At(request.candidates[static_cast<size_t>(c)],
+                       options.target_label);
+        }
+        return sum;
+      });
   if (total_target_mass <= 0.0) {
     AssignmentResult result;
     result.selected.assign(request.candidates.begin(),

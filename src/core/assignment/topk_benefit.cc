@@ -7,6 +7,7 @@
 
 #include "util/invariants.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace qasca {
 namespace {
@@ -14,6 +15,11 @@ namespace {
 double RowMax(std::span<const double> row) {
   return *std::max_element(row.begin(), row.end());
 }
+
+// Fixed chunk grain for the per-candidate benefit scan and the fixed-term
+// objective sum; constant so the decomposition (and the chunk-ordered fold
+// of the objective) is identical for every thread count.
+constexpr int kBenefitScanGrain = 512;
 
 }  // namespace
 
@@ -24,13 +30,20 @@ AssignmentResult AssignTopKBenefitDecomposable(
   const DistributionMatrix& estimated = *request.estimated;
 
   // Benefit of assigning each candidate (Section 4.1, generalised to any
-  // decomposable row quality).
-  std::vector<std::pair<double, QuestionIndex>> benefits;
-  benefits.reserve(request.candidates.size());
-  for (QuestionIndex i : request.candidates) {
-    benefits.emplace_back(
-        row_quality(estimated.Row(i)) - row_quality(current.Row(i)), i);
-  }
+  // decomposable row quality). Each candidate's benefit is independent, so
+  // the scan parallelises by chunk; slots are written by candidate index,
+  // leaving the vector handed to nth_element identical across thread counts.
+  const int num_candidates = static_cast<int>(request.candidates.size());
+  std::vector<std::pair<double, QuestionIndex>> benefits(
+      static_cast<size_t>(num_candidates));
+  util::ParallelFor(
+      request.pool, 0, num_candidates, kBenefitScanGrain, [&](int cb, int ce) {
+        for (int c = cb; c < ce; ++c) {
+          QuestionIndex i = request.candidates[static_cast<size_t>(c)];
+          benefits[static_cast<size_t>(c)] = {
+              row_quality(estimated.Row(i)) - row_quality(current.Row(i)), i};
+        }
+      });
 
   // Linear-time top-k selection (PICK [2]); ties broken by question index
   // for determinism.
@@ -51,10 +64,13 @@ AssignmentResult AssignTopKBenefitDecomposable(
 
   // Objective: the fixed term (quality of every current row) plus the
   // selected benefits, averaged (Eq. 12).
-  double total = 0.0;
-  for (int i = 0; i < current.num_questions(); ++i) {
-    total += row_quality(current.Row(i));
-  }
+  double total = util::ParallelSum(
+      request.pool, 0, current.num_questions(), kBenefitScanGrain,
+      [&](int cb, int ce) {
+        double sum = 0.0;
+        for (int i = cb; i < ce; ++i) sum += row_quality(current.Row(i));
+        return sum;
+      });
   for (int c = 0; c < request.k; ++c) total += benefits[c].first;
   result.objective = total / current.num_questions();
   QASCA_DCHECK_OK(invariants::CheckAssignment(result.selected, request.k,

@@ -7,6 +7,7 @@
 #include "model/prior.h"
 #include "util/invariants.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace qasca {
 namespace {
@@ -103,12 +104,35 @@ const WorkerModel& EmResult::WorkerFor(WorkerId worker) const {
 
 namespace {
 
+// Questions are partitioned into chunks of this many rows for the parallel
+// E-step. The grain is a fixed constant — never derived from the pool size —
+// so the chunk decomposition (and the chunk-ordered fold of the reductions
+// below) is identical for every thread count, making parallel results
+// bit-identical to the serial path.
+constexpr int kEStepGrain = 128;
+
+// Per-chunk E-step reduction state, merged in chunk-index order after the
+// parallel sweep.
+struct EStepPartial {
+  // Max absolute posterior-cell change in this chunk (convergence test).
+  double max_change = 0.0;
+  // Sum of log marginal likelihoods (the observed-data log-likelihood
+  // contribution); only accumulated when DCHECKs are on.
+  double log_marginal = 0.0;
+  // False if any marginal in the chunk was non-positive (degenerate 0/1
+  // models with contradictory answers), which voids the ascent guarantee.
+  bool marginals_positive = true;
+};
+
 // Shared E/M loop: iterate from the posterior already stored in `result`.
 EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
-                         const EmOptions& options, EmResult result) {
+                         const EmOptions& options, EmResult result,
+                         util::ThreadPool* pool) {
   const int n = static_cast<int>(answers.size());
   std::unordered_map<WorkerId, WorkerAnswers> grouped =
       GroupByWorker(answers);
+  std::vector<EStepPartial> partials(
+      static_cast<size_t>(util::NumChunks(0, n, kEStepGrain)));
 
 #if QASCA_ENABLE_DCHECKS
   // MAP objective (data log-likelihood + log penalty) of the previous
@@ -140,32 +164,47 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
     }
 #endif
 
-    // E-step: posteriors from worker models and prior (Eq. 16).
+    // E-step: posteriors from worker models and prior (Eq. 16). Rows are
+    // independent, so the sweep runs chunk-parallel; each chunk writes its
+    // own posterior rows and reduction slot, and the slots fold in chunk
+    // order below.
     WorkerModelLookup lookup = [&result](WorkerId worker) -> const WorkerModel& {
       return result.WorkerFor(worker);
     };
-    double max_change = 0.0;
-    for (int i = 0; i < n; ++i) {
-      double marginal = 0.0;
-      std::vector<double> row =
-          ComputePosteriorRow(answers[i], result.prior, lookup, &marginal);
-      for (int j = 0; j < num_labels; ++j) {
-        max_change =
-            std::max(max_change, std::fabs(row[j] - result.posterior.At(i, j)));
-      }
-      result.posterior.SetRow(i, row);
+    partials.assign(partials.size(), EStepPartial{});
+    util::ParallelFor(pool, 0, n, kEStepGrain, [&](int cb, int ce) {
+      EStepPartial& part =
+          partials[static_cast<size_t>(util::ChunkIndex(0, cb, kEStepGrain))];
+      for (int i = cb; i < ce; ++i) {
+        double marginal = 0.0;
+        std::vector<double> row =
+            ComputePosteriorRow(answers[i], result.prior, lookup, &marginal);
+        for (int j = 0; j < num_labels; ++j) {
+          part.max_change = std::max(
+              part.max_change, std::fabs(row[j] - result.posterior.At(i, j)));
+        }
+        result.posterior.SetRow(i, row);
 #if QASCA_ENABLE_DCHECKS
-      if (marginal > 0.0) {
-        objective += std::log(marginal);
-      } else {
-        // Contradictory answers under degenerate 0/1 models: the fallback
-        // row is not a true posterior, so the ascent guarantee lapses.
-        objective_valid = false;
-      }
+        if (marginal > 0.0) {
+          part.log_marginal += std::log(marginal);
+        } else {
+          // Contradictory answers under degenerate 0/1 models: the fallback
+          // row is not a true posterior, so the ascent guarantee lapses.
+          part.marginals_positive = false;
+        }
 #endif
+      }
+    });
+    double max_change = 0.0;
+    for (const EStepPartial& part : partials) {
+      max_change = std::max(max_change, part.max_change);
     }
 
 #if QASCA_ENABLE_DCHECKS
+    for (const EStepPartial& part : partials) {
+      objective += part.log_marginal;
+      objective_valid = objective_valid && part.marginals_positive;
+    }
     if (have_previous_objective && objective_valid) {
       QASCA_DCHECK_OK(invariants::CheckLogLikelihoodMonotone(
           previous_objective, objective,
@@ -184,7 +223,7 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
 }  // namespace
 
 EmResult RunEm(const AnswerSet& answers, int num_labels,
-               const EmOptions& options) {
+               const EmOptions& options, util::ThreadPool* pool) {
   QASCA_CHECK_GT(num_labels, 0);
   const int n = static_cast<int>(answers.size());
 
@@ -202,11 +241,12 @@ EmResult RunEm(const AnswerSet& answers, int num_labels,
     for (const Answer& answer : answers[i]) votes[answer.label] += 1.0;
     result.posterior.SetRowNormalized(i, votes);
   }
-  return RunEmIterations(answers, num_labels, options, std::move(result));
+  return RunEmIterations(answers, num_labels, options, std::move(result), pool);
 }
 
 EmResult RunEmWarmStart(const AnswerSet& answers, int num_labels,
-                        const EmOptions& options, const EmResult& previous) {
+                        const EmOptions& options, const EmResult& previous,
+                        util::ThreadPool* pool) {
   QASCA_CHECK_GT(num_labels, 0);
   const int n = static_cast<int>(answers.size());
   if (previous.posterior.num_questions() != n ||
@@ -216,7 +256,7 @@ EmResult RunEmWarmStart(const AnswerSet& answers, int num_labels,
     // The second case matters: an all-uniform posterior is a *fixed point*
     // of the EM update (the symmetric saddle), so warm-starting from a
     // blank state would never leave it — bootstrap from votes instead.
-    return RunEm(answers, num_labels, options);
+    return RunEm(answers, num_labels, options, pool);
   }
   EmResult result;
   result.prior = previous.prior.size() == static_cast<size_t>(num_labels)
@@ -235,11 +275,13 @@ EmResult RunEmWarmStart(const AnswerSet& answers, int num_labels,
       [&previous](WorkerId worker) -> const WorkerModel& {
     return previous.WorkerFor(worker);
   };
-  for (int i = 0; i < n; ++i) {
-    result.posterior.SetRow(
-        i, ComputePosteriorRow(answers[i], result.prior, lookup));
-  }
-  return RunEmIterations(answers, num_labels, options, std::move(result));
+  util::ParallelFor(pool, 0, n, kEStepGrain, [&](int cb, int ce) {
+    for (int i = cb; i < ce; ++i) {
+      result.posterior.SetRow(
+          i, ComputePosteriorRow(answers[i], result.prior, lookup));
+    }
+  });
+  return RunEmIterations(answers, num_labels, options, std::move(result), pool);
 }
 
 }  // namespace qasca

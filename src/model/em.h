@@ -7,6 +7,7 @@
 #include "core/distribution_matrix.h"
 #include "core/types.h"
 #include "model/worker_model.h"
+#include "util/thread_pool.h"
 
 namespace qasca {
 
@@ -49,17 +50,24 @@ struct EmResult {
 /// the current worker models and prior (Eq. 16); M-step re-estimates worker
 /// models and prior from the posteriors. Initialisation uses smoothed
 /// per-question vote counts, the standard Dawid–Skene bootstrap.
+///
+/// `pool` (optional) parallelises the E-step: per-question posterior rows
+/// are independent, so questions are partitioned into fixed-grain chunks and
+/// the per-chunk reductions (convergence delta, log-likelihood) fold in
+/// chunk-index order — results are bit-identical for every thread count,
+/// including the serial pool == nullptr path.
 EmResult RunEm(const AnswerSet& answers, int num_labels,
-               const EmOptions& options);
+               const EmOptions& options, util::ThreadPool* pool = nullptr);
 
 /// Warm-started EM: initialises the posteriors from `previous` (falling back
 /// to the vote bootstrap for questions whose answer count changed shape) and
 /// iterates from there. On the platform's HIT-completion path — where each
 /// refit sees the previous answer set plus k new answers — this converges in
 /// one or two rounds instead of the cold fit's half dozen, with the same
-/// fixed point.
+/// fixed point. `pool` as in RunEm.
 EmResult RunEmWarmStart(const AnswerSet& answers, int num_labels,
-                        const EmOptions& options, const EmResult& previous);
+                        const EmOptions& options, const EmResult& previous,
+                        util::ThreadPool* pool = nullptr);
 
 }  // namespace qasca
 

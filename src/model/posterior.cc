@@ -60,9 +60,9 @@ DistributionMatrix ComputeCurrentDistribution(
   return qc;
 }
 
-std::vector<double> EstimateWorkerRow(std::span<const double> current_row,
-                                      const WorkerModel& model, QwMode mode,
-                                      util::Rng& rng) {
+std::vector<double> EstimateWorkerRowAt(std::span<const double> current_row,
+                                        const WorkerModel& model, QwMode mode,
+                                        double u01) {
   const int num_labels = static_cast<int>(current_row.size());
   QASCA_CHECK_EQ(model.num_labels(), num_labels);
 
@@ -98,7 +98,7 @@ std::vector<double> EstimateWorkerRow(std::span<const double> current_row,
   };
 
   if (mode == QwMode::kSampled) {
-    LabelIndex sampled = rng.SampleWeighted(answer_distribution);
+    LabelIndex sampled = util::SampleWeightedAt(answer_distribution, u01);
     return conditioned(sampled);
   }
 
@@ -117,16 +117,43 @@ std::vector<double> EstimateWorkerRow(std::span<const double> current_row,
   return expected;
 }
 
+std::vector<double> EstimateWorkerRow(std::span<const double> current_row,
+                                      const WorkerModel& model, QwMode mode,
+                                      util::Rng& rng) {
+  return EstimateWorkerRowAt(current_row, model, mode,
+                             mode == QwMode::kSampled ? rng.Uniform() : 0.0);
+}
+
+// Candidate rows are independent, so the scan parallelises by chunk; the
+// grain is fixed (never derived from the pool size) to keep the chunk
+// decomposition — and with it any scheduling-sensitive behaviour —
+// identical across thread counts.
+namespace {
+constexpr int kQwScanGrain = 256;
+}  // namespace
+
 DistributionMatrix EstimateWorkerDistribution(
     const DistributionMatrix& current, const WorkerModel& model,
-    const std::vector<QuestionIndex>& candidates, QwMode mode,
-    util::Rng& rng) {
+    const std::vector<QuestionIndex>& candidates, QwMode mode, util::Rng& rng,
+    util::ThreadPool* pool) {
   DistributionMatrix qw = current;
-  for (QuestionIndex i : candidates) {
-    std::vector<double> row =
-        EstimateWorkerRow(current.Row(i), model, mode, rng);
-    qw.SetRow(i, row);
-  }
+  // One base draw per call keeps the caller's Rng stream advanced the same
+  // way regardless of candidate count or threading; every candidate then
+  // derives its own counter-based stream from (base, question index).
+  const uint64_t base = mode == QwMode::kSampled ? rng.engine()() : 0;
+  const int count = static_cast<int>(candidates.size());
+  util::ParallelFor(pool, 0, count, kQwScanGrain, [&](int cb, int ce) {
+    for (int c = cb; c < ce; ++c) {
+      QuestionIndex i = candidates[static_cast<size_t>(c)];
+      double u01 = 0.0;
+      if (mode == QwMode::kSampled) {
+        util::SplitMix64 stream(
+            util::SplitMix64::MixSeed(base, static_cast<uint64_t>(i)));
+        u01 = stream.NextDouble();
+      }
+      qw.SetRow(i, EstimateWorkerRowAt(current.Row(i), model, mode, u01));
+    }
+  });
   return qw;
 }
 

@@ -8,6 +8,7 @@
 #include "core/types.h"
 #include "model/worker_model.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace qasca {
 
@@ -48,7 +49,17 @@ enum class QwMode {
 };
 
 /// Estimates row i of Qw for a worker with model `model`, given the current
-/// row Qc_i. `rng` is used only in kSampled mode.
+/// row Qc_i and the uniform variate `u01` in [0, 1) that drives the kSampled
+/// weighted draw (ignored in kExpected mode). This is the deterministic core
+/// of Qw estimation: given identical inputs it returns an identical row on
+/// any thread, which is what lets EstimateWorkerDistribution parallelise
+/// without perturbing HIT selection.
+std::vector<double> EstimateWorkerRowAt(std::span<const double> current_row,
+                                        const WorkerModel& model, QwMode mode,
+                                        double u01);
+
+/// Estimates row i of Qw for a worker with model `model`, given the current
+/// row Qc_i. `rng` is used only in kSampled mode (exactly one draw).
 std::vector<double> EstimateWorkerRow(std::span<const double> current_row,
                                       const WorkerModel& model, QwMode mode,
                                       util::Rng& rng);
@@ -57,9 +68,17 @@ std::vector<double> EstimateWorkerRow(std::span<const double> current_row,
 /// rows in `candidates` are estimated; all other rows are copied from
 /// `current` (they are never read by the assignment algorithms, but copying
 /// keeps the matrix fully normalised).
+///
+/// Randomness contract: in kSampled mode exactly one 64-bit base draw is
+/// taken from `rng` per call, and each candidate row samples from its own
+/// SplitMix64 stream seeded by (base, question index). Row values therefore
+/// depend only on the base draw and the question — not on candidate order,
+/// pool size, or scheduling — so runs with any `pool` (including none)
+/// select byte-identical HITs.
 DistributionMatrix EstimateWorkerDistribution(
     const DistributionMatrix& current, const WorkerModel& model,
-    const std::vector<QuestionIndex>& candidates, QwMode mode, util::Rng& rng);
+    const std::vector<QuestionIndex>& candidates, QwMode mode, util::Rng& rng,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace qasca
 

@@ -22,6 +22,17 @@ util::Status AppConfig::Validate() const {
     return util::Status::InvalidArgument(
         "budget must afford at least one HIT");
   }
+  if (num_threads < 1) {
+    return util::Status::InvalidArgument("num_threads must be at least 1");
+  }
+  if (em_refresh_interval < 1) {
+    return util::Status::InvalidArgument(
+        "em_refresh_interval must be at least 1");
+  }
+  if (em_drift_tolerance <= 0.0) {
+    return util::Status::InvalidArgument(
+        "em_drift_tolerance must be positive");
+  }
   if (metric.kind == MetricSpec::Kind::kCostAccuracy) {
     size_t expected = static_cast<size_t>(num_labels) * num_labels;
     if (metric.costs.size() != expected) {

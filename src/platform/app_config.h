@@ -41,6 +41,27 @@ struct AppConfig {
   /// local optimum that the cold vote bootstrap would wash out, noticeably
   /// hurting end quality. Enable only when seeding from a mature fit.
   bool warm_start_em = false;
+  /// Worker threads for the hot kernels (EM E-step, Qw estimation, benefit
+  /// scans). 1 = exact serial execution with no pool at all. Any value
+  /// produces byte-identical assignment decisions (fixed-grain chunking and
+  /// counter-based per-question RNG streams; see DESIGN.md "Threading and
+  /// incrementality").
+  int num_threads = 1;
+  /// Full EM refits run every this-many HIT completions; completions in
+  /// between only re-derive the posterior rows of the k questions the
+  /// completed HIT touched, under the frozen worker models and prior
+  /// (Eq. 5's posterior update only changes rows whose answer set changed).
+  /// 1 = refit on every completion (the paper's batch-global behaviour).
+  int em_refresh_interval = 1;
+  /// Always-on agreement bound between the incremental Qc and the next full
+  /// EM refit: the max absolute cell difference must stay below this, else
+  /// the engine aborts. Generous by design: a refit sees fresher worker
+  /// models, and on a sparsely-answered contested question that can
+  /// legitimately flip the posterior (measured flips reach ~0.9 at small
+  /// scale), so tight bounds would abort on correct behaviour. A violation
+  /// means the incremental path asserts near-certainty the refit
+  /// contradicts — a logic error (stale or forgotten rows), not noise.
+  double em_drift_tolerance = 0.95;
 
   /// Total number of HITs the budget affords: m = B / b (rounded to the
   /// nearest whole HIT to absorb floating-point currency arithmetic).

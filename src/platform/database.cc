@@ -63,4 +63,16 @@ void Database::SetParameters(EmResult parameters) {
   current_ = parameters_.posterior;
 }
 
+void Database::UpdatePosteriorRow(QuestionIndex question,
+                                  std::span<const double> row) {
+  QASCA_CHECK_GE(question, 0);
+  QASCA_CHECK_LT(question, num_questions_);
+  // The engine may be mid-run with a posterior shaped before any full fit;
+  // both copies of the row must stay in lockstep so a later warm start and
+  // the assignment path read the same beliefs.
+  QASCA_CHECK_EQ(parameters_.posterior.num_questions(), num_questions_);
+  parameters_.posterior.SetRow(question, row);
+  current_.SetRow(question, row);
+}
+
 }  // namespace qasca

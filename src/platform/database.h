@@ -1,6 +1,7 @@
 #ifndef QASCA_PLATFORM_DATABASE_H_
 #define QASCA_PLATFORM_DATABASE_H_
 
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -45,6 +46,15 @@ class Database {
   /// posterior Qc) with a fresh EM fit.
   void SetParameters(EmResult parameters);
   const EmResult& parameters() const { return parameters_; }
+
+  /// Incremental Qc refresh: overwrites one posterior row in both the
+  /// cached parameters and the current distribution matrix, leaving worker
+  /// models and prior untouched. Used between full EM refits, when a HIT
+  /// completion changed only the answer sets of its k questions (the
+  /// posterior update of Eq. 5 touches exactly those rows). `row` must be a
+  /// normalised distribution of num_labels() entries.
+  void UpdatePosteriorRow(QuestionIndex question,
+                          std::span<const double> row);
 
   /// The current distribution matrix Qc. Before any HIT completes this is
   /// the uniform prior (Section 5.1).

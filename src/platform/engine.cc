@@ -1,7 +1,9 @@
 #include "platform/engine.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "model/posterior.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -20,6 +22,9 @@ TaskAssignmentEngine::TaskAssignmentEngine(
   QASCA_CHECK(status.ok()) << status.ToString();
   QASCA_CHECK(strategy_ != nullptr);
   config_.em.worker_kind = config_.worker_kind;
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
 }
 
 util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
@@ -38,15 +43,15 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
         "fewer than k unassigned questions remain for this worker");
   }
 
-  WorkerModel typical = ComputeTypicalWorker();
   StrategyContext context;
   context.database = &database_;
   context.metric = &config_.metric;
   context.worker = worker;
   const WorkerModel& model = ModelFor(worker);
   context.worker_model = &model;
-  context.typical_worker = &typical;
+  context.typical_worker = &TypicalWorker();
   context.rng = &rng_;
+  context.pool = pool_.get();
 
   util::Stopwatch stopwatch;
   std::vector<QuestionIndex> selected =
@@ -62,9 +67,13 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
   QASCA_CHECK_OK(
       invariants::CheckAssignment(selected, k, config_.num_questions));
 #if QASCA_ENABLE_DCHECKS
+  // CandidatesFor returns ascending indices, so membership is a binary
+  // search — O(k log n) instead of the O(k n) linear scan that used to
+  // dominate debug-build latency measurements.
+  QASCA_DCHECK(std::is_sorted(candidates.begin(), candidates.end()));
   for (QuestionIndex question : selected) {
-    QASCA_DCHECK(std::find(candidates.begin(), candidates.end(), question) !=
-                 candidates.end())
+    QASCA_DCHECK(
+        std::binary_search(candidates.begin(), candidates.end(), question))
         << "strategy selected question " << question
         << " outside the candidate set";
   }
@@ -96,21 +105,90 @@ util::Status TaskAssignmentEngine::CompleteHit(
   for (size_t q = 0; q < questions.size(); ++q) {
     database_.RecordAnswer(questions[q], worker, labels[q]);
   }
+  std::vector<QuestionIndex> touched = it->second;
   trace_.RecordCompletion(worker, questions, labels);
   open_hits_.erase(it);
   ++completed_hits_;
+  ++completions_since_refit_;
 
-  // Steps B + C: re-estimate worker models and prior with EM, then refresh
-  // Qc from the fitted posterior.
+  // Steps B + C: re-estimate the parameters and refresh Qc. A full EM refit
+  // is the dominant per-completion cost at scale, and only the k touched
+  // rows' answer sets changed — so between scheduled refits we keep the
+  // fitted worker models and prior frozen and re-derive just those rows
+  // (Eq. 5). The first fit is always full: before it, the fallback model is
+  // a perfect worker and a Bayes update under it would drive rows to 0/1
+  // certainty that EM would never assert.
+  const bool can_refresh_incrementally =
+      config_.em_refresh_interval > 1 &&
+      !database_.parameters().workers.empty();
+  if (can_refresh_incrementally) {
+    // Applied even on a completion that triggers a scheduled refit, so the
+    // refit's drift invariant compares a fully-updated incremental Qc —
+    // never one stale by this HIT's k new answers.
+    const EmResult& parameters = database_.parameters();
+    WorkerModelLookup lookup =
+        [&parameters](WorkerId w) -> const WorkerModel& {
+      return parameters.WorkerFor(w);
+    };
+    for (QuestionIndex question : touched) {
+      std::vector<double> row = ComputePosteriorRow(
+          database_.answers()[static_cast<size_t>(question)],
+          parameters.prior, lookup);
+      // Always on: an incremental row is the only writer of Qc between
+      // refits, so a denormalised one corrupts every later assignment
+      // decision without crashing.
+      QASCA_CHECK_OK(invariants::CheckDistributionRow(row));
+      database_.UpdatePosteriorRow(question, row);
+    }
+    incremental_since_refit_ = true;
+  }
+  if (!can_refresh_incrementally ||
+      completions_since_refit_ >= config_.em_refresh_interval) {
+    RunFullEmRefit();
+  } else {
+    ++incremental_refreshes_;
+  }
+  return util::Status::Ok();
+}
+
+void TaskAssignmentEngine::ForceFullEmRefit() { RunFullEmRefit(); }
+
+void TaskAssignmentEngine::RunFullEmRefit() {
+  const bool check_drift = incremental_since_refit_;
+  DistributionMatrix incremental = database_.current();
   database_.SetParameters(
       config_.warm_start_em
           ? RunEmWarmStart(database_.answers(), config_.num_labels,
-                           config_.em, database_.parameters())
-          : RunEm(database_.answers(), config_.num_labels, config_.em));
+                           config_.em, database_.parameters(), pool_.get())
+          : RunEm(database_.answers(), config_.num_labels, config_.em,
+                  pool_.get()));
   // The refreshed Qc is what every later assignment decision reads; a
   // denormalised row here corrupts all of them without crashing.
   QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(database_.current()));
-  return util::Status::Ok();
+  if (check_drift) {
+    // Always-on incremental-agreement invariant: the Qc the incremental
+    // path maintained must agree with the full refit within the configured
+    // tolerance. A violation means the incremental updates diverged from
+    // the model (stale rows, wrong parameters), not floating-point noise.
+    const DistributionMatrix& refit = database_.current();
+    double drift = 0.0;
+    for (int i = 0; i < refit.num_questions(); ++i) {
+      for (int j = 0; j < refit.num_labels(); ++j) {
+        drift = std::max(drift,
+                         std::fabs(refit.At(i, j) - incremental.At(i, j)));
+      }
+    }
+    last_refresh_drift_ = drift;
+    max_refresh_drift_ = std::max(max_refresh_drift_, drift);
+    QASCA_CHECK(drift <= config_.em_drift_tolerance)
+        << "incremental Qc drifted" << drift << "from the full EM refit"
+        << "(tolerance" << config_.em_drift_tolerance << ")";
+  }
+  ++full_em_refits_;
+  completions_since_refit_ = 0;
+  incremental_since_refit_ = false;
+  // The fitted worker pool changed; the cached typical worker is stale.
+  typical_worker_.reset();
 }
 
 ResultVector TaskAssignmentEngine::CurrentResults() const {
@@ -124,6 +202,13 @@ double TaskAssignmentEngine::QualityAgainstTruth(
 
 const WorkerModel& TaskAssignmentEngine::ModelFor(WorkerId worker) const {
   return database_.parameters().WorkerFor(worker);
+}
+
+const WorkerModel& TaskAssignmentEngine::TypicalWorker() {
+  if (!typical_worker_.has_value()) {
+    typical_worker_ = ComputeTypicalWorker();
+  }
+  return *typical_worker_;
 }
 
 WorkerModel TaskAssignmentEngine::ComputeTypicalWorker() const {

@@ -2,6 +2,7 @@
 #define QASCA_PLATFORM_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "platform/trace.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace qasca {
 
@@ -27,6 +29,14 @@ namespace qasca {
 /// The engine is strategy-pluggable so that the five comparison systems of
 /// Section 6.2.1 run under the identical platform harness; QASCA itself is
 /// the QascaStrategy.
+///
+/// Performance model (DESIGN.md "Threading and incrementality"): with
+/// AppConfig::num_threads > 1 the engine owns a fixed-size thread pool that
+/// the hot kernels (EM E-step, Qw estimation, benefit scans) chunk work
+/// onto; assignment decisions are byte-identical for every thread count.
+/// With AppConfig::em_refresh_interval > 1, full EM refits run only every
+/// that-many completions and the completions in between re-derive just the
+/// k posterior rows the completed HIT touched.
 class TaskAssignmentEngine {
  public:
   /// `config` must Validate(); `seed` drives all stochastic choices
@@ -45,6 +55,13 @@ class TaskAssignmentEngine {
   /// worker received from RequestHit.
   util::Status CompleteHit(WorkerId worker,
                            const std::vector<LabelIndex>& labels);
+
+  /// Runs a full EM refit immediately, regardless of where the engine is in
+  /// its em_refresh_interval cycle (the incremental-agreement invariant is
+  /// checked first, as at any scheduled refit). Benchmarks and tests use
+  /// this to force the batch-global state the paper's engine maintains on
+  /// every completion.
+  void ForceFullEmRefit();
 
   /// The results the requester would receive now: the metric-optimal result
   /// vector R* for the current Qc.
@@ -78,13 +95,35 @@ class TaskAssignmentEngine {
     return max_assignment_seconds_;
   }
 
+  /// Completions served by the cheap incremental path vs full EM refits
+  /// (full_em_refits + incremental_refreshes == completed_hits).
+  int full_em_refits() const noexcept { return full_em_refits_; }
+  int incremental_refreshes() const noexcept {
+    return incremental_refreshes_;
+  }
+
+  /// Max absolute Qc cell difference between the incremental posterior and
+  /// the full refit that superseded it, for the latest / worst refit that
+  /// followed at least one incremental refresh. 0 until such a refit runs.
+  /// Always checked against AppConfig::em_drift_tolerance.
+  double last_refresh_drift() const noexcept { return last_refresh_drift_; }
+  double max_refresh_drift() const noexcept { return max_refresh_drift_; }
+
  private:
   /// Fitted model for `worker` (perfect if unseen).
   const WorkerModel& ModelFor(WorkerId worker) const;
 
   /// Representative worker for worker-agnostic policies: a WP model at the
   /// mean diagonal quality of all fitted workers (0.75 before any fit).
+  /// Cached — the fitted pool only changes on a full EM refit, so the
+  /// O(workers * labels^2) aggregation runs once per refit instead of once
+  /// per HIT request.
+  const WorkerModel& TypicalWorker();
   WorkerModel ComputeTypicalWorker() const;
+
+  /// Runs full EM over the answer set, enforces the incremental-agreement
+  /// invariant against the pre-refit Qc, and resets the refresh cycle.
+  void RunFullEmRefit();
 
   AppConfig config_;
   std::unique_ptr<AssignmentStrategy> strategy_;
@@ -92,11 +131,24 @@ class TaskAssignmentEngine {
   Database database_;
   EventTrace trace_;
   util::Rng rng_;
+  /// Non-null iff config_.num_threads > 1.
+  std::unique_ptr<util::ThreadPool> pool_;
   std::unordered_map<WorkerId, std::vector<QuestionIndex>> open_hits_;
+  std::optional<WorkerModel> typical_worker_;
   int assigned_hits_ = 0;
   int completed_hits_ = 0;
+  int full_em_refits_ = 0;
+  int incremental_refreshes_ = 0;
+  /// Completions since the last full EM refit.
+  int completions_since_refit_ = 0;
+  /// Whether any incremental row update has been applied since the last
+  /// full refit — gates the drift invariant, which is only meaningful when
+  /// the incremental path actually wrote to Qc this cycle.
+  bool incremental_since_refit_ = false;
   double last_assignment_seconds_ = 0.0;
   double max_assignment_seconds_ = 0.0;
+  double last_refresh_drift_ = 0.0;
+  double max_refresh_drift_ = 0.0;
 };
 
 }  // namespace qasca

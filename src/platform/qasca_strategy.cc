@@ -19,13 +19,15 @@ std::vector<QuestionIndex> QascaStrategy::SelectQuestions(
 
   const DistributionMatrix& qc = context.database->current();
   DistributionMatrix qw = EstimateWorkerDistribution(
-      qc, *context.worker_model, candidates, qw_mode_, *context.rng);
+      qc, *context.worker_model, candidates, qw_mode_, *context.rng,
+      context.pool);
 
   AssignmentRequest request;
   request.current = &qc;
   request.estimated = &qw;
   request.candidates = candidates;
   request.k = k;
+  request.pool = context.pool;
 
   AssignmentResult result;
   if (context.metric->kind == MetricSpec::Kind::kAccuracy) {

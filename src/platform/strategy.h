@@ -9,6 +9,7 @@
 #include "core/types.h"
 #include "model/worker_model.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace qasca {
 
@@ -30,6 +31,10 @@ struct StrategyContext {
   const WorkerModel* typical_worker = nullptr;
   /// Randomness source for tie-breaking and sampling.
   util::Rng* rng = nullptr;
+  /// Optional worker pool for parallel per-candidate kernels (Qw
+  /// estimation, benefit scans); nullptr runs serial. Selections are
+  /// byte-identical either way.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// A task-assignment policy: given the candidate set S^w, choose the k

@@ -4,7 +4,7 @@
 
 namespace qasca::util {
 
-int Rng::SampleWeighted(const std::vector<double>& weights) {
+int SampleWeightedAt(const std::vector<double>& weights, double u01) {
   QASCA_CHECK(!weights.empty());
   double total = 0.0;
   for (double w : weights) {
@@ -12,7 +12,7 @@ int Rng::SampleWeighted(const std::vector<double>& weights) {
     total += w;
   }
   QASCA_CHECK_GT(total, 0.0) << "all sampling weights are zero";
-  double target = Uniform() * total;
+  double target = u01 * total;
   double cumulative = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
     cumulative += weights[i];
@@ -23,6 +23,10 @@ int Rng::SampleWeighted(const std::vector<double>& weights) {
     if (weights[i] > 0.0) return static_cast<int>(i);
   }
   return static_cast<int>(weights.size()) - 1;
+}
+
+int Rng::SampleWeighted(const std::vector<double>& weights) {
+  return SampleWeightedAt(weights, Uniform());
 }
 
 std::vector<int> Rng::SampleWithoutReplacement(int population, int count) {

@@ -9,6 +9,47 @@
 
 namespace qasca::util {
 
+/// Counter-based splittable generator (splitmix64). Unlike Rng, whose
+/// Mersenne-twister stream must be consumed sequentially, a SplitMix64
+/// stream is a pure function of its seed — so parallel kernels can derive
+/// one independent stream per work item (e.g. per candidate question,
+/// seeded from a base draw mixed with the question index) and produce
+/// identical samples no matter which thread processes the item or in what
+/// order. This is what makes sampled-Qw HIT selection bit-identical across
+/// thread counts (DESIGN.md "Threading and incrementality").
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Mixes a work-item index into a base seed to derive a per-item stream.
+  /// Plain xor would correlate adjacent items; the multiply by an odd
+  /// constant spreads indices across the seed space first.
+  static uint64_t MixSeed(uint64_t base, uint64_t item) {
+    return base ^ ((item + 1) * 0xff51afd7ed558ccdULL);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Index in [0, weights.size()) selected by the cumulative-weight rule with
+/// the uniform variate `u01` in [0, 1): the deterministic core of weighted
+/// random sampling, shared by Rng::SampleWeighted and the counter-based
+/// parallel Qw path. Weights must be non-negative with a positive sum.
+int SampleWeightedAt(const std::vector<double>& weights, double u01);
+
 /// Deterministic pseudo-random source used by every stochastic component in
 /// the library (simulated workers, dataset generators, Qw label sampling).
 ///

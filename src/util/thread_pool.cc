@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace qasca::util {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  QASCA_CHECK_GE(num_threads, 1);
+  // The calling thread blocks in ParallelFor rather than executing chunks
+  // itself (keeping the wait logic trivial), so a pool of size T spawns T
+  // workers; size 1 spawns none and runs everything inline.
+  if (num_threads > 1) {
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int begin, int end, int grain,
+                             const std::function<void(int, int)>& fn) {
+  QASCA_CHECK_GT(grain, 0);
+  if (end <= begin) return;
+  // Serial pool, or a range small enough that one chunk covers it: run
+  // inline. Chunk decomposition is identical either way.
+  if (workers_.empty() || end - begin <= grain) {
+    for (int b = begin; b < end; b += grain) {
+      fn(b, std::min(b + grain, end));
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    QASCA_CHECK_EQ(in_flight_, 0) << "ThreadPool::ParallelFor is not reentrant";
+    for (int b = begin; b < end; b += grain) {
+      int e = std::min(b + grain, end);
+      queue_.emplace_back([&fn, b, e] { fn(b, e); });
+      ++in_flight_;
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ParallelFor(ThreadPool* pool, int begin, int end, int grain,
+                 const std::function<void(int, int)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(begin, end, grain, fn);
+    return;
+  }
+  QASCA_CHECK_GT(grain, 0);
+  for (int b = begin; b < end; b += grain) {
+    fn(b, std::min(b + grain, end));
+  }
+}
+
+double ParallelSum(ThreadPool* pool, int begin, int end, int grain,
+                   const std::function<double(int, int)>& chunk_sum) {
+  const int chunks = NumChunks(begin, end, grain);
+  if (chunks == 0) return 0.0;
+  // Partials land in chunk-index slots and fold in chunk order, so the
+  // floating-point association is fixed regardless of scheduling.
+  std::vector<double> partials(static_cast<size_t>(chunks), 0.0);
+  ParallelFor(pool, begin, end, grain, [&](int b, int e) {
+    partials[static_cast<size_t>(ChunkIndex(begin, b, grain))] =
+        chunk_sum(b, e);
+  });
+  double total = 0.0;
+  for (double partial : partials) total += partial;
+  return total;
+}
+
+}  // namespace qasca::util

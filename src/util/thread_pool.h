@@ -1,0 +1,88 @@
+#ifndef QASCA_UTIL_THREAD_POOL_H_
+#define QASCA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qasca::util {
+
+/// Fixed-size worker pool shared by the hot kernels (EM E-step, Qw
+/// estimation, per-candidate benefit scans). Sized once from
+/// AppConfig::num_threads and reused for the engine's lifetime so the
+/// per-HIT cost is chunk dispatch, not thread creation.
+///
+/// Determinism contract (see DESIGN.md "Threading and incrementality"):
+/// ParallelFor decomposes [begin, end) into chunks of `grain` indices, and
+/// that decomposition depends only on (begin, end, grain) — never on the
+/// pool size or on scheduling. Kernels write results indexed by chunk or by
+/// element and fold reductions in chunk-index order, so every thread count
+/// (including the serial num_threads == 1 path, which runs the same chunks
+/// inline in order) produces bit-identical results.
+class ThreadPool {
+ public:
+  /// `num_threads` >= 1. A pool of size 1 spawns no workers at all: every
+  /// ParallelFor runs inline on the calling thread, chunk by chunk, which is
+  /// the exact serial fallback.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const noexcept { return num_threads_; }
+
+  /// Runs `fn(chunk_begin, chunk_end)` over every grain-sized chunk of
+  /// [begin, end) and blocks until all chunks finish. `fn` must be safe to
+  /// call concurrently from multiple threads and must not depend on chunk
+  /// execution order; it must not call ParallelFor on the same pool
+  /// (not reentrant). Aborting checks (QASCA_CHECK) inside `fn` terminate
+  /// the process as they would on the calling thread.
+  void ParallelFor(int begin, int end, int grain,
+                   const std::function<void(int, int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;  // queued + currently-running jobs, guarded by mutex_
+  bool stop_ = false;
+};
+
+/// Number of grain-sized chunks ParallelFor will dispatch over [begin, end).
+inline int NumChunks(int begin, int end, int grain) {
+  return end > begin ? (end - begin + grain - 1) / grain : 0;
+}
+
+/// Chunk index of element `i` within the canonical decomposition; kernels
+/// use it to address per-chunk partial-result slots.
+inline int ChunkIndex(int begin, int i, int grain) {
+  return (i - begin) / grain;
+}
+
+/// ParallelFor through an optional pool: `pool == nullptr` (or a pool of
+/// size 1) runs the same chunks inline in chunk order. This is the form the
+/// kernels call so that every caller that has no pool gets the serial path
+/// with zero synchronisation cost.
+void ParallelFor(ThreadPool* pool, int begin, int end, int grain,
+                 const std::function<void(int, int)>& fn);
+
+/// Deterministic chunked sum: `chunk_sum(chunk_begin, chunk_end)` returns
+/// the serial sum over one chunk; the per-chunk partials are folded in
+/// chunk-index order. Because the decomposition and fold order are fixed,
+/// the result is bit-identical for every thread count — the serial path
+/// folds the same partials in the same order.
+double ParallelSum(ThreadPool* pool, int begin, int end, int grain,
+                   const std::function<double(int, int)>& chunk_sum);
+
+}  // namespace qasca::util
+
+#endif  // QASCA_UTIL_THREAD_POOL_H_

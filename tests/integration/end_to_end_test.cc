@@ -71,13 +71,19 @@ TEST(EndToEndTest, AllSixSystemsCompleteAnFScoreRun) {
 
 TEST(EndToEndTest, ThreeLabelAccuracyAppRuns) {
   ApplicationSpec spec = Shrink(SentimentAnalysisApp(), 90, 12);
-  ExperimentOptions options;
-  options.seed = 43;
-  options.checkpoints = 4;
   std::vector<SystemFactory> all = DefaultSystems();
   std::vector<SystemFactory> systems = {all[3]};  // QASCA
-  ExperimentResult result = RunParallelExperiment(spec, systems, options);
-  EXPECT_GT(result.systems[0].final_quality, 0.6);
+  // At n=90 a single run swings ~±0.1 with the seed, so average a few.
+  double quality = 0.0;
+  const std::vector<uint64_t> seeds = {43, 44, 45};
+  for (uint64_t seed : seeds) {
+    ExperimentOptions options;
+    options.seed = seed;
+    options.checkpoints = 4;
+    ExperimentResult result = RunParallelExperiment(spec, systems, options);
+    quality += result.systems[0].final_quality;
+  }
+  EXPECT_GT(quality / seeds.size(), 0.6);
 }
 
 TEST(EndToEndTest, ManyLabelFScoreAppRuns) {

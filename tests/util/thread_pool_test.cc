@@ -1,0 +1,135 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qasca::util {
+namespace {
+
+TEST(ThreadPoolTest, ChunkArithmetic) {
+  EXPECT_EQ(NumChunks(0, 0, 4), 0);
+  EXPECT_EQ(NumChunks(0, 1, 4), 1);
+  EXPECT_EQ(NumChunks(0, 4, 4), 1);
+  EXPECT_EQ(NumChunks(0, 5, 4), 2);
+  EXPECT_EQ(NumChunks(3, 11, 4), 2);
+  EXPECT_EQ(NumChunks(5, 3, 4), 0);  // empty range
+  EXPECT_EQ(ChunkIndex(0, 0, 4), 0);
+  EXPECT_EQ(ChunkIndex(0, 3, 4), 0);
+  EXPECT_EQ(ChunkIndex(0, 4, 4), 1);
+  EXPECT_EQ(ChunkIndex(3, 7, 4), 1);
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInlineOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> order;
+  pool.ParallelFor(0, 10, 3, [&](int b, int e) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (int i = b; i < e; ++i) order.push_back(i);
+  });
+  // Serial fallback visits the chunks in chunk order: 0..9 ascending.
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (int grain : {1, 3, 64, 1000}) {
+      std::mutex mutex;
+      std::multiset<int> seen;
+      pool.ParallelFor(5, 143, grain, [&](int b, int e) {
+        ASSERT_LT(b, e);
+        ASSERT_LE(e - b, grain);
+        std::lock_guard<std::mutex> lock(mutex);
+        for (int i = b; i < e; ++i) seen.insert(i);
+      });
+      ASSERT_EQ(seen.size(), 138u) << threads << " threads, grain " << grain;
+      for (int i = 5; i < 143; ++i) {
+        ASSERT_EQ(seen.count(i), 1u) << "index " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeCallsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(7, 7, 2, [&](int, int) { calls++; });
+  pool.ParallelFor(9, 3, 2, [&](int, int) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ActuallyRunsOnWorkerThreads) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  // Enough chunks that at least one must land off the calling thread (the
+  // calling thread only blocks; workers do all chunk execution).
+  pool.ParallelFor(0, 64, 1, [&](int, int) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_FALSE(ids.contains(std::this_thread::get_id()));
+  EXPECT_GE(ids.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyDispatches) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(0, 100, 7, [&](int b, int e) {
+      for (int i = b; i < e; ++i) total += i;
+    });
+  }
+  EXPECT_EQ(total.load(), 50 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, FreeFunctionNullPoolIsSerial) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 2, 9, 3, [&](int b, int e) {
+    for (int i = b; i < e; ++i) order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 7u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(i) + 2);
+  }
+}
+
+// The determinism contract: ParallelSum folds per-chunk partials in chunk
+// order, so the result is bit-identical for every pool size — on a workload
+// where float addition order otherwise changes the answer.
+TEST(ThreadPoolTest, ParallelSumBitIdenticalAcrossPoolSizes) {
+  const int n = 10007;
+  std::vector<double> values(n);
+  for (int i = 0; i < n; ++i) {
+    // Wildly varying magnitudes make fp addition order-sensitive.
+    values[i] = (i % 2 ? 1.0 : -1.0) * std::pow(10.0, (i * 7) % 13) /
+                (i + 1.0);
+  }
+  auto chunk_sum = [&](int b, int e) {
+    double s = 0.0;
+    for (int i = b; i < e; ++i) s += values[i];
+    return s;
+  };
+  const double serial = ParallelSum(nullptr, 0, n, 128, chunk_sum);
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const double parallel = ParallelSum(&pool, 0, n, 128, chunk_sum);
+      // Bit identity, not tolerance: the fold order is canonical.
+      EXPECT_EQ(serial, parallel) << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qasca::util

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Builds the release preset, runs the PR 2 hot-path scaling benchmark
+# (bench/bench_hotpath_scaling.cc) and writes its JSON report to
+# BENCH_PR2.json at the repo root (schema documented in README.md).
+#
+# Usage: tools/run_bench.sh [--out FILE]
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+OUT="${REPO_ROOT}/BENCH_PR2.json"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out)
+      OUT="$2"
+      shift 2
+      ;;
+    *)
+      echo "usage: tools/run_bench.sh [--out FILE]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+JOBS="${JOBS:-$(nproc)}"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+cmake --preset release >/dev/null
+cmake --build --preset release -j "${JOBS}" --target bench_hotpath_scaling
+
+./build-release/bench/bench_hotpath_scaling \
+  --commit "${COMMIT}" --date "${DATE}" --out "${OUT}"
+
+python3 - "${OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rows = report["thread_scaling"]
+best = max(r["speedup_vs_1_thread"] for r in rows if r["n"] == 10000)
+refresh = max(r["speedup_vs_interval_1"] for r in report["em_refresh"])
+det = report["determinism"]["identical_decisions_across_thread_counts"]
+print(f"BENCH_PR2: host threads={report['machine']['hardware_threads']}, "
+      f"best thread speedup @ n=10k: {best:.2f}x, "
+      f"incremental-refresh speedup: {refresh:.2f}x, "
+      f"decisions identical across thread counts: {det}")
+EOF
+
+echo "wrote ${OUT}"

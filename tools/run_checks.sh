@@ -8,7 +8,10 @@
 #      (skipped with a notice when clang-tidy is not installed),
 #   4. the asan-ubsan sanitizer preset: full build + ctest with every
 #      QASCA_DCHECK invariant enabled and sanitizer reports fatal,
-#   5. (optional, --tsan) the tsan preset the same way.
+#   5. the tsan preset over the tests labelled "threads" (the thread-pool
+#      and engine-determinism suites that drive the parallel kernels) —
+#      a TSan-clean threads run is a merge gate. --tsan widens this stage
+#      to the full tsan suite.
 #
 # Exits non-zero as soon as any stage fails. Usage:
 #
@@ -67,12 +70,16 @@ else
 fi
 
 if [[ "${RUN_TSAN}" -eq 1 ]]; then
-  stage "5/5 tsan preset"
-  cmake --preset tsan >/dev/null
-  cmake --build --preset tsan -j "${JOBS}"
+  stage "5/5 tsan preset (full suite)"
+else
+  stage "5/5 tsan preset (threads-labelled tests; --tsan runs the full suite)"
+fi
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "${JOBS}"
+if [[ "${RUN_TSAN}" -eq 1 ]]; then
   ctest --preset tsan -j "${JOBS}"
 else
-  stage "5/5 tsan preset (skipped; pass --tsan to enable)"
+  ctest --preset tsan-threads -j "${JOBS}"
 fi
 
 printf '\nAll checks passed.\n'
