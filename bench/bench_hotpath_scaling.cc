@@ -10,11 +10,14 @@
 //   * speedup vs the 1-thread run of the same n.
 //
 // Also measures the algorithmic speedup of the incremental Qc refresh:
-// em_refresh_interval 1 (the paper's refit-every-completion engine) vs 8.
+// em_refresh_interval 1 (the paper's refit-every-completion engine) vs 8,
+// and (PR 3) a per-stage breakdown from the engine's telemetry registry:
+// where each HIT cycle's time goes (EM refit, Qw estimation, Top-K scan /
+// Dinkelbach solves), with the full MetricRegistry::ToJson() embedded.
 //
 // Emits a single JSON document (schema documented in README.md; written to
 // --out, default stdout). tools/run_bench.sh drives this binary and places
-// BENCH_PR2.json at the repo root.
+// BENCH_PR3.json at the repo root.
 
 #include <algorithm>
 #include <cstdint>
@@ -131,6 +134,69 @@ RunResult RunHitCycles(int n, int num_threads, int em_refresh_interval,
   return result;
 }
 
+// One fully instrumented engine run; returns the telemetry registry's JSON
+// plus the headline per-stage numbers tools/run_bench.sh summarises.
+struct StageBreakdown {
+  double em_refit_ms = 0.0;
+  double qw_estimate_ms = 0.0;
+  double topk_scan_ms = 0.0;
+  double fscore_online_ms = 0.0;
+  int64_t dinkelbach_iters = 0;
+  std::string telemetry_json;
+};
+
+StageBreakdown RunStageBreakdown(const MetricSpec& metric, int n, int hits) {
+  AppConfig config;
+  config.name = "hotpath-breakdown";
+  config.num_questions = n;
+  config.num_labels = 2;
+  config.questions_per_hit = 20;
+  config.pay_per_hit = 0.02;
+  config.budget = 0.02 * hits;
+  config.metric = metric;
+  config.worker_kind = WorkerModel::Kind::kWorkerProbability;
+  config.em.max_iterations = 15;
+  config.em_refresh_interval = 4;
+  config.telemetry_enabled = true;
+
+  GroundTruthVector truth(n);
+  for (int q = 0; q < n; ++q) truth[q] = q % 2;
+
+  TaskAssignmentEngine engine(config, std::make_unique<QascaStrategy>(),
+                              /*seed=*/11);
+  int round = 0;
+  while (!engine.BudgetExhausted()) {
+    const WorkerId worker = round++ % 30;
+    auto hit = engine.RequestHit(worker);
+    QASCA_CHECK(hit.ok()) << hit.status().ToString();
+    std::vector<LabelIndex> labels;
+    labels.reserve(hit->size());
+    for (QuestionIndex q : *hit) {
+      labels.push_back(SimulatedAnswer(worker, q, truth[q], 2));
+    }
+    QASCA_CHECK(engine.CompleteHit(worker, labels).ok());
+  }
+
+  StageBreakdown breakdown;
+  const util::TelemetrySnapshot snapshot = engine.TelemetrySnapshot();
+  for (const util::LatencySnapshot& latency : snapshot.latencies) {
+    const double total_ms = latency.total_seconds * 1e3;
+    if (latency.name == "em_full_refit") breakdown.em_refit_ms = total_ms;
+    if (latency.name == "estimate_qw") breakdown.qw_estimate_ms = total_ms;
+    if (latency.name == "topk_scan") breakdown.topk_scan_ms = total_ms;
+    if (latency.name == "fscore_online") {
+      breakdown.fscore_online_ms = total_ms;
+    }
+  }
+  for (const util::CounterSnapshot& counter : snapshot.counters) {
+    if (counter.name == "dinkelbach.inner_iterations") {
+      breakdown.dinkelbach_iters = counter.value;
+    }
+  }
+  breakdown.telemetry_json = engine.telemetry().ToJson();
+  return breakdown;
+}
+
 int Main(int argc, char** argv) {
   std::string commit = "unknown";
   std::string date = "unknown";
@@ -164,7 +230,7 @@ int Main(int argc, char** argv) {
 
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"bench_hotpath_scaling\",\n");
-  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"schema_version\": 2,\n");
   std::fprintf(out, "  \"commit\": \"%s\",\n", commit.c_str());
   std::fprintf(out, "  \"date\": \"%s\",\n", date.c_str());
   std::fprintf(out, "  \"machine\": { \"hardware_threads\": %u },\n",
@@ -235,6 +301,41 @@ int Main(int argc, char** argv) {
           full_total > 0.0 ? full_total / r.total_seconds : 1.0,
           r.full_em_refits, r.incremental_refreshes);
     }
+  }
+  std::fprintf(out, "\n  ],\n");
+
+  // --- per-stage telemetry breakdown (PR 3) -----------------------------
+  std::fprintf(out, "  \"stage_breakdown\": [\n");
+  struct BreakdownSpec {
+    const char* name;
+    MetricSpec metric;
+  };
+  const BreakdownSpec breakdown_specs[] = {
+      {"accuracy", MetricSpec::Accuracy()},
+      {"fscore", MetricSpec::FScore(0.5, 0)},
+  };
+  // Denser coverage than the scaling sweeps (30 HITs x k=20 over n=1000 is
+  // ~0.6 answers/question): with coverage much below that, a sparsely
+  // answered contested row can legitimately flip by more than the drift
+  // tolerance between an incremental refresh and the next full refit.
+  const int breakdown_n = 1000;
+  first = true;
+  for (const BreakdownSpec& spec : breakdown_specs) {
+    std::fprintf(stderr, "[bench] stage breakdown metric=%s ...\n",
+                 spec.name);
+    const StageBreakdown b =
+        RunStageBreakdown(spec.metric, breakdown_n, kHits);
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(out,
+                 "    { \"metric\": \"%s\", \"n\": %d, "
+                 "\"em_refit_ms\": %.6g, \"qw_estimate_ms\": %.6g, "
+                 "\"topk_scan_ms\": %.6g, \"fscore_online_ms\": %.6g, "
+                 "\"dinkelbach_iters\": %lld,\n      \"telemetry\": %s }",
+                 spec.name, breakdown_n, b.em_refit_ms, b.qw_estimate_ms,
+                 b.topk_scan_ms, b.fscore_online_ms,
+                 static_cast<long long>(b.dinkelbach_iters),
+                 b.telemetry_json.c_str());
   }
   std::fprintf(out, "\n  ]\n");
   std::fprintf(out, "}\n");

@@ -7,6 +7,7 @@
 #include "core/types.h"
 
 namespace qasca::util {
+class MetricRegistry;
 class ThreadPool;
 }  // namespace qasca::util
 
@@ -29,6 +30,10 @@ struct AssignmentRequest {
   /// any pool size produces bit-identical selections (fixed-grain chunking,
   /// chunk-ordered reductions — see util/thread_pool.h).
   util::ThreadPool* pool = nullptr;
+  /// Optional telemetry registry (stage spans, candidate/iteration
+  /// counters); nullptr or disabled records nothing and never influences
+  /// the selection.
+  util::MetricRegistry* telemetry = nullptr;
 };
 
 /// Outcome of an assignment: the chosen questions (ascending order) plus the

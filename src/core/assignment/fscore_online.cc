@@ -7,6 +7,8 @@
 #include "core/metrics/fscore.h"
 #include "util/invariants.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/telemetry_names.h"
 #include "util/thread_pool.h"
 
 namespace qasca {
@@ -27,6 +29,8 @@ constexpr int kFScoreScanGrain = 512;
 FractionalSolution UpdateDelta(const AssignmentRequest& request,
                                const FScoreAssignmentOptions& options,
                                double delta) {
+  // One span per Update call: the nested Dinkelbach solve of Algorithm 3.
+  util::Span span(request.telemetry, util::tnames::kSpanDinkelbachInner);
   const DistributionMatrix& qc = *request.current;
   const DistributionMatrix& qw = *request.estimated;
   const int n = qc.num_questions();
@@ -92,6 +96,7 @@ FractionalSolution UpdateDelta(const AssignmentRequest& request,
 AssignmentResult AssignFScoreOnline(const AssignmentRequest& request,
                                     const FScoreAssignmentOptions& options) {
   ValidateRequest(request);
+  util::Span span(request.telemetry, util::tnames::kSpanFscoreOnline);
   QASCA_CHECK_GT(options.alpha, 0.0);
   QASCA_CHECK_LT(options.alpha, 1.0);
   QASCA_CHECK_GE(options.target_label, 0);
@@ -155,6 +160,14 @@ AssignmentResult AssignFScoreOnline(const AssignmentRequest& request,
       }
       QASCA_CHECK_OK(invariants::CheckAssignment(result.selected, request.k,
                                                  qc.num_questions()));
+      if (request.telemetry != nullptr) {
+        request.telemetry
+            ->GetCounter(util::tnames::kDinkelbachOuterIterations)
+            ->Add(result.outer_iterations);
+        request.telemetry
+            ->GetCounter(util::tnames::kDinkelbachInnerIterations)
+            ->Add(result.inner_iterations);
+      }
       return result;
     }
     // Theorem 3 gives monotone increase whenever delta <= delta*. The warm

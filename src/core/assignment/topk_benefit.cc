@@ -7,6 +7,8 @@
 
 #include "util/invariants.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/telemetry_names.h"
 #include "util/thread_pool.h"
 
 namespace qasca {
@@ -26,6 +28,7 @@ constexpr int kBenefitScanGrain = 512;
 AssignmentResult AssignTopKBenefitDecomposable(
     const AssignmentRequest& request, const RowQualityFn& row_quality) {
   ValidateRequest(request);
+  util::Span span(request.telemetry, util::tnames::kSpanTopkScan);
   const DistributionMatrix& current = *request.current;
   const DistributionMatrix& estimated = *request.estimated;
 
@@ -34,6 +37,10 @@ AssignmentResult AssignTopKBenefitDecomposable(
   // the scan parallelises by chunk; slots are written by candidate index,
   // leaving the vector handed to nth_element identical across thread counts.
   const int num_candidates = static_cast<int>(request.candidates.size());
+  if (request.telemetry != nullptr) {
+    request.telemetry->GetCounter(util::tnames::kTopkCandidatesScanned)
+        ->Add(num_candidates);
+  }
   std::vector<std::pair<double, QuestionIndex>> benefits(
       static_cast<size_t>(num_candidates));
   util::ParallelFor(

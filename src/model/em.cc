@@ -7,6 +7,7 @@
 #include "model/prior.h"
 #include "util/invariants.h"
 #include "util/logging.h"
+#include "util/telemetry_names.h"
 #include "util/thread_pool.h"
 
 namespace qasca {
@@ -127,7 +128,8 @@ struct EStepPartial {
 // Shared E/M loop: iterate from the posterior already stored in `result`.
 EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
                          const EmOptions& options, EmResult result,
-                         util::ThreadPool* pool) {
+                         util::ThreadPool* pool,
+                         util::MetricRegistry* telemetry) {
   const int n = static_cast<int>(answers.size());
   std::unordered_map<WorkerId, WorkerAnswers> grouped =
       GroupByWorker(answers);
@@ -216,6 +218,11 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
 
     if (max_change <= options.tolerance) break;
   }
+  if (telemetry != nullptr) {
+    // Iterations-to-convergence of this fit (Section 5.2's EM loop).
+    telemetry->GetCounter(util::tnames::kEmIterations)
+        ->Add(result.iterations);
+  }
   QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(result.posterior));
   return result;
 }
@@ -223,7 +230,8 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
 }  // namespace
 
 EmResult RunEm(const AnswerSet& answers, int num_labels,
-               const EmOptions& options, util::ThreadPool* pool) {
+               const EmOptions& options, util::ThreadPool* pool,
+               util::MetricRegistry* telemetry) {
   QASCA_CHECK_GT(num_labels, 0);
   const int n = static_cast<int>(answers.size());
 
@@ -241,12 +249,14 @@ EmResult RunEm(const AnswerSet& answers, int num_labels,
     for (const Answer& answer : answers[i]) votes[answer.label] += 1.0;
     result.posterior.SetRowNormalized(i, votes);
   }
-  return RunEmIterations(answers, num_labels, options, std::move(result), pool);
+  return RunEmIterations(answers, num_labels, options, std::move(result),
+                         pool, telemetry);
 }
 
 EmResult RunEmWarmStart(const AnswerSet& answers, int num_labels,
                         const EmOptions& options, const EmResult& previous,
-                        util::ThreadPool* pool) {
+                        util::ThreadPool* pool,
+                        util::MetricRegistry* telemetry) {
   QASCA_CHECK_GT(num_labels, 0);
   const int n = static_cast<int>(answers.size());
   if (previous.posterior.num_questions() != n ||
@@ -256,7 +266,7 @@ EmResult RunEmWarmStart(const AnswerSet& answers, int num_labels,
     // The second case matters: an all-uniform posterior is a *fixed point*
     // of the EM update (the symmetric saddle), so warm-starting from a
     // blank state would never leave it — bootstrap from votes instead.
-    return RunEm(answers, num_labels, options, pool);
+    return RunEm(answers, num_labels, options, pool, telemetry);
   }
   EmResult result;
   result.prior = previous.prior.size() == static_cast<size_t>(num_labels)
@@ -281,7 +291,8 @@ EmResult RunEmWarmStart(const AnswerSet& answers, int num_labels,
           i, ComputePosteriorRow(answers[i], result.prior, lookup));
     }
   });
-  return RunEmIterations(answers, num_labels, options, std::move(result), pool);
+  return RunEmIterations(answers, num_labels, options, std::move(result),
+                         pool, telemetry);
 }
 
 }  // namespace qasca

@@ -7,6 +7,7 @@
 #include "core/distribution_matrix.h"
 #include "core/types.h"
 #include "model/worker_model.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace qasca {
@@ -56,8 +57,12 @@ struct EmResult {
 /// the per-chunk reductions (convergence delta, log-likelihood) fold in
 /// chunk-index order — results are bit-identical for every thread count,
 /// including the serial pool == nullptr path.
+///
+/// `telemetry` (optional) records the E/M rounds this fit took
+/// (tnames::kEmIterations); it never affects the fit.
 EmResult RunEm(const AnswerSet& answers, int num_labels,
-               const EmOptions& options, util::ThreadPool* pool = nullptr);
+               const EmOptions& options, util::ThreadPool* pool = nullptr,
+               util::MetricRegistry* telemetry = nullptr);
 
 /// Warm-started EM: initialises the posteriors from `previous` (falling back
 /// to the vote bootstrap for questions whose answer count changed shape) and
@@ -67,7 +72,8 @@ EmResult RunEm(const AnswerSet& answers, int num_labels,
 /// fixed point. `pool` as in RunEm.
 EmResult RunEmWarmStart(const AnswerSet& answers, int num_labels,
                         const EmOptions& options, const EmResult& previous,
-                        util::ThreadPool* pool = nullptr);
+                        util::ThreadPool* pool = nullptr,
+                        util::MetricRegistry* telemetry = nullptr);
 
 }  // namespace qasca
 

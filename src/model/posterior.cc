@@ -4,6 +4,7 @@
 
 #include "util/invariants.h"
 #include "util/logging.h"
+#include "util/telemetry_names.h"
 
 namespace qasca {
 namespace {
@@ -135,7 +136,12 @@ constexpr int kQwScanGrain = 256;
 DistributionMatrix EstimateWorkerDistribution(
     const DistributionMatrix& current, const WorkerModel& model,
     const std::vector<QuestionIndex>& candidates, QwMode mode, util::Rng& rng,
-    util::ThreadPool* pool) {
+    util::ThreadPool* pool, util::MetricRegistry* telemetry) {
+  if (telemetry != nullptr && mode == QwMode::kSampled) {
+    // One weighted draw per candidate row (Eq. 17's sampling step).
+    telemetry->GetCounter(util::tnames::kQwSamplesDrawn)
+        ->Add(static_cast<int64_t>(candidates.size()));
+  }
   DistributionMatrix qw = current;
   // One base draw per call keeps the caller's Rng stream advanced the same
   // way regardless of candidate count or threading; every candidate then

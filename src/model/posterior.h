@@ -8,6 +8,7 @@
 #include "core/types.h"
 #include "model/worker_model.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace qasca {
@@ -75,10 +76,14 @@ std::vector<double> EstimateWorkerRow(std::span<const double> current_row,
 /// depend only on the base draw and the question — not on candidate order,
 /// pool size, or scheduling — so runs with any `pool` (including none)
 /// select byte-identical HITs.
+///
+/// `telemetry` (optional) counts the weighted draws taken in kSampled mode
+/// (tnames::kQwSamplesDrawn); it never affects the sampled rows.
 DistributionMatrix EstimateWorkerDistribution(
     const DistributionMatrix& current, const WorkerModel& model,
     const std::vector<QuestionIndex>& candidates, QwMode mode, util::Rng& rng,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr,
+    util::MetricRegistry* telemetry = nullptr);
 
 }  // namespace qasca
 

@@ -53,6 +53,13 @@ struct AppConfig {
   /// (Eq. 5's posterior update only changes rows whose answer set changed).
   /// 1 = refit on every completion (the paper's batch-global behaviour).
   int em_refresh_interval = 1;
+  /// Enables the engine's telemetry layer (util::MetricRegistry): per-stage
+  /// latency spans (assign_hit, estimate_qw, em_full_refit, ...), hot-path
+  /// counters (EM iterations, Dinkelbach iterations, Qw samples) and gauges.
+  /// OFF by default; when disabled every instrument is a dead branch and no
+  /// clock is read, and decisions are byte-identical either way (telemetry
+  /// never touches the RNG streams — guarded by the determinism suite).
+  bool telemetry_enabled = false;
   /// Always-on agreement bound between the incremental Qc and the next full
   /// EM refit: the max absolute cell difference must stay below this, else
   /// the engine aborts. Generous by design: a refit sees fresher worker

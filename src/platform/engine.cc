@@ -7,6 +7,7 @@
 #include "util/invariants.h"
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/telemetry_names.h"
 
 namespace qasca {
 
@@ -14,6 +15,7 @@ TaskAssignmentEngine::TaskAssignmentEngine(
     AppConfig config, std::unique_ptr<AssignmentStrategy> strategy,
     uint64_t seed)
     : config_(std::move(config)),
+      telemetry_(config_.telemetry_enabled),
       strategy_(std::move(strategy)),
       metric_(config_.metric.Make()),
       database_(config_.num_questions, config_.num_labels),
@@ -24,7 +26,22 @@ TaskAssignmentEngine::TaskAssignmentEngine(
   config_.em.worker_kind = config_.worker_kind;
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+    pool_->AttachTelemetry(&telemetry_);
   }
+  database_.AttachTelemetry(&telemetry_);
+  instruments_.hits_assigned =
+      telemetry_.GetCounter(util::tnames::kHitsAssigned);
+  instruments_.hits_completed =
+      telemetry_.GetCounter(util::tnames::kHitsCompleted);
+  instruments_.em_full_refits =
+      telemetry_.GetCounter(util::tnames::kEmFullRefits);
+  instruments_.em_incremental_refreshes =
+      telemetry_.GetCounter(util::tnames::kEmIncrementalRefreshes);
+  instruments_.open_hits = telemetry_.GetGauge(util::tnames::kOpenHits);
+  instruments_.remaining_hits =
+      telemetry_.GetGauge(util::tnames::kRemainingHits);
+  instruments_.last_refresh_drift =
+      telemetry_.GetGauge(util::tnames::kLastRefreshDrift);
 }
 
 util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
@@ -36,6 +53,9 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
     return util::Status::FailedPrecondition(
         "worker already holds an open HIT");
   }
+  // Root span of the HIT-request workflow; every stage below (estimate_qw,
+  // topk_scan / fscore_online -> dinkelbach_inner) nests inside it.
+  util::Span span(&telemetry_, util::tnames::kSpanAssignHit);
   std::vector<QuestionIndex> candidates = database_.CandidatesFor(worker);
   const int k = config_.questions_per_hit;
   if (static_cast<int>(candidates.size()) < k) {
@@ -52,6 +72,7 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
   context.typical_worker = &TypicalWorker();
   context.rng = &rng_;
   context.pool = pool_.get();
+  context.telemetry = &telemetry_;
 
   util::Stopwatch stopwatch;
   std::vector<QuestionIndex> selected =
@@ -82,6 +103,9 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
   trace_.RecordAssignment(worker, selected);
   open_hits_.emplace(worker, selected);
   ++assigned_hits_;
+  instruments_.hits_assigned->Add(1);
+  instruments_.open_hits->Set(static_cast<double>(open_hits_.size()));
+  instruments_.remaining_hits->Set(static_cast<double>(remaining_hits()));
   return selected;
 }
 
@@ -101,6 +125,9 @@ util::Status TaskAssignmentEngine::CompleteHit(
       return util::Status::InvalidArgument("answer label out of range");
     }
   }
+  // Root span of the HIT-completion workflow (steps A-C); em_full_refit /
+  // incremental_refresh nest inside it.
+  util::Span span(&telemetry_, util::tnames::kSpanCompleteHit);
   // Step A: update the answer set D.
   for (size_t q = 0; q < questions.size(); ++q) {
     database_.RecordAnswer(questions[q], worker, labels[q]);
@@ -110,6 +137,8 @@ util::Status TaskAssignmentEngine::CompleteHit(
   open_hits_.erase(it);
   ++completed_hits_;
   ++completions_since_refit_;
+  instruments_.hits_completed->Add(1);
+  instruments_.open_hits->Set(static_cast<double>(open_hits_.size()));
 
   // Steps B + C: re-estimate the parameters and refresh Qc. A full EM refit
   // is the dominant per-completion cost at scale, and only the k touched
@@ -122,6 +151,8 @@ util::Status TaskAssignmentEngine::CompleteHit(
       config_.em_refresh_interval > 1 &&
       !database_.parameters().workers.empty();
   if (can_refresh_incrementally) {
+    util::Span refresh_span(&telemetry_,
+                            util::tnames::kSpanIncrementalRefresh);
     // Applied even on a completion that triggers a scheduled refit, so the
     // refit's drift invariant compares a fully-updated incremental Qc —
     // never one stale by this HIT's k new answers.
@@ -147,6 +178,7 @@ util::Status TaskAssignmentEngine::CompleteHit(
     RunFullEmRefit();
   } else {
     ++incremental_refreshes_;
+    instruments_.em_incremental_refreshes->Add(1);
   }
   return util::Status::Ok();
 }
@@ -154,14 +186,16 @@ util::Status TaskAssignmentEngine::CompleteHit(
 void TaskAssignmentEngine::ForceFullEmRefit() { RunFullEmRefit(); }
 
 void TaskAssignmentEngine::RunFullEmRefit() {
+  util::Span span(&telemetry_, util::tnames::kSpanEmFullRefit);
   const bool check_drift = incremental_since_refit_;
   DistributionMatrix incremental = database_.current();
   database_.SetParameters(
       config_.warm_start_em
           ? RunEmWarmStart(database_.answers(), config_.num_labels,
-                           config_.em, database_.parameters(), pool_.get())
+                           config_.em, database_.parameters(), pool_.get(),
+                           &telemetry_)
           : RunEm(database_.answers(), config_.num_labels, config_.em,
-                  pool_.get()));
+                  pool_.get(), &telemetry_));
   // The refreshed Qc is what every later assignment decision reads; a
   // denormalised row here corrupts all of them without crashing.
   QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(database_.current()));
@@ -180,11 +214,13 @@ void TaskAssignmentEngine::RunFullEmRefit() {
     }
     last_refresh_drift_ = drift;
     max_refresh_drift_ = std::max(max_refresh_drift_, drift);
+    instruments_.last_refresh_drift->Set(drift);
     QASCA_CHECK(drift <= config_.em_drift_tolerance)
         << "incremental Qc drifted" << drift << "from the full EM refit"
         << "(tolerance" << config_.em_drift_tolerance << ")";
   }
   ++full_em_refits_;
+  instruments_.em_full_refits->Add(1);
   completions_since_refit_ = 0;
   incremental_since_refit_ = false;
   // The fitted worker pool changed; the cached typical worker is stale.

@@ -13,6 +13,7 @@
 #include "platform/trace.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace qasca {
@@ -75,6 +76,16 @@ class TaskAssignmentEngine {
   const Database& database() const { return database_; }
   /// Ordered log of every assignment and completion this engine served.
   const EventTrace& trace() const { return trace_; }
+  /// The engine's telemetry registry (enabled iff
+  /// AppConfig::telemetry_enabled): per-stage latency spans, hot-path
+  /// counters and gauges. Strategies and kernels record into it through
+  /// StrategyContext / AssignmentRequest.
+  const util::MetricRegistry& telemetry() const { return telemetry_; }
+  /// Point-in-time copy of every instrument (name-sorted); the programmatic
+  /// form behind MetricRegistry::ToJson() / ToPrometheusText().
+  util::TelemetrySnapshot TelemetrySnapshot() const {
+    return telemetry_.Snapshot();
+  }
   const EvaluationMetric& metric() const { return *metric_; }
   const AssignmentStrategy& strategy() const { return *strategy_; }
 
@@ -125,7 +136,21 @@ class TaskAssignmentEngine {
   /// invariant against the pre-refit Qc, and resets the refresh cycle.
   void RunFullEmRefit();
 
+  /// Pre-resolved instrument handles, looked up once at construction so the
+  /// per-HIT path never touches the registry map.
+  struct Instruments {
+    util::Counter* hits_assigned = nullptr;
+    util::Counter* hits_completed = nullptr;
+    util::Counter* em_full_refits = nullptr;
+    util::Counter* em_incremental_refreshes = nullptr;
+    util::Gauge* open_hits = nullptr;
+    util::Gauge* remaining_hits = nullptr;
+    util::Gauge* last_refresh_drift = nullptr;
+  };
+
   AppConfig config_;
+  util::MetricRegistry telemetry_;
+  Instruments instruments_;
   std::unique_ptr<AssignmentStrategy> strategy_;
   std::unique_ptr<EvaluationMetric> metric_;
   Database database_;

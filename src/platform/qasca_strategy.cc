@@ -6,6 +6,8 @@
 #include "core/metrics/cost_accuracy.h"
 #include "platform/database.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/telemetry_names.h"
 
 namespace qasca {
 
@@ -18,9 +20,12 @@ std::vector<QuestionIndex> QascaStrategy::SelectQuestions(
   QASCA_CHECK(context.rng != nullptr);
 
   const DistributionMatrix& qc = context.database->current();
-  DistributionMatrix qw = EstimateWorkerDistribution(
-      qc, *context.worker_model, candidates, qw_mode_, *context.rng,
-      context.pool);
+  DistributionMatrix qw = [&] {
+    util::Span span(context.telemetry, util::tnames::kSpanEstimateQw);
+    return EstimateWorkerDistribution(qc, *context.worker_model, candidates,
+                                      qw_mode_, *context.rng, context.pool,
+                                      context.telemetry);
+  }();
 
   AssignmentRequest request;
   request.current = &qc;
@@ -28,6 +33,7 @@ std::vector<QuestionIndex> QascaStrategy::SelectQuestions(
   request.candidates = candidates;
   request.k = k;
   request.pool = context.pool;
+  request.telemetry = context.telemetry;
 
   AssignmentResult result;
   if (context.metric->kind == MetricSpec::Kind::kAccuracy) {

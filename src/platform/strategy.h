@@ -9,6 +9,7 @@
 #include "core/types.h"
 #include "model/worker_model.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace qasca {
@@ -35,6 +36,10 @@ struct StrategyContext {
   /// estimation, benefit scans); nullptr runs serial. Selections are
   /// byte-identical either way.
   util::ThreadPool* pool = nullptr;
+  /// Optional engine telemetry registry for stage spans and hot-path
+  /// counters; nullptr (or a disabled registry) records nothing and
+  /// instruments cost a dead branch. Never influences decisions.
+  util::MetricRegistry* telemetry = nullptr;
 };
 
 /// A task-assignment policy: given the candidate set S^w, choose the k

@@ -1,13 +1,39 @@
 #include "platform/trace.h"
 
+#include <chrono>
+
+#include "util/json.h"
 #include "util/logging.h"
 
 namespace qasca {
+
+namespace {
+
+// Default tick source: nanoseconds since the trace was constructed, so
+// traces from different runs line up at t_ns = 0.
+EventTrace::TickSource SteadyTicksFromNow() {
+  return [origin = std::chrono::steady_clock::now()]() -> uint64_t {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin)
+            .count());
+  };
+}
+
+}  // namespace
+
+EventTrace::EventTrace() : tick_source_(SteadyTicksFromNow()) {}
+
+EventTrace::EventTrace(TickSource tick_source)
+    : tick_source_(std::move(tick_source)) {
+  QASCA_CHECK(tick_source_ != nullptr);
+}
 
 void EventTrace::RecordAssignment(
     WorkerId worker, const std::vector<QuestionIndex>& questions) {
   Event event;
   event.sequence = size();
+  event.t_ns = tick_source_();
   event.kind = Kind::kHitAssigned;
   event.worker = worker;
   event.questions = questions;
@@ -20,6 +46,7 @@ void EventTrace::RecordCompletion(
   QASCA_CHECK_EQ(questions.size(), labels.size());
   Event event;
   event.sequence = size();
+  event.t_ns = tick_source_();
   event.kind = Kind::kHitCompleted;
   event.worker = worker;
   event.questions = questions;
@@ -50,9 +77,12 @@ std::string EventTrace::ToJsonLines() const {
   for (const Event& event : events_) {
     out += "{\"seq\":";
     out += std::to_string(event.sequence);
-    out += ",\"kind\":\"";
-    out += event.kind == Kind::kHitAssigned ? "assigned" : "completed";
-    out += "\",\"worker\":";
+    out += ",\"t_ns\":";
+    out += std::to_string(event.t_ns);
+    out += ",\"kind\":";
+    util::AppendJsonString(
+        out, event.kind == Kind::kHitAssigned ? "assigned" : "completed");
+    out += ",\"worker\":";
     out += std::to_string(event.worker);
     out += ',';
     append_array("questions", event.questions);

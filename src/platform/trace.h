@@ -1,6 +1,8 @@
 #ifndef QASCA_PLATFORM_TRACE_H_
 #define QASCA_PLATFORM_TRACE_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -16,9 +18,17 @@ class EventTrace {
  public:
   enum class Kind { kHitAssigned, kHitCompleted };
 
+  /// Produces the timestamp recorded on each event. Injectable so tests and
+  /// replay tooling can pin timestamps; the default reads a steady clock.
+  using TickSource = std::function<uint64_t()>;
+
   struct Event {
     /// Monotone 0-based position in the log.
     int sequence = 0;
+    /// Nanoseconds since the trace was constructed (steady clock), or
+    /// whatever the injected TickSource returns. Monotone non-decreasing
+    /// under the default source.
+    uint64_t t_ns = 0;
     Kind kind = Kind::kHitAssigned;
     WorkerId worker = 0;
     /// The HIT's questions; for completions, parallel to `labels`.
@@ -26,6 +36,12 @@ class EventTrace {
     /// Answered labels; empty for assignments.
     std::vector<LabelIndex> labels;
   };
+
+  /// Default: timestamps are steady-clock nanoseconds since construction.
+  EventTrace();
+  /// Timestamps come from `tick_source` (must be non-null). Tests inject a
+  /// counter here so JSON output stays byte-exact.
+  explicit EventTrace(TickSource tick_source);
 
   void RecordAssignment(WorkerId worker,
                         const std::vector<QuestionIndex>& questions);
@@ -40,10 +56,12 @@ class EventTrace {
   int CountOf(Kind kind) const;
 
   /// One JSON object per line, e.g.
-  /// {"seq":0,"kind":"assigned","worker":3,"questions":[1,4],"labels":[]}.
+  /// {"seq":0,"t_ns":1200,"kind":"assigned","worker":3,
+  ///  "questions":[1,4],"labels":[]}.
   std::string ToJsonLines() const;
 
  private:
+  TickSource tick_source_;
   std::vector<Event> events_;
 };
 

@@ -1,0 +1,62 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace qasca::util {
+
+void AppendJsonEscaped(std::string& out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonString(std::string& out, std::string_view value) {
+  out += '"';
+  AppendJsonEscaped(out, value);
+  out += '"';
+}
+
+std::string JsonString(std::string_view value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  AppendJsonString(out, value);
+  return out;
+}
+
+void AppendJsonNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += '0';
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  out += buffer;
+}
+
+}  // namespace qasca::util

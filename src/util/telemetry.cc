@@ -1,0 +1,280 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace qasca::util {
+namespace {
+
+// Innermost enabled span on this thread; spans form an intrusive stack.
+thread_local const Span* g_current_span = nullptr;
+
+double MsFromSeconds(double seconds) { return seconds * 1e3; }
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted instrument names
+// map '.' (and any other separator) to '_'.
+std::string PrometheusName(std::string_view name) {
+  std::string out = "qasca_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void LatencyHistogram::RecordSeconds(double seconds) noexcept {
+  if (!enabled_) return;
+  seconds = std::max(seconds, 0.0);
+  const auto ns = static_cast<uint64_t>(seconds * 1e9);
+  const auto log2_bucket = static_cast<double>(std::bit_width(ns));
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.Add(seconds);
+  log2_ns_.Add(log2_bucket);
+}
+
+int64_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.count();
+}
+
+double LatencyHistogram::total_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.mean() * static_cast<double>(stats_.count());
+}
+
+double LatencyHistogram::mean_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.mean();
+}
+
+double LatencyHistogram::max_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.count() > 0 ? stats_.max() : 0.0;
+}
+
+double LatencyHistogram::PercentileLocked(double p) const {
+  const int64_t total = stats_.count();
+  if (total == 0) return 0.0;
+  if (p <= 0.0) return stats_.min();
+  if (p >= 1.0) return stats_.max();
+  // Rank of the requested quantile among the sorted samples, then the
+  // geometric midpoint of the log2 bucket that holds it.
+  const auto rank = static_cast<int64_t>(p * static_cast<double>(total - 1));
+  int64_t cumulative = 0;
+  for (int b = 0; b < log2_ns_.buckets(); ++b) {
+    cumulative += log2_ns_.count(b);
+    if (cumulative > rank) {
+      // Bucket b holds durations in [2^(b-1), 2^b) ns; midpoint 1.5*2^(b-1).
+      const double ns = b == 0 ? 0.0 : 1.5 * std::ldexp(1.0, b - 1);
+      return std::clamp(ns * 1e-9, stats_.min(), stats_.max());
+    }
+  }
+  return stats_.max();
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return PercentileLocked(p);
+}
+
+template <typename T>
+T* MetricRegistry::GetOrCreate(
+    std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
+    std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map->find(name);
+  if (it == map->end()) {
+    it = map->emplace(std::string(name),
+                      std::unique_ptr<T>(new T(std::string(name), enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(&counters_, name);
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate(&gauges_, name);
+}
+
+LatencyHistogram* MetricRegistry::GetLatency(std::string_view name) {
+  return GetOrCreate(&latencies_, name);
+}
+
+TelemetrySnapshot MetricRegistry::Snapshot() const {
+  TelemetrySnapshot snapshot;
+  snapshot.enabled = enabled_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  snapshot.latencies.reserve(latencies_.size());
+  for (const auto& [name, latency] : latencies_) {
+    LatencySnapshot entry;
+    entry.name = name;
+    std::lock_guard<std::mutex> latency_lock(latency->mutex_);
+    entry.count = latency->stats_.count();
+    entry.mean_seconds = latency->stats_.mean();
+    entry.total_seconds =
+        entry.mean_seconds * static_cast<double>(entry.count);
+    entry.p50_seconds = latency->PercentileLocked(0.50);
+    entry.p95_seconds = latency->PercentileLocked(0.95);
+    entry.p99_seconds = latency->PercentileLocked(0.99);
+    entry.max_seconds = entry.count > 0 ? latency->stats_.max() : 0.0;
+    snapshot.latencies.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+std::string MetricRegistry::ToJson() const {
+  const TelemetrySnapshot snapshot = Snapshot();
+  std::string out = "{\"enabled\":";
+  out += snapshot.enabled ? "true" : "false";
+  out += ",\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendJsonString(out, snapshot.counters[i].name);
+    out += ':';
+    out += std::to_string(snapshot.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendJsonString(out, snapshot.gauges[i].name);
+    out += ':';
+    AppendJsonNumber(out, snapshot.gauges[i].value);
+  }
+  out += "},\"latencies\":{";
+  for (size_t i = 0; i < snapshot.latencies.size(); ++i) {
+    const LatencySnapshot& latency = snapshot.latencies[i];
+    if (i > 0) out += ',';
+    AppendJsonString(out, latency.name);
+    out += ":{\"count\":";
+    out += std::to_string(latency.count);
+    const std::pair<const char*, double> fields[] = {
+        {"p50_ms", latency.p50_seconds},   {"p95_ms", latency.p95_seconds},
+        {"p99_ms", latency.p99_seconds},   {"max_ms", latency.max_seconds},
+        {"mean_ms", latency.mean_seconds}, {"total_ms", latency.total_seconds},
+    };
+    for (const auto& [key, seconds] : fields) {
+      out += ",\"";
+      out += key;
+      out += "\":";
+      AppendJsonNumber(out, MsFromSeconds(seconds));
+    }
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricRegistry::ToPrometheusText() const {
+  const TelemetrySnapshot snapshot = Snapshot();
+  std::string out;
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    const std::string name = PrometheusName(counter.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + ' ' + std::to_string(counter.value) + '\n';
+  }
+  for (const GaugeSnapshot& gauge : snapshot.gauges) {
+    const std::string name = PrometheusName(gauge.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ';
+    AppendJsonNumber(out, gauge.value);
+    out += '\n';
+  }
+  for (const LatencySnapshot& latency : snapshot.latencies) {
+    const std::string name = PrometheusName(latency.name) + "_seconds";
+    out += "# TYPE " + name + " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", latency.p50_seconds},
+        {"0.95", latency.p95_seconds},
+        {"0.99", latency.p99_seconds},
+    };
+    for (const auto& [q, seconds] : quantiles) {
+      out += name + "{quantile=\"" + q + "\"} ";
+      AppendJsonNumber(out, seconds);
+      out += '\n';
+    }
+    out += name + "_count " + std::to_string(latency.count) + '\n';
+    out += name + "_sum ";
+    AppendJsonNumber(out, latency.total_seconds);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricRegistry::ToReport() const {
+  const TelemetrySnapshot snapshot = Snapshot();
+  if (!snapshot.enabled) {
+    return "telemetry disabled (AppConfig::telemetry_enabled = false)\n";
+  }
+  std::string out;
+  char line[256];
+  out += "-- stage latencies (ms) --\n";
+  std::snprintf(line, sizeof(line), "%-20s %8s %10s %10s %10s %10s %12s\n",
+                "span", "count", "p50", "p95", "p99", "max", "total");
+  out += line;
+  for (const LatencySnapshot& latency : snapshot.latencies) {
+    std::snprintf(line, sizeof(line),
+                  "%-20s %8lld %10.4f %10.4f %10.4f %10.4f %12.4f\n",
+                  latency.name.c_str(),
+                  static_cast<long long>(latency.count),
+                  MsFromSeconds(latency.p50_seconds),
+                  MsFromSeconds(latency.p95_seconds),
+                  MsFromSeconds(latency.p99_seconds),
+                  MsFromSeconds(latency.max_seconds),
+                  MsFromSeconds(latency.total_seconds));
+    out += line;
+  }
+  out += "-- counters --\n";
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "%-28s %12lld\n",
+                  counter.name.c_str(),
+                  static_cast<long long>(counter.value));
+    out += line;
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "-- gauges --\n";
+    for (const GaugeSnapshot& gauge : snapshot.gauges) {
+      std::snprintf(line, sizeof(line), "%-28s %12.6f\n",
+                    gauge.name.c_str(), gauge.value);
+      out += line;
+    }
+  }
+  return out;
+}
+
+void Span::Start(MetricRegistry* registry) noexcept {
+  histogram_ = registry->GetLatency(name_);
+  parent_ = g_current_span;
+  depth_ = parent_ != nullptr ? parent_->depth_ + 1 : 0;
+  g_current_span = this;
+  start_ = std::chrono::steady_clock::now();
+}
+
+void Span::Finish() noexcept {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  g_current_span = parent_;
+  histogram_->RecordSeconds(seconds);
+}
+
+const Span* Span::current() noexcept { return g_current_span; }
+
+}  // namespace qasca::util

@@ -1,0 +1,230 @@
+#ifndef QASCA_UTIL_TELEMETRY_H_
+#define QASCA_UTIL_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace qasca::util {
+
+class MetricRegistry;
+
+/// Monotone event counter. Add() is wait-free (one relaxed fetch_add) and a
+/// single predictable branch when the owning registry is disabled, so
+/// instruments can sit on the per-HIT hot path unconditionally.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) noexcept {
+    if (enabled_) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricRegistry;
+  Counter(std::string name, bool enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  std::string name_;
+  bool enabled_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value-wins gauge (e.g. open HITs, latest refresh drift).
+class Gauge {
+ public:
+  void Set(double value) noexcept {
+    if (enabled_) value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricRegistry;
+  Gauge(std::string name, bool enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  std::string name_;
+  bool enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency distribution of one stage: exact count / mean / min / max via
+/// RunningStats plus a log2-of-nanoseconds bucket Histogram for quantile
+/// estimates (p50/p95/p99). Thread-safe; each Record takes one short
+/// mutex-guarded update, which is negligible against the stages measured
+/// (every span covers at least a full kernel sweep).
+class LatencyHistogram {
+ public:
+  void RecordSeconds(double seconds) noexcept;
+
+  int64_t count() const;
+  double total_seconds() const;
+  double mean_seconds() const;
+  double max_seconds() const;
+  /// Quantile estimate in seconds: exact min/max at p<=0 / p>=1, otherwise
+  /// the geometric midpoint of the log2 bucket holding the rank, clamped to
+  /// the observed [min, max].
+  double Percentile(double p) const;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricRegistry;
+  LatencyHistogram(std::string name, bool enabled)
+      : name_(std::move(name)),
+        enabled_(enabled),
+        log2_ns_(0.0, kLog2Buckets, kLog2Buckets) {}
+
+  // Buckets indexed by bit_width(nanoseconds): bucket b holds durations in
+  // [2^(b-1), 2^b) ns; bucket 0 holds sub-nanosecond (clock-resolution)
+  // samples. 65 buckets cover the full uint64 nanosecond range.
+  static constexpr int kLog2Buckets = 65;
+
+  double PercentileLocked(double p) const;
+
+  std::string name_;
+  bool enabled_;
+  mutable std::mutex mutex_;
+  RunningStats stats_;  // seconds
+  Histogram log2_ns_;
+};
+
+/// Snapshot structs: the stable, lock-free-to-read view the exporters and
+/// Engine::TelemetrySnapshot() hand out.
+struct CounterSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+struct LatencySnapshot {
+  std::string name;
+  int64_t count = 0;
+  double total_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+struct TelemetrySnapshot {
+  bool enabled = false;
+  std::vector<CounterSnapshot> counters;   // name-sorted
+  std::vector<GaugeSnapshot> gauges;       // name-sorted
+  std::vector<LatencySnapshot> latencies;  // name-sorted
+};
+
+/// Process- or engine-scoped registry of named instruments. Get* is
+/// get-or-create (mutex-guarded map lookup; hot paths resolve instruments
+/// once and keep the pointer — returned pointers are stable for the
+/// registry's lifetime). A disabled registry hands out instruments whose
+/// mutators are no-ops, so instrumented code never branches on telemetry
+/// configuration itself.
+///
+/// Instrument names must come from util/telemetry_names.h (span names are
+/// lint-enforced; see tools/lint_invariants.py).
+class MetricRegistry {
+ public:
+  explicit MetricRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  bool enabled() const noexcept { return enabled_; }
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  LatencyHistogram* GetLatency(std::string_view name);
+
+  TelemetrySnapshot Snapshot() const;
+
+  /// One JSON object: {"enabled":..,"counters":{..},"gauges":{..},
+  /// "latencies":{"name":{"count":..,"p50_ms":..,...},..}}. Consumed by
+  /// bench_hotpath_scaling / BENCH_PR3.json.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition: counters/gauges plus one summary per
+  /// latency histogram (quantile 0.5/0.95/0.99, _count, _sum). Names are
+  /// sanitised ('.' -> '_') and prefixed "qasca_".
+  std::string ToPrometheusText() const;
+
+  /// Human-readable per-stage report (aligned tables) for CLI output
+  /// (tools/qasca_sim --telemetry).
+  std::string ToReport() const;
+
+ private:
+  template <typename T>
+  T* GetOrCreate(std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
+                 std::string_view name);
+
+  bool enabled_;
+  mutable std::mutex mutex_;
+  // std::map keeps exports deterministically name-sorted.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      latencies_;
+};
+
+/// RAII scoped timer in the spirit of Dapper-style span tracing: on
+/// destruction records the elapsed wall time into the registry's latency
+/// histogram of the same name. Spans nest — each thread tracks its active
+/// span, so a span opened inside another (assign_hit -> estimate_qw ->
+/// dinkelbach_inner) knows its parent and depth. With a null or disabled
+/// registry construction is two branches and no clock read.
+///
+/// The `name` argument must be a tnames::kSpan* constant from
+/// util/telemetry_names.h (lint-enforced).
+class Span {
+ public:
+  // The disabled path is fully inline — two predictable branches, no clock
+  // read, no out-of-line call — so instrumented hot loops cost nothing when
+  // telemetry is off (bench_telemetry_overhead enforces < 2%).
+  Span(MetricRegistry* registry, const char* name) noexcept : name_(name) {
+    if (registry != nullptr && registry->enabled()) Start(registry);
+  }
+  ~Span() {
+    if (histogram_ != nullptr) Finish();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  const char* name() const noexcept { return name_; }
+  /// Nesting depth: 0 for a root span. 0 when disabled.
+  int depth() const noexcept { return depth_; }
+  const Span* parent() const noexcept { return parent_; }
+
+  /// The innermost span currently active on this thread (nullptr outside
+  /// any enabled span).
+  static const Span* current() noexcept;
+
+ private:
+  void Start(MetricRegistry* registry) noexcept;
+  void Finish() noexcept;
+
+  const char* name_;
+  LatencyHistogram* histogram_ = nullptr;
+  const Span* parent_ = nullptr;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace qasca::util
+
+#endif  // QASCA_UTIL_TELEMETRY_H_

@@ -1,0 +1,55 @@
+#ifndef QASCA_UTIL_TELEMETRY_NAMES_H_
+#define QASCA_UTIL_TELEMETRY_NAMES_H_
+
+// Central registry of every telemetry instrument name used in the tree.
+//
+// Span names MUST be one of the tnames::kSpan* constants below —
+// tools/lint_invariants.py rejects any util::Span constructed from a raw
+// string literal or an identifier not declared here, so stage names cannot
+// drift between the engine, the benches and the docs (DESIGN.md §9 maps
+// each name to its paper stage). Counter/gauge names live here too so the
+// exports stay greppable from one place.
+
+namespace qasca::util::tnames {
+
+// --- span / latency-histogram names (one histogram per span name) --------
+// Engine HIT lifecycle (Figure 2 workflows).
+inline constexpr char kSpanAssignHit[] = "assign_hit";
+inline constexpr char kSpanCompleteHit[] = "complete_hit";
+// Qw estimation (Section 5.3, Eqs. 17-18).
+inline constexpr char kSpanEstimateQw[] = "estimate_qw";
+// Parameter re-estimation on completion (Section 5.2 / Eq. 5).
+inline constexpr char kSpanEmFullRefit[] = "em_full_refit";
+inline constexpr char kSpanIncrementalRefresh[] = "incremental_refresh";
+// Assignment algorithms: Top-K Benefit (Section 4.1 / Eq. 12) and the
+// F-score online algorithm with its nested Dinkelbach solves
+// (Section 4.2, Algorithms 2-3).
+inline constexpr char kSpanTopkScan[] = "topk_scan";
+inline constexpr char kSpanFscoreOnline[] = "fscore_online";
+inline constexpr char kSpanDinkelbachInner[] = "dinkelbach_inner";
+
+// --- counter names -------------------------------------------------------
+inline constexpr char kHitsAssigned[] = "engine.hits_assigned";
+inline constexpr char kHitsCompleted[] = "engine.hits_completed";
+inline constexpr char kEmFullRefits[] = "em.full_refits";
+inline constexpr char kEmIncrementalRefreshes[] = "em.incremental_refreshes";
+inline constexpr char kEmIterations[] = "em.iterations";
+inline constexpr char kQwSamplesDrawn[] = "qw.samples_drawn";
+inline constexpr char kTopkCandidatesScanned[] = "topk.candidates_scanned";
+inline constexpr char kDinkelbachOuterIterations[] =
+    "dinkelbach.outer_iterations";
+inline constexpr char kDinkelbachInnerIterations[] =
+    "dinkelbach.inner_iterations";
+inline constexpr char kPoolTasksQueued[] = "threadpool.tasks_queued";
+inline constexpr char kPoolTasksExecuted[] = "threadpool.tasks_executed";
+inline constexpr char kDbAnswersRecorded[] = "db.answers_recorded";
+inline constexpr char kDbPosteriorRowUpdates[] = "db.posterior_row_updates";
+
+// --- gauge names ---------------------------------------------------------
+inline constexpr char kOpenHits[] = "engine.open_hits";
+inline constexpr char kRemainingHits[] = "engine.remaining_hits";
+inline constexpr char kLastRefreshDrift[] = "em.last_refresh_drift";
+
+}  // namespace qasca::util::tnames
+
+#endif  // QASCA_UTIL_TELEMETRY_NAMES_H_

@@ -4,8 +4,20 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
+#include "util/telemetry_names.h"
 
 namespace qasca::util {
+
+void ThreadPool::AttachTelemetry(MetricRegistry* registry) {
+  if (registry == nullptr) {
+    tasks_queued_ = nullptr;
+    tasks_executed_ = nullptr;
+    return;
+  }
+  tasks_queued_ = registry->GetCounter(tnames::kPoolTasksQueued);
+  tasks_executed_ = registry->GetCounter(tnames::kPoolTasksExecuted);
+}
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   QASCA_CHECK_GE(num_threads, 1);
@@ -57,6 +69,9 @@ void ThreadPool::ParallelFor(int begin, int end, int grain,
     for (int b = begin; b < end; b += grain) {
       fn(b, std::min(b + grain, end));
     }
+    if (tasks_executed_ != nullptr) {
+      tasks_executed_->Add(NumChunks(begin, end, grain));
+    }
     return;
   }
   {
@@ -69,8 +84,17 @@ void ThreadPool::ParallelFor(int begin, int end, int grain,
     }
   }
   work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  // Counted after the barrier, on the dispatching thread: every queued
+  // chunk has executed by the time ParallelFor returns.
+  if (tasks_queued_ != nullptr) {
+    const int chunks = NumChunks(begin, end, grain);
+    tasks_queued_->Add(chunks);
+    tasks_executed_->Add(chunks);
+  }
 }
 
 void ParallelFor(ThreadPool* pool, int begin, int end, int grain,

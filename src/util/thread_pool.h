@@ -10,6 +10,9 @@
 
 namespace qasca::util {
 
+class Counter;
+class MetricRegistry;
+
 /// Fixed-size worker pool shared by the hot kernels (EM E-step, Qw
 /// estimation, per-candidate benefit scans). Sized once from
 /// AppConfig::num_threads and reused for the engine's lifetime so the
@@ -35,6 +38,13 @@ class ThreadPool {
 
   int num_threads() const noexcept { return num_threads_; }
 
+  /// Wires the pool's task counters (tnames::kPoolTasksQueued /
+  /// kPoolTasksExecuted) into `registry`. Queued counts chunks handed to
+  /// worker threads; executed counts every chunk run, including the inline
+  /// serial path. Counting happens once per ParallelFor (not per chunk), on
+  /// the dispatching thread. nullptr detaches.
+  void AttachTelemetry(MetricRegistry* registry);
+
   /// Runs `fn(chunk_begin, chunk_end)` over every grain-sized chunk of
   /// [begin, end) and blocks until all chunks finish. `fn` must be safe to
   /// call concurrently from multiple threads and must not depend on chunk
@@ -48,6 +58,8 @@ class ThreadPool {
   void WorkerLoop();
 
   int num_threads_;
+  Counter* tasks_queued_ = nullptr;    // chunks dispatched to workers
+  Counter* tasks_executed_ = nullptr;  // chunks run (inline or worker)
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;

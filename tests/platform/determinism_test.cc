@@ -2,6 +2,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -58,7 +59,8 @@ struct RunRecord {
 // an out-parameter.
 void RunEngine(const MetricSpec& metric, WorkerModel::Kind kind,
                int num_threads, int em_refresh_interval,
-               bool force_final_refit, RunRecord* record_out) {
+               bool force_final_refit, RunRecord* record_out,
+               bool telemetry_enabled = false) {
   AppConfig config;
   config.name = "determinism";
   config.num_questions = 36;
@@ -71,6 +73,7 @@ void RunEngine(const MetricSpec& metric, WorkerModel::Kind kind,
   config.em.max_iterations = 15;
   config.num_threads = num_threads;
   config.em_refresh_interval = em_refresh_interval;
+  config.telemetry_enabled = telemetry_enabled;
 
   GroundTruthVector truth(config.num_questions);
   for (int q = 0; q < config.num_questions; ++q) {
@@ -118,10 +121,11 @@ void RunEngine(const MetricSpec& metric, WorkerModel::Kind kind,
 
 RunRecord MustRun(const MetricSpec& metric, WorkerModel::Kind kind,
                   int num_threads, int em_refresh_interval,
-                  bool force_final_refit = false) {
+                  bool force_final_refit = false,
+                  bool telemetry_enabled = false) {
   RunRecord record;
   RunEngine(metric, kind, num_threads, em_refresh_interval,
-            force_final_refit, &record);
+            force_final_refit, &record, telemetry_enabled);
   return record;
 }
 
@@ -198,6 +202,84 @@ TEST(DeterminismTest, IncrementalAgreesWithFullRefit) {
     // four incremental completions, so its drift stays well below that.
     EXPECT_LT(record.last_drift, 0.75) << s.name;
   }
+}
+
+TEST(DeterminismTest, TelemetryNeverChangesDecisions) {
+  // Telemetry observes the engine but must never perturb it: spans and
+  // counters touch no RNG stream and no model state, so enabling the
+  // registry leaves every decision byte-identical — serial and threaded,
+  // full-refit and incremental.
+  for (const Scenario& s : AllScenarios()) {
+    const RunRecord off = MustRun(s.metric, s.kind, /*num_threads=*/1,
+                                    /*em_refresh_interval=*/4, false,
+                                    /*telemetry_enabled=*/false);
+    const RunRecord on = MustRun(s.metric, s.kind, /*num_threads=*/1,
+                                   /*em_refresh_interval=*/4, false,
+                                   /*telemetry_enabled=*/true);
+    ExpectIdentical(off, on, s.name + " telemetry on vs off");
+    const RunRecord on_threaded =
+        MustRun(s.metric, s.kind, /*num_threads=*/8,
+                /*em_refresh_interval=*/4, false, /*telemetry_enabled=*/true);
+    ExpectIdentical(off, on_threaded,
+                    s.name + " telemetry on @ 8 threads vs off serial");
+  }
+}
+
+TEST(DeterminismTest, TelemetryCountsMatchEngineCounters) {
+  // The registry's counters must agree with the engine's own bookkeeping —
+  // the telemetry layer is a second witness, not a second truth.
+  AppConfig config;
+  config.num_questions = 36;
+  config.num_labels = 2;
+  config.questions_per_hit = 4;
+  config.pay_per_hit = 0.02;
+  config.budget = 0.02 * 12;
+  config.em_refresh_interval = 4;
+  config.telemetry_enabled = true;
+  GroundTruthVector truth(config.num_questions);
+  for (int q = 0; q < config.num_questions; ++q) {
+    truth[q] = q % config.num_labels;
+  }
+  TaskAssignmentEngine engine(config, std::make_unique<QascaStrategy>(), 7);
+  int round = 0;
+  while (!engine.BudgetExhausted()) {
+    const WorkerId worker = round++ % 6;
+    auto hit = engine.RequestHit(worker);
+    ASSERT_TRUE(hit.ok());
+    std::vector<LabelIndex> labels;
+    for (QuestionIndex q : *hit) {
+      labels.push_back(SimulatedAnswer(worker, q, truth[q],
+                                       config.num_labels));
+    }
+    ASSERT_TRUE(engine.CompleteHit(worker, labels).ok());
+  }
+  const util::TelemetrySnapshot snapshot = engine.TelemetrySnapshot();
+  EXPECT_TRUE(snapshot.enabled);
+  auto counter = [&snapshot](std::string_view name) -> int64_t {
+    for (const util::CounterSnapshot& c : snapshot.counters) {
+      if (c.name == name) return c.value;
+    }
+    return -1;
+  };
+  EXPECT_EQ(counter("engine.hits_assigned"), engine.assigned_hits());
+  EXPECT_EQ(counter("engine.hits_completed"), engine.completed_hits());
+  EXPECT_EQ(counter("em.full_refits"), engine.full_em_refits());
+  EXPECT_EQ(counter("em.incremental_refreshes"),
+            engine.incremental_refreshes());
+  // Every completion records exactly questions_per_hit answers.
+  EXPECT_EQ(counter("db.answers_recorded"),
+            int64_t{engine.completed_hits()} * config.questions_per_hit);
+  // Each span fired at least once per HIT cycle.
+  auto latency_count = [&snapshot](std::string_view name) -> int64_t {
+    for (const util::LatencySnapshot& l : snapshot.latencies) {
+      if (l.name == name) return l.count;
+    }
+    return -1;
+  };
+  EXPECT_EQ(latency_count("assign_hit"), engine.assigned_hits());
+  EXPECT_EQ(latency_count("complete_hit"), engine.completed_hits());
+  EXPECT_EQ(latency_count("estimate_qw"), engine.assigned_hits());
+  EXPECT_EQ(latency_count("em_full_refit"), engine.full_em_refits());
 }
 
 TEST(DeterminismTest, IncrementalQualityTracksFullRefits) {

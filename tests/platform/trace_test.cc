@@ -32,11 +32,26 @@ TEST(EventTraceTest, CountOf) {
 }
 
 TEST(EventTraceTest, JsonLinesFormat) {
-  EventTrace trace;
+  // Inject a deterministic tick source so the JSON is byte-exact.
+  uint64_t ticks = 0;
+  EventTrace trace([&ticks] { return ticks += 1200; });
   trace.RecordAssignment(3, {1, 4});
+  trace.RecordCompletion(3, {1, 4}, {0, 1});
   EXPECT_EQ(trace.ToJsonLines(),
-            "{\"seq\":0,\"kind\":\"assigned\",\"worker\":3,"
-            "\"questions\":[1,4],\"labels\":[]}\n");
+            "{\"seq\":0,\"t_ns\":1200,\"kind\":\"assigned\",\"worker\":3,"
+            "\"questions\":[1,4],\"labels\":[]}\n"
+            "{\"seq\":1,\"t_ns\":2400,\"kind\":\"completed\",\"worker\":3,"
+            "\"questions\":[1,4],\"labels\":[0,1]}\n");
+}
+
+TEST(EventTraceTest, DefaultTimestampsAreMonotone) {
+  EventTrace trace;
+  trace.RecordAssignment(1, {0});
+  trace.RecordAssignment(2, {1});
+  trace.RecordCompletion(1, {0}, {1});
+  ASSERT_EQ(trace.size(), 3);
+  EXPECT_LE(trace.events()[0].t_ns, trace.events()[1].t_ns);
+  EXPECT_LE(trace.events()[1].t_ns, trace.events()[2].t_ns);
 }
 
 TEST(EventTraceDeathTest, CompletionShapeMismatchAborts) {

@@ -1,0 +1,41 @@
+#include "util/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qasca::util {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonString("assign_hit"), "\"assign_hit\"");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonString("a\"b\\c"), "\"a\\\"b\\\\c\"");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonString("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+  EXPECT_EQ(JsonString(std::string("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(JsonEscapeTest, AppendVariantsShareOneEscaper) {
+  std::string out = "{";
+  AppendJsonString(out, "k\n");
+  out += ':';
+  AppendJsonEscaped(out, "v");
+  EXPECT_EQ(out, "{\"k\\n\":v");
+}
+
+TEST(JsonNumberTest, FormatsFiniteAndSanitisesNonFinite) {
+  std::string out;
+  AppendJsonNumber(out, 2.5);
+  EXPECT_EQ(out, "2.5");
+  out.clear();
+  AppendJsonNumber(out, 1.0 / 0.0);
+  EXPECT_EQ(out, "0");  // JSON has no Infinity literal.
+}
+
+}  // namespace
+}  // namespace qasca::util

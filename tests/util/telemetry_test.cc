@@ -1,0 +1,229 @@
+#include "util/telemetry.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/telemetry_names.h"
+
+namespace qasca::util {
+namespace {
+
+TEST(MetricRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricRegistry registry(true);
+  Counter* a = registry.GetCounter("a");
+  Counter* again = registry.GetCounter("a");
+  EXPECT_EQ(a, again);
+  EXPECT_EQ(a->name(), "a");
+  Gauge* g = registry.GetGauge("g");
+  EXPECT_EQ(registry.GetGauge("g"), g);
+  LatencyHistogram* h = registry.GetLatency("h");
+  EXPECT_EQ(registry.GetLatency("h"), h);
+  // Same name in different instrument kinds is fine: separate maps.
+  EXPECT_NE(static_cast<void*>(registry.GetCounter("x")),
+            static_cast<void*>(registry.GetGauge("x")));
+}
+
+TEST(MetricRegistryTest, CounterAndGaugeRecord) {
+  MetricRegistry registry(true);
+  Counter* c = registry.GetCounter("c");
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42);
+  Gauge* g = registry.GetGauge("g");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+}
+
+TEST(MetricRegistryTest, DisabledInstrumentsAreNoOps) {
+  MetricRegistry registry(false);
+  EXPECT_FALSE(registry.enabled());
+  Counter* c = registry.GetCounter("c");
+  c->Add(100);
+  EXPECT_EQ(c->value(), 0);
+  Gauge* g = registry.GetGauge("g");
+  g->Set(3.0);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  LatencyHistogram* h = registry.GetLatency("h");
+  h->RecordSeconds(1.0);
+  EXPECT_EQ(h->count(), 0);
+  TelemetrySnapshot snapshot = registry.Snapshot();
+  EXPECT_FALSE(snapshot.enabled);
+}
+
+TEST(MetricRegistryTest, SnapshotIsNameSorted) {
+  MetricRegistry registry(true);
+  registry.GetCounter("zebra")->Add(1);
+  registry.GetCounter("apple")->Add(2);
+  registry.GetCounter("mango")->Add(3);
+  TelemetrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].name, "apple");
+  EXPECT_EQ(snapshot.counters[1].name, "mango");
+  EXPECT_EQ(snapshot.counters[2].name, "zebra");
+  EXPECT_EQ(snapshot.counters[0].value, 2);
+}
+
+// The concurrency contract: many threads hammering the same instruments
+// must lose no increments and produce exact final counts.
+TEST(MetricRegistryThreadsTest, ConcurrentCountersAreExact) {
+  MetricRegistry registry(true);
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 20000;
+  Counter* shared = registry.GetCounter("shared");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, shared, t] {
+      // Mix pre-resolved and get-or-create lookups so map access races
+      // with recording.
+      Counter* own =
+          registry.GetCounter("per_thread." + std::to_string(t % 2));
+      LatencyHistogram* lat = registry.GetLatency("lat");
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        shared->Add(1);
+        own->Add(2);
+        lat->RecordSeconds(1e-6);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(shared->value(), kThreads * kIncrementsPerThread);
+  EXPECT_EQ(registry.GetCounter("per_thread.0")->value() +
+                registry.GetCounter("per_thread.1")->value(),
+            int64_t{2} * kThreads * kIncrementsPerThread);
+  EXPECT_EQ(registry.GetLatency("lat")->count(),
+            int64_t{kThreads} * kIncrementsPerThread);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneAndBounded) {
+  MetricRegistry registry(true);
+  LatencyHistogram* h = registry.GetLatency("h");
+  // Spread samples over several orders of magnitude.
+  for (int i = 0; i < 100; ++i) h->RecordSeconds(1e-6);
+  for (int i = 0; i < 10; ++i) h->RecordSeconds(1e-3);
+  h->RecordSeconds(1e-1);
+  EXPECT_EQ(h->count(), 111);
+  const double p50 = h->Percentile(0.50);
+  const double p95 = h->Percentile(0.95);
+  const double p99 = h->Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // All quantiles clamp to the observed range.
+  EXPECT_GE(p50, 1e-6 * 0.9);
+  EXPECT_LE(p99, h->max_seconds());
+  // The p50 must sit near the dominant 1us mode, far from the 1ms tail.
+  EXPECT_LT(p50, 1e-4);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 1e-1);
+  EXPECT_NEAR(h->total_seconds(), 100 * 1e-6 + 10 * 1e-3 + 1e-1, 1e-9);
+}
+
+TEST(SpanTest, NestingTracksDepthAndParent) {
+  MetricRegistry registry(true);
+  EXPECT_EQ(Span::current(), nullptr);
+  {
+    Span outer(&registry, tnames::kSpanAssignHit);
+    EXPECT_EQ(Span::current(), &outer);
+    EXPECT_EQ(outer.depth(), 0);
+    EXPECT_EQ(outer.parent(), nullptr);
+    {
+      Span mid(&registry, tnames::kSpanEstimateQw);
+      Span inner(&registry, tnames::kSpanDinkelbachInner);
+      EXPECT_EQ(Span::current(), &inner);
+      EXPECT_EQ(inner.depth(), 2);
+      EXPECT_EQ(inner.parent(), &mid);
+      EXPECT_EQ(mid.parent(), &outer);
+      EXPECT_STREQ(inner.name(), "dinkelbach_inner");
+    }
+    EXPECT_EQ(Span::current(), &outer);
+  }
+  EXPECT_EQ(Span::current(), nullptr);
+  // Each span recorded exactly one sample into its histogram.
+  EXPECT_EQ(registry.GetLatency(tnames::kSpanAssignHit)->count(), 1);
+  EXPECT_EQ(registry.GetLatency(tnames::kSpanEstimateQw)->count(), 1);
+  EXPECT_EQ(registry.GetLatency(tnames::kSpanDinkelbachInner)->count(), 1);
+  // A child's elapsed time is contained in its parent's.
+  EXPECT_LE(registry.GetLatency(tnames::kSpanEstimateQw)->max_seconds(),
+            registry.GetLatency(tnames::kSpanAssignHit)->max_seconds());
+}
+
+TEST(SpanTest, NullAndDisabledRegistriesRecordNothing) {
+  {
+    Span span(nullptr, tnames::kSpanAssignHit);
+    EXPECT_EQ(Span::current(), nullptr);
+    EXPECT_EQ(span.depth(), 0);
+  }
+  MetricRegistry disabled(false);
+  {
+    Span span(&disabled, tnames::kSpanAssignHit);
+    EXPECT_EQ(Span::current(), nullptr);
+  }
+  EXPECT_EQ(disabled.GetLatency(tnames::kSpanAssignHit)->count(), 0);
+}
+
+TEST(SpanThreadsTest, PerThreadStacksAreIndependent) {
+  MetricRegistry registry(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span outer(&registry, tnames::kSpanAssignHit);
+        Span inner(&registry, tnames::kSpanEstimateQw);
+        // The stack is thread-local: this thread's innermost span is its
+        // own `inner`, never another thread's.
+        ASSERT_EQ(Span::current(), &inner);
+        ASSERT_EQ(inner.parent(), &outer);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(Span::current(), nullptr);
+  EXPECT_EQ(registry.GetLatency(tnames::kSpanAssignHit)->count(),
+            int64_t{kThreads} * kSpansPerThread);
+  EXPECT_EQ(registry.GetLatency(tnames::kSpanEstimateQw)->count(),
+            int64_t{kThreads} * kSpansPerThread);
+}
+
+TEST(MetricRegistryExportTest, ToJsonShape) {
+  MetricRegistry registry(true);
+  registry.GetCounter("em.iterations")->Add(7);
+  registry.GetGauge("open_hits")->Set(3.0);
+  registry.GetLatency("assign_hit")->RecordSeconds(0.002);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"em.iterations\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"open_hits\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"assign_hit\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ms\":"), std::string::npos);
+}
+
+TEST(MetricRegistryExportTest, ToPrometheusTextShape) {
+  MetricRegistry registry(true);
+  registry.GetCounter("em.iterations")->Add(7);
+  registry.GetLatency("assign_hit")->RecordSeconds(0.002);
+  std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE qasca_em_iterations counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("qasca_em_iterations 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE qasca_assign_hit_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("qasca_assign_hit_seconds{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("qasca_assign_hit_seconds_count 1"),
+            std::string::npos);
+}
+
+TEST(MetricRegistryExportTest, DisabledReportSaysSo) {
+  MetricRegistry registry(false);
+  EXPECT_NE(registry.ToReport().find("telemetry disabled"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace qasca::util

@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
-"""Static lint: distribution-row mutations must be validator-aware.
+"""Static lints for the QASCA tree. Two rules:
 
-Any translation unit under src/core/ or src/model/ that constructs or
-mutates probability-distribution rows — calls to SetRow / SetRowNormalized,
-or manual normalisation loops (`w /= total` style divides following a sum
-accumulation) — must reference the invariant subsystem: include
-util/invariants.h, call an invariants::Check* validator, or use
-QASCA_DCHECK_OK / QASCA_CHECK_OK. This keeps every producer of probability
-mass wired to a mechanical proof of row-stochasticity (ISSUE 1; see
-DESIGN.md "Correctness tooling").
+1. Distribution-row mutations must be validator-aware: any translation unit
+   under src/core/ or src/model/ that constructs or mutates
+   probability-distribution rows — calls to SetRow / SetRowNormalized, or
+   manual normalisation loops — must reference the invariant subsystem:
+   include util/invariants.h, call an invariants::Check* validator, or use
+   QASCA_DCHECK_OK / QASCA_CHECK_OK. This keeps every producer of
+   probability mass wired to a mechanical proof of row-stochasticity
+   (ISSUE 1; see DESIGN.md "Correctness tooling").
 
-Exit status: 0 when clean, 1 when any file violates the rule, 2 on usage
+2. Span names must be registered: every util::Span constructed under src/
+   must name its stage via a tnames::kSpan* constant declared in
+   util/telemetry_names.h — never a raw string literal or an unregistered
+   identifier — so stage names cannot drift between the engine, the benches
+   and the docs (ISSUE 3; see DESIGN.md "Telemetry").
+
+Exit status: 0 when clean, 1 when any file violates a rule, 2 on usage
 errors. Intended to run from tools/run_checks.sh.
 """
 
@@ -41,6 +47,49 @@ ALLOWLIST = {
 }
 
 LINTED_ROOTS = ("src/core", "src/model")
+
+# --- span-name lint -------------------------------------------------------
+# Every util::Span construction in the tree; group 1 is the name argument.
+SPAN_CONSTRUCTION = re.compile(
+    r"\bSpan\s+\w+\s*\(\s*[^,()]+,\s*([^)]+?)\s*\)")
+# Declarations in util/telemetry_names.h look like:
+#   inline constexpr char kSpanAssignHit[] = "assign_hit";
+SPAN_NAME_DECL = re.compile(
+    r"inline\s+constexpr\s+char\s+(kSpan\w+)\s*\[\]")
+SPAN_LINT_ROOT = "src"
+# telemetry.{h,cc} define Span itself; telemetry_names.h declares the names.
+SPAN_ALLOWLIST = {
+    "src/util/telemetry.h",
+    "src/util/telemetry.cc",
+    "src/util/telemetry_names.h",
+}
+
+
+def registered_span_names(repo_root: Path) -> set[str]:
+    names_header = repo_root / "src/util/telemetry_names.h"
+    if not names_header.is_file():
+        return set()
+    return set(SPAN_NAME_DECL.findall(
+        names_header.read_text(encoding="utf-8")))
+
+
+def lint_span_names(path: Path, repo_root: Path,
+                    registered: set[str]) -> list[str]:
+    rel = path.relative_to(repo_root).as_posix()
+    if rel in SPAN_ALLOWLIST:
+        return []
+    text = strip_comments(path.read_text(encoding="utf-8"))
+    failures = []
+    for match in SPAN_CONSTRUCTION.finditer(text):
+        arg = match.group(1).strip()
+        # The constant may be qualified (util::tnames::kSpanX, tnames::kSpanX).
+        identifier = arg.rsplit("::", 1)[-1]
+        if identifier not in registered:
+            failures.append(
+                f"{rel}: Span constructed with unregistered name {arg!r} — "
+                "declare it as a tnames::kSpan* constant in "
+                "util/telemetry_names.h")
+    return failures
 
 
 def strip_comments(text: str) -> str:
@@ -87,6 +136,16 @@ def main() -> int:
         for path in sorted(base.rglob("*.cc")) + sorted(base.rglob("*.h")):
             checked += 1
             failures.extend(lint_file(path, repo_root))
+
+    registered = registered_span_names(repo_root)
+    if not registered:
+        print("lint_invariants: no kSpan* names found in "
+              "src/util/telemetry_names.h", file=sys.stderr)
+        return 2
+    span_base = repo_root / SPAN_LINT_ROOT
+    for path in sorted(span_base.rglob("*.cc")) + sorted(span_base.rglob("*.h")):
+        checked += 1
+        failures.extend(lint_span_names(path, repo_root, registered))
 
     if failures:
         print("lint_invariants: FAIL")

@@ -14,18 +14,27 @@
 //   --scale        shrink factor in (0,1] applied to n and the worker pool
 //                  for quick runs (default 1.0)
 //   --csv          emit CSV instead of an aligned table
+//   --telemetry    instead of the comparison, run one instrumented QASCA
+//                  engine under each assignment algorithm (Accuracy* and
+//                  F-score*) and print the per-stage telemetry report
+//                  (span latencies p50/p95/p99, counters, gauges)
 //
 // Examples:
 //   qasca_sim --app ER --seeds 5
 //   qasca_sim --app NSA --systems Baseline,QASCA --scale 0.25 --csv
+//   qasca_sim --telemetry
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/experiment_driver.h"
+#include "platform/engine.h"
+#include "platform/qasca_strategy.h"
 #include "util/table.h"
 
 namespace qasca {
@@ -34,7 +43,7 @@ namespace {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--app NAME] [--seeds N] [--checkpoints N] "
-               "[--systems a,b,...] [--scale F] [--csv]\n",
+               "[--systems a,b,...] [--scale F] [--csv] [--telemetry]\n",
                argv0);
   std::exit(2);
 }
@@ -62,6 +71,73 @@ std::vector<std::string> SplitCommas(const std::string& value) {
   }
   if (!current.empty()) parts.push_back(current);
   return parts;
+}
+
+// Deterministic pseudo-noisy worker for the telemetry demo runs: the answer
+// depends only on (worker, question, truth), so the printed counters are
+// reproducible run to run. ~25% of answers are wrong.
+LabelIndex SimulatedAnswer(WorkerId worker, QuestionIndex question,
+                           LabelIndex truth, int num_labels) {
+  uint64_t h = (static_cast<uint64_t>(worker) * 1000003u +
+                static_cast<uint64_t>(question) + 1) *
+               0x9e3779b97f4a7c15ull;
+  h ^= h >> 31;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  if (h % 100 < 25) {
+    return static_cast<LabelIndex>(
+        (static_cast<uint64_t>(truth) + 1 + h % (num_labels - 1)) %
+        num_labels);
+  }
+  return truth;
+}
+
+// Drives one fully instrumented QASCA engine to budget exhaustion and
+// prints its per-stage telemetry report.
+void RunInstrumented(const char* title, const MetricSpec& metric) {
+  AppConfig config;
+  config.name = "telemetry-demo";
+  config.num_questions = 200;
+  config.num_labels = 2;
+  config.questions_per_hit = 5;
+  config.pay_per_hit = 0.02;
+  config.budget = 0.02 * 60;  // 60 HITs
+  config.metric = metric;
+  config.em_refresh_interval = 4;
+  config.telemetry_enabled = true;
+
+  GroundTruthVector truth(config.num_questions);
+  for (int q = 0; q < config.num_questions; ++q) {
+    truth[q] = q % config.num_labels;
+  }
+
+  TaskAssignmentEngine engine(config, std::make_unique<QascaStrategy>(),
+                              /*seed=*/7);
+  int round = 0;
+  while (!engine.BudgetExhausted()) {
+    const WorkerId worker = round++ % 8;
+    auto hit = engine.RequestHit(worker);
+    if (!hit.ok()) break;
+    std::vector<LabelIndex> labels;
+    labels.reserve(hit->size());
+    for (QuestionIndex q : *hit) {
+      labels.push_back(SimulatedAnswer(worker, q, truth[q],
+                                       config.num_labels));
+    }
+    util::Status done = engine.CompleteHit(worker, labels);
+    if (!done.ok()) break;
+  }
+
+  std::printf("=== %s: %d HITs assigned, quality %.4f ===\n", title,
+              engine.assigned_hits(), engine.QualityAgainstTruth(truth));
+  std::fputs(engine.telemetry().ToReport().c_str(), stdout);
+  std::printf("\n");
+}
+
+int RunTelemetry() {
+  RunInstrumented("Accuracy* (Top-K Benefit)", MetricSpec::Accuracy());
+  RunInstrumented("F-score* (Dinkelbach online)", MetricSpec::FScore(0.5, 0));
+  return 0;
 }
 
 int Run(int argc, char** argv) {
@@ -93,6 +169,8 @@ int Run(int argc, char** argv) {
       if (scale <= 0.0 || scale > 1.0) Usage(argv[0]);
     } else if (flag == "--csv") {
       csv = true;
+    } else if (flag == "--telemetry") {
+      return RunTelemetry();
     } else {
       Usage(argv[0]);
     }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Builds the release preset, runs the PR 2 hot-path scaling benchmark
+# Builds the release preset, runs the hot-path scaling benchmark
 # (bench/bench_hotpath_scaling.cc) and writes its JSON report to
-# BENCH_PR2.json at the repo root (schema documented in README.md).
+# BENCH_PR3.json at the repo root (schema documented in README.md).
+# The report now includes a per-stage telemetry breakdown (em_refit_ms,
+# qw_estimate_ms, topk_scan_ms, dinkelbach_iters) built from
+# MetricRegistry::ToJson().
 #
 # Usage: tools/run_bench.sh [--out FILE]
 
@@ -10,7 +13,7 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${REPO_ROOT}"
 
-OUT="${REPO_ROOT}/BENCH_PR2.json"
+OUT="${REPO_ROOT}/BENCH_PR3.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --out)
@@ -42,10 +45,16 @@ rows = report["thread_scaling"]
 best = max(r["speedup_vs_1_thread"] for r in rows if r["n"] == 10000)
 refresh = max(r["speedup_vs_interval_1"] for r in report["em_refresh"])
 det = report["determinism"]["identical_decisions_across_thread_counts"]
-print(f"BENCH_PR2: host threads={report['machine']['hardware_threads']}, "
+print(f"BENCH: host threads={report['machine']['hardware_threads']}, "
       f"best thread speedup @ n=10k: {best:.2f}x, "
       f"incremental-refresh speedup: {refresh:.2f}x, "
       f"decisions identical across thread counts: {det}")
+for stage in report["stage_breakdown"]:
+    print(f"  stage breakdown [{stage['metric']}] n={stage['n']}: "
+          f"em_refit={stage['em_refit_ms']:.1f}ms "
+          f"qw_estimate={stage['qw_estimate_ms']:.1f}ms "
+          f"topk_scan={stage['topk_scan_ms']:.1f}ms "
+          f"dinkelbach_iters={stage['dinkelbach_iters']}")
 EOF
 
 echo "wrote ${OUT}"

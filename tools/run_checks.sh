@@ -8,10 +8,13 @@
 #      (skipped with a notice when clang-tidy is not installed),
 #   4. the asan-ubsan sanitizer preset: full build + ctest with every
 #      QASCA_DCHECK invariant enabled and sanitizer reports fatal,
-#   5. the tsan preset over the tests labelled "threads" (the thread-pool
-#      and engine-determinism suites that drive the parallel kernels) —
-#      a TSan-clean threads run is a merge gate. --tsan widens this stage
-#      to the full tsan suite.
+#   5. the tsan preset over the tests labelled "threads" (the thread-pool,
+#      telemetry and engine-determinism suites that drive the parallel
+#      kernels) — a TSan-clean threads run is a merge gate. --tsan widens
+#      this stage to the full tsan suite,
+#   6. the telemetry-overhead smoke (bench/bench_telemetry_overhead, release
+#      build): disabled-telemetry instrumentation on a hot loop must cost
+#      < 2%.
 #
 # Exits non-zero as soon as any stage fails. Usage:
 #
@@ -42,14 +45,14 @@ done
 
 stage() { printf '\n==== %s ====\n' "$*"; }
 
-stage "1/5 invariant lint"
+stage "1/6 invariant lint"
 python3 tools/lint_invariants.py
 
-stage "2/5 warning-clean Release build (-Werror)"
+stage "2/6 warning-clean Release build (-Werror)"
 cmake --preset release -DQASCA_WERROR=ON >/dev/null
 cmake --build --preset release -j "${JOBS}"
 
-stage "3/5 clang-tidy (src/)"
+stage "3/6 clang-tidy (src/)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # The release preset's compile commands drive tidy so it sees the same
   # flags the real build uses.
@@ -60,7 +63,7 @@ else
   echo "clang-tidy not installed on this host; SKIPPED (profile: .clang-tidy)"
 fi
 
-stage "4/5 asan-ubsan preset (DCHECK invariants on, reports fatal)"
+stage "4/6 asan-ubsan preset (DCHECK invariants on, reports fatal)"
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "${JOBS}"
 if [[ "${QUICK}" -eq 1 ]]; then
@@ -70,9 +73,9 @@ else
 fi
 
 if [[ "${RUN_TSAN}" -eq 1 ]]; then
-  stage "5/5 tsan preset (full suite)"
+  stage "5/6 tsan preset (full suite)"
 else
-  stage "5/5 tsan preset (threads-labelled tests; --tsan runs the full suite)"
+  stage "5/6 tsan preset (threads-labelled tests; --tsan runs the full suite)"
 fi
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}"
@@ -81,5 +84,9 @@ if [[ "${RUN_TSAN}" -eq 1 ]]; then
 else
   ctest --preset tsan-threads -j "${JOBS}"
 fi
+
+stage "6/6 telemetry-overhead smoke (disabled instruments < 2%)"
+cmake --build --preset release -j "${JOBS}" --target bench_telemetry_overhead
+./build-release/bench/bench_telemetry_overhead
 
 printf '\nAll checks passed.\n'
