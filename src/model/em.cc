@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "model/posterior.h"
 #include "model/prior.h"
@@ -20,17 +23,31 @@ struct WorkerAnswers {
   std::vector<LabelIndex> labels;
 };
 
-std::unordered_map<WorkerId, WorkerAnswers> GroupByWorker(
+// Grouped per-worker answers in ascending WorkerId order. The M-step and
+// the DCHECK objective fold iterate this vector, so model fits, the
+// insertion order of EmResult::workers and every floating-point
+// accumulation over workers are independent of unordered_map bucket layout
+// (the determinism pass of tools/analyze.py bans decision-feeding
+// iteration over unordered containers in src/model).
+std::vector<std::pair<WorkerId, WorkerAnswers>> GroupByWorker(
     const AnswerSet& answers) {
-  std::unordered_map<WorkerId, WorkerAnswers> grouped;
+  std::unordered_map<WorkerId, WorkerAnswers> by_worker;
   for (size_t i = 0; i < answers.size(); ++i) {
     for (const Answer& answer : answers[i]) {
-      WorkerAnswers& wa = grouped[answer.worker];
+      WorkerAnswers& wa = by_worker[answer.worker];
       wa.questions.push_back(static_cast<QuestionIndex>(i));
       wa.labels.push_back(answer.label);
     }
   }
-  return grouped;
+  std::vector<std::pair<WorkerId, WorkerAnswers>> ordered;
+  ordered.reserve(by_worker.size());
+  // Drain order is irrelevant: the vector is sorted by id right below.
+  for (auto& [worker, wa] : by_worker) {  // analyze:allow(determinism)
+    ordered.emplace_back(worker, std::move(wa));
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return ordered;
 }
 
 // M-step: re-fit one worker's model from the current posteriors.
@@ -131,7 +148,7 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
                          util::ThreadPool* pool,
                          util::MetricRegistry* telemetry) {
   const int n = static_cast<int>(answers.size());
-  std::unordered_map<WorkerId, WorkerAnswers> grouped =
+  const std::vector<std::pair<WorkerId, WorkerAnswers>> grouped =
       GroupByWorker(answers);
   std::vector<EStepPartial> partials(
       static_cast<size_t>(util::NumChunks(0, n, kEStepGrain)));
@@ -159,10 +176,13 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
 #if QASCA_ENABLE_DCHECKS
     double objective = 0.0;
     bool objective_valid = true;
-    for (const auto& [worker, model] : result.workers) {
+    // Fold in ascending-WorkerId order (grouped's order, which is exactly
+    // the fitted-worker set) so the objective is bit-stable across runs.
+    for (const auto& [worker, wa] : grouped) {
       objective_valid =
-          objective_valid &&
-          AccumulateLogPenalty(model, options.smoothing, &objective);
+          objective_valid && AccumulateLogPenalty(result.WorkerFor(worker),
+                                                  options.smoothing,
+                                                  &objective);
     }
 #endif
 

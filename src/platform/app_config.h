@@ -14,6 +14,9 @@ namespace qasca {
 /// contents of the paper's Configuration File plus question-set shape
 /// (Appendix A): n questions with l labels, k questions per HIT, payment b
 /// per HIT, total budget B, and the evaluation metric.
+///
+/// Threading contract: a value type, immutable once handed to the engine;
+/// const references are safe to read from any thread.
 struct AppConfig {
   std::string name = "app";
   /// Number of questions n.

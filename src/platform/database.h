@@ -20,6 +20,16 @@ namespace qasca {
 ///
 /// Purely in-memory; the real system backs this with an RDBMS, but nothing
 /// in the paper's algorithms depends on persistence.
+///
+/// Threading contract: single-writer, engine-thread-only — no internal
+/// locking, deliberately. All mutators (MarkAssigned, RecordAnswer,
+/// SetParameters, UpdatePosteriorRow, set_current) run on the engine
+/// thread between kernel dispatches; ThreadPool chunks only ever see const
+/// references to `answers()`, `parameters()` and `current()` while no
+/// mutator can run (ParallelFor blocks the engine thread until every chunk
+/// finishes). This contract is what lets the hot kernels skip locks
+/// entirely; the lock-annotations pass of tools/analyze.py requires the
+/// contract to be (re)stated here whenever this header grows shared state.
 class Database {
  public:
   Database(int num_questions, int num_labels);

@@ -252,9 +252,17 @@ WorkerModel TaskAssignmentEngine::ComputeTypicalWorker() const {
   if (workers.empty()) {
     return WorkerModel::Wp(0.75, config_.num_labels);
   }
+  // Fold worker qualities in ascending-id order: the mean feeds assignment
+  // decisions through the typical-worker model, so its floating-point
+  // association must not depend on unordered_map bucket layout (determinism
+  // pass, tools/analyze.py).
+  std::vector<WorkerId> ids;
+  ids.reserve(workers.size());
+  for (const auto& [id, model] : workers) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
   double total_quality = 0.0;
-  for (const auto& [id, model] : workers) {
-    std::vector<double> cm = model.AsConfusionMatrix();
+  for (WorkerId id : ids) {
+    std::vector<double> cm = workers.at(id).AsConfusionMatrix();
     double diagonal = 0.0;
     for (int j = 0; j < config_.num_labels; ++j) {
       diagonal += cm[static_cast<size_t>(j) * config_.num_labels + j];

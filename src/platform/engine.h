@@ -38,6 +38,14 @@ namespace qasca {
 /// With AppConfig::em_refresh_interval > 1, full EM refits run only every
 /// that-many completions and the completions in between re-derive just the
 /// k posterior rows the completed HIT touched.
+///
+/// Threading contract: externally synchronised — one engine, one driving
+/// thread. RequestHit / CompleteHit and every accessor run on that thread;
+/// concurrency exists only *inside* a call, when a kernel fans chunks onto
+/// `pool_`, and those chunks read engine/database state strictly const
+/// (Database's single-writer contract) while writing disjoint pre-sized
+/// slots. The internally-synchronised members (`telemetry_`'s instruments,
+/// `pool_`) are the only state worker threads touch directly.
 class TaskAssignmentEngine {
  public:
   /// `config` must Validate(); `seed` drives all stochastic choices

@@ -15,6 +15,10 @@ namespace qasca {
 ///  * Accuracy metric: the Top-K Benefit Algorithm (Section 4.1);
 ///  * F-score metric: the F-score Online Assignment Algorithm
 ///    (Section 4.2, Algorithms 2–3) with the delta'_init warm start.
+///
+/// Threading contract: stateless; inherits AssignmentStrategy's
+/// engine-thread-only SelectQuestions discipline (kernels parallelise
+/// through context.pool with const-read bodies).
 class QascaStrategy final : public AssignmentStrategy {
  public:
   /// `qw_mode` selects the paper's sampled Qw estimation or the expected

@@ -19,6 +19,13 @@ class Database;
 /// Everything a task-assignment policy may inspect when a worker requests a
 /// HIT. All pointers are non-owning and valid only for the duration of the
 /// SelectQuestions call.
+///
+/// Threading contract: built and consumed on the engine thread.
+/// `database`, `metric` and the worker models are const views that kernel
+/// chunks dispatched onto `pool` may read concurrently; `rng` is
+/// engine-thread-only (kernels derive counter-based per-question streams
+/// instead of sharing it); `telemetry` instruments are internally
+/// synchronised.
 struct StrategyContext {
   /// The system state (answer set, Qc, fitted parameters).
   const Database* database = nullptr;
@@ -45,6 +52,12 @@ struct StrategyContext {
 /// A task-assignment policy: given the candidate set S^w, choose the k
 /// questions to put in the worker's HIT. Implemented by QASCA itself and by
 /// the five comparison systems of Section 6.2.1.
+///
+/// Threading contract: SelectQuestions runs on the engine thread only.
+/// Implementations may parallelise internally through `context.pool`
+/// (ParallelFor bodies limited to const reads of context state plus writes
+/// to their own pre-sized chunk slots) but must not retain `context`
+/// pointers past the call.
 class AssignmentStrategy {
  public:
   virtual ~AssignmentStrategy() = default;

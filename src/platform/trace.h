@@ -14,6 +14,10 @@ namespace qasca {
 /// completion, in order. The real QASCA persists this in its Database; here
 /// it backs experiment post-mortems (which questions went to which workers
 /// and when) and can be exported as JSON Lines for external analysis.
+///
+/// Threading contract: engine-thread-only, like the Database — events are
+/// appended between kernel dispatches and never touched by pool workers,
+/// so the log needs no locking.
 class EventTrace {
  public:
   enum class Kind { kHitAssigned, kHitCompleted };

@@ -1,0 +1,86 @@
+#ifndef QASCA_UTIL_MUTEX_H_
+#define QASCA_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace qasca::util {
+
+class CondVar;
+
+/// std::mutex wrapper annotated as a Clang thread-safety capability, so
+/// QASCA_GUARDED_BY(mutex_) members and QASCA_REQUIRES(mutex_) functions
+/// are checked at compile time under the `analyze` preset
+/// (-Wthread-safety -Werror=thread-safety). libstdc++'s std::mutex carries
+/// no capability attributes, which is why the project bans raw std::mutex
+/// members outside this header (tools/analyze.py lock-annotations pass)
+/// and routes every lock through this type.
+///
+/// Same cost as std::mutex: every method is an inline forward.
+class QASCA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() QASCA_ACQUIRE() { mu_.lock(); }
+  void Unlock() QASCA_RELEASE() { mu_.unlock(); }
+  bool TryLock() QASCA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (scoped capability). Prefer this over manual
+/// Lock/Unlock pairs; the analysis then proves the lock is held for the
+/// full scope and released on every path.
+class QASCA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QASCA_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() QASCA_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with util::Mutex. Wait() must be called with
+/// the mutex held (enforced by QASCA_REQUIRES); it atomically releases the
+/// mutex while blocked and reacquires it before returning, exactly like
+/// std::condition_variable. Callers loop over their predicate explicitly —
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.Wait(mutex_);
+///
+/// — rather than passing predicate lambdas, so the guarded reads stay
+/// inside the annotated scope the analysis can see.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) QASCA_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock without unlocking: ownership stays with the caller's
+    // MutexLock, and the capability state never changes across Wait().
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qasca::util
+
+#endif  // QASCA_UTIL_MUTEX_H_

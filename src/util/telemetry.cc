@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "util/json.h"
+#include "util/mutex.h"
 
 namespace qasca::util {
 namespace {
@@ -34,28 +35,28 @@ void LatencyHistogram::RecordSeconds(double seconds) noexcept {
   seconds = std::max(seconds, 0.0);
   const auto ns = static_cast<uint64_t>(seconds * 1e9);
   const auto log2_bucket = static_cast<double>(std::bit_width(ns));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.Add(seconds);
   log2_ns_.Add(log2_bucket);
 }
 
 int64_t LatencyHistogram::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_.count();
 }
 
 double LatencyHistogram::total_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_.mean() * static_cast<double>(stats_.count());
 }
 
 double LatencyHistogram::mean_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_.mean();
 }
 
 double LatencyHistogram::max_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_.count() > 0 ? stats_.max() : 0.0;
 }
 
@@ -80,7 +81,7 @@ double LatencyHistogram::PercentileLocked(double p) const {
 }
 
 double LatencyHistogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return PercentileLocked(p);
 }
 
@@ -88,7 +89,7 @@ template <typename T>
 T* MetricRegistry::GetOrCreate(
     std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
     std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = map->find(name);
   if (it == map->end()) {
     it = map->emplace(std::string(name),
@@ -113,7 +114,7 @@ LatencyHistogram* MetricRegistry::GetLatency(std::string_view name) {
 TelemetrySnapshot MetricRegistry::Snapshot() const {
   TelemetrySnapshot snapshot;
   snapshot.enabled = enabled_;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.push_back({name, counter->value()});
@@ -126,7 +127,7 @@ TelemetrySnapshot MetricRegistry::Snapshot() const {
   for (const auto& [name, latency] : latencies_) {
     LatencySnapshot entry;
     entry.name = name;
-    std::lock_guard<std::mutex> latency_lock(latency->mutex_);
+    MutexLock latency_lock(latency->mutex_);
     entry.count = latency->stats_.count();
     entry.mean_seconds = latency->stats_.mean();
     entry.total_seconds =

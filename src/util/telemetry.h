@@ -6,12 +6,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 
 namespace qasca::util {
 
@@ -68,16 +69,16 @@ class Gauge {
 /// (every span covers at least a full kernel sweep).
 class LatencyHistogram {
  public:
-  void RecordSeconds(double seconds) noexcept;
+  void RecordSeconds(double seconds) noexcept QASCA_EXCLUDES(mutex_);
 
-  int64_t count() const;
-  double total_seconds() const;
-  double mean_seconds() const;
-  double max_seconds() const;
+  int64_t count() const QASCA_EXCLUDES(mutex_);
+  double total_seconds() const QASCA_EXCLUDES(mutex_);
+  double mean_seconds() const QASCA_EXCLUDES(mutex_);
+  double max_seconds() const QASCA_EXCLUDES(mutex_);
   /// Quantile estimate in seconds: exact min/max at p<=0 / p>=1, otherwise
   /// the geometric midpoint of the log2 bucket holding the rank, clamped to
   /// the observed [min, max].
-  double Percentile(double p) const;
+  double Percentile(double p) const QASCA_EXCLUDES(mutex_);
 
   const std::string& name() const noexcept { return name_; }
 
@@ -93,13 +94,13 @@ class LatencyHistogram {
   // samples. 65 buckets cover the full uint64 nanosecond range.
   static constexpr int kLog2Buckets = 65;
 
-  double PercentileLocked(double p) const;
+  double PercentileLocked(double p) const QASCA_REQUIRES(mutex_);
 
   std::string name_;
   bool enabled_;
-  mutable std::mutex mutex_;
-  RunningStats stats_;  // seconds
-  Histogram log2_ns_;
+  mutable Mutex mutex_;
+  RunningStats stats_ QASCA_GUARDED_BY(mutex_);  // seconds
+  Histogram log2_ns_ QASCA_GUARDED_BY(mutex_);
 };
 
 /// Snapshot structs: the stable, lock-free-to-read view the exporters and
@@ -147,11 +148,11 @@ class MetricRegistry {
 
   bool enabled() const noexcept { return enabled_; }
 
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
-  LatencyHistogram* GetLatency(std::string_view name);
+  Counter* GetCounter(std::string_view name) QASCA_EXCLUDES(mutex_);
+  Gauge* GetGauge(std::string_view name) QASCA_EXCLUDES(mutex_);
+  LatencyHistogram* GetLatency(std::string_view name) QASCA_EXCLUDES(mutex_);
 
-  TelemetrySnapshot Snapshot() const;
+  TelemetrySnapshot Snapshot() const QASCA_EXCLUDES(mutex_);
 
   /// One JSON object: {"enabled":..,"counters":{..},"gauges":{..},
   /// "latencies":{"name":{"count":..,"p50_ms":..,...},..}}. Consumed by
@@ -170,15 +171,19 @@ class MetricRegistry {
  private:
   template <typename T>
   T* GetOrCreate(std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
-                 std::string_view name);
+                 std::string_view name) QASCA_EXCLUDES(mutex_);
 
   bool enabled_;
-  mutable std::mutex mutex_;
-  // std::map keeps exports deterministically name-sorted.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  mutable Mutex mutex_;
+  // std::map keeps exports deterministically name-sorted. The pointed-to
+  // instruments are internally synchronised (atomics / their own mutex_),
+  // so only the maps themselves are guarded.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      QASCA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      QASCA_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
-      latencies_;
+      latencies_ QASCA_GUARDED_BY(mutex_);
 };
 
 /// RAII scoped timer in the spirit of Dapper-style span tracing: on

@@ -1,0 +1,79 @@
+#ifndef QASCA_UTIL_THREAD_ANNOTATIONS_H_
+#define QASCA_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+///
+/// These let the compiler prove lock discipline at build time: members
+/// carry QASCA_GUARDED_BY(mu), functions declare QASCA_REQUIRES(mu) /
+/// QASCA_EXCLUDES(mu), and lock types are QASCA_CAPABILITY wrappers whose
+/// acquire/release methods are annotated (see util/mutex.h). The `analyze`
+/// CMake preset compiles the tree with
+/// `-Wthread-safety -Werror=thread-safety` under Clang so every violation
+/// is a build error; GCC builds see plain declarations.
+///
+/// The lock-annotations pass of tools/analyze.py enforces the project side
+/// of the contract: raw std::mutex members are banned outside util/mutex.h
+/// and every util::Mutex member must be named by at least one
+/// QASCA_GUARDED_BY / QASCA_REQUIRES annotation (see DESIGN.md "Static
+/// analysis").
+
+#if defined(__clang__) && (!defined(SWIG))
+#define QASCA_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define QASCA_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Marks a type as a lock (a "capability" in Clang's vocabulary); `x` is
+/// the capability kind shown in diagnostics, e.g. QASCA_CAPABILITY("mutex").
+#define QASCA_CAPABILITY(x) \
+  QASCA_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (util::MutexLock).
+#define QASCA_SCOPED_CAPABILITY \
+  QASCA_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Declares that a data member may only be read or written while holding
+/// the given capability.
+#define QASCA_GUARDED_BY(x) QASCA_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Declares that the pointed-to data (not the pointer itself) is protected
+/// by the given capability.
+#define QASCA_PT_GUARDED_BY(x) \
+  QASCA_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Declares that callers must hold the given capability (exclusively)
+/// before calling, and still hold it on return.
+#define QASCA_REQUIRES(...) \
+  QASCA_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the given capability (the function
+/// acquires it itself; calling with it held would deadlock).
+#define QASCA_EXCLUDES(...) \
+  QASCA_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and does not release it before
+/// returning (Mutex::Lock, MutexLock's constructor).
+#define QASCA_ACQUIRE(...) \
+  QASCA_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// The function releases a held capability (Mutex::Unlock, MutexLock's
+/// destructor).
+#define QASCA_RELEASE(...) \
+  QASCA_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns true (try-lock).
+#define QASCA_TRY_ACQUIRE(...) \
+  QASCA_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Returns a reference to the named capability without affecting its state;
+/// lets annotations on other declarations name a lock through an accessor.
+#define QASCA_RETURN_CAPABILITY(x) \
+  QASCA_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Every use must
+/// explain itself in an adjacent comment.
+#define QASCA_NO_THREAD_SAFETY_ANALYSIS \
+  QASCA_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // QASCA_UTIL_THREAD_ANNOTATIONS_H_

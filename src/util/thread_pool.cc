@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/telemetry.h"
 #include "util/telemetry_names.h"
 
@@ -34,10 +35,10 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -45,16 +46,16 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(mutex_);
       if (queue_.empty()) return;  // stop_ set and drained
       job = std::move(queue_.front());
       queue_.pop_front();
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) done_cv_.notify_all();
+      MutexLock lock(mutex_);
+      if (--in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -75,7 +76,7 @@ void ThreadPool::ParallelFor(int begin, int end, int grain,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     QASCA_CHECK_EQ(in_flight_, 0) << "ThreadPool::ParallelFor is not reentrant";
     for (int b = begin; b < end; b += grain) {
       int e = std::min(b + grain, end);
@@ -83,10 +84,10 @@ void ThreadPool::ParallelFor(int begin, int end, int grain,
       ++in_flight_;
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) done_cv_.Wait(mutex_);
   }
   // Counted after the barrier, on the dispatching thread: every queued
   // chunk has executed by the time ParallelFor returns.

@@ -1,12 +1,13 @@
 #ifndef QASCA_UTIL_THREAD_POOL_H_
 #define QASCA_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace qasca::util {
 
@@ -52,21 +53,23 @@ class ThreadPool {
   /// (not reentrant). Aborting checks (QASCA_CHECK) inside `fn` terminate
   /// the process as they would on the calling thread.
   void ParallelFor(int begin, int end, int grain,
-                   const std::function<void(int, int)>& fn);
+                   const std::function<void(int, int)>& fn)
+      QASCA_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() QASCA_EXCLUDES(mutex_);
 
   int num_threads_;
   Counter* tasks_queued_ = nullptr;    // chunks dispatched to workers
   Counter* tasks_executed_ = nullptr;  // chunks run (inline or worker)
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;  // queued + currently-running jobs, guarded by mutex_
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::deque<std::function<void()>> queue_ QASCA_GUARDED_BY(mutex_);
+  // Queued + currently-running jobs.
+  int in_flight_ QASCA_GUARDED_BY(mutex_) = 0;
+  bool stop_ QASCA_GUARDED_BY(mutex_) = false;
 };
 
 /// Number of grain-sized chunks ParallelFor will dispatch over [begin, end).

@@ -1,0 +1,165 @@
+// Exercises the annotated capability types (util/mutex.h) and the
+// annotated lock-holding classes (ThreadPool, MetricRegistry) under real
+// contention. The test carries the `threads` label, so the tsan preset runs
+// it on every tools/run_checks.sh invocation: the Clang thread-safety
+// analysis proves the static lock discipline at compile time (analyze
+// preset), and this test proves the dynamic behaviour — mutual exclusion,
+// wait/notify wakeups, and race-free telemetry — at run time.
+
+#include "util/thread_annotations.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/mutex.h"
+#include "util/telemetry.h"
+#include "util/telemetry_names.h"
+#include "util/thread_pool.h"
+
+namespace qasca::util {
+namespace {
+
+// A minimal annotated class in the exact shape the analyzer's
+// lock-annotations pass mandates: the mutex is named by QASCA_GUARDED_BY
+// contracts and the accessors declare QASCA_EXCLUDES. Under the `analyze`
+// preset, touching `value_` without the lock is a compile error; here it
+// doubles as the contention fixture.
+class GuardedCounter {
+ public:
+  void Increment() QASCA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int Get() const QASCA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  int value_ QASCA_GUARDED_BY(mutex_) = 0;
+};
+
+TEST(ThreadAnnotationsTest, MutexProvidesMutualExclusion) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Get(), kThreads * kIncrements);
+}
+
+TEST(ThreadAnnotationsTest, TryLockReportsHeldMutex) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // A second owner must be refused while the mutex is held. std::mutex
+  // forbids recursive try_lock on the owning thread, so probe from another.
+  bool acquired = true;
+  std::thread prober([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  prober.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+}
+
+TEST(ThreadAnnotationsTest, CondVarWaitReleasesAndReacquires) {
+  // Producer/consumer handshake in the documented explicit-predicate-loop
+  // form. If Wait() failed to release the mutex the producer could never
+  // acquire it (deadlock); if it failed to reacquire, the guarded reads
+  // after the loop would race and TSan would flag them.
+  Mutex mu;
+  CondVar cv;
+  int stage = 0;  // guarded by mu
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    stage = 1;
+    cv.NotifyOne();
+    while (stage != 2) cv.Wait(mu);
+    stage = 3;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(mu);
+    while (stage != 1) cv.Wait(mu);
+    stage = 2;
+    cv.NotifyOne();
+    while (stage != 3) cv.Wait(mu);
+    EXPECT_EQ(stage, 3);
+  }
+  producer.join();
+}
+
+TEST(ThreadAnnotationsTest, ThreadPoolGuardedStateUnderContention) {
+  // Drive the pool's annotated queue_/in_flight_/stop_ state hard: many
+  // small chunks, with the loop body itself contending on a GuardedCounter.
+  ThreadPool pool(4);
+  GuardedCounter counter;
+  constexpr int kElements = 512;
+  for (int round = 0; round < 8; ++round) {
+    pool.ParallelFor(0, kElements, /*grain=*/7, [&](int begin, int end) {
+      for (int i = begin; i < end; ++i) counter.Increment();
+    });
+  }
+  EXPECT_EQ(counter.Get(), 8 * kElements);
+}
+
+TEST(ThreadAnnotationsTest, MetricRegistryConcurrentGetAndSnapshot) {
+  // GetCounter/GetLatency race against Snapshot() from a reader thread;
+  // every map access and histogram record crosses the annotated mutexes.
+  MetricRegistry registry(/*enabled=*/true);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 500;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry] {
+      Counter* hits = registry.GetCounter(tnames::kPoolTasksExecuted);
+      LatencyHistogram* latency = registry.GetLatency(tnames::kSpanAssignHit);
+      for (int i = 0; i < kOps; ++i) {
+        hits->Add(1);
+        latency->RecordSeconds(1e-6 * (i + 1));
+      }
+    });
+  }
+  std::thread reader([&registry] {
+    for (int i = 0; i < 50; ++i) {
+      TelemetrySnapshot snapshot = registry.Snapshot();
+      EXPECT_LE(snapshot.counters.size(), 1u);
+    }
+  });
+  for (auto& writer : writers) writer.join();
+  reader.join();
+
+  TelemetrySnapshot final_snapshot = registry.Snapshot();
+  ASSERT_EQ(final_snapshot.counters.size(), 1u);
+  EXPECT_EQ(final_snapshot.counters[0].value, kThreads * kOps);
+  ASSERT_EQ(final_snapshot.latencies.size(), 1u);
+  EXPECT_EQ(final_snapshot.latencies[0].count, kThreads * kOps);
+}
+
+TEST(ThreadAnnotationsTest, MacrosAreInertWithoutClang) {
+  // The annotation macros must impose zero runtime shape: a Mutex is just a
+  // std::mutex and the attributes vanish on non-Clang compilers. This pins
+  // the no-op expansion path that gcc builds take.
+#if !defined(__clang__)
+  static_assert(sizeof(Mutex) == sizeof(std::mutex),
+                "annotations must not add state");
+#endif
+  GuardedCounter counter;
+  counter.Increment();
+  EXPECT_EQ(counter.Get(), 1);
+}
+
+}  // namespace
+}  // namespace qasca::util

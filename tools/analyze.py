@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Unified static analyzer for the QASCA tree — entry point.
+
+Thin wrapper so the analyzer is runnable as `python3 tools/analyze.py`
+without installing anything; the framework and the passes live in the
+tools/analyze/ package (see tools/analyze/driver.py for usage and
+DESIGN.md "Static analysis" for the pass catalogue and suppression
+syntax). Replaces the retired tools/lint_invariants.py.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from analyze.driver import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

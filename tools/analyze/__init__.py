@@ -1,0 +1,12 @@
+"""QASCA's unified static analyzer (ISSUE 4; DESIGN.md "Static analysis").
+
+A small pass framework over the source tree: each pass in
+tools/analyze/passes/ walks the files it cares about and emits Findings
+with a severity and a repo-relative location. The driver
+(tools/analyze.py) runs every pass, honours `// analyze:allow(<pass>)`
+suppression comments, and reports either human-readable text or a
+machine-readable JSON document (--json). Self-test fixtures live in
+tools/analyze/testdata/, a miniature source tree whose known-bad snippets
+carry `// analyze:expect(<pass>)` markers (--self-test checks the passes
+fire exactly there and nowhere else).
+"""

@@ -1,0 +1,144 @@
+"""Core types of the analyzer framework: findings, source files, the tree.
+
+A pass is an object with `name`, `description`, `severity` and a
+`run(tree) -> list[Finding]` method (see passes/). Passes read files
+through SourceFile, which pre-computes a comment-stripped view (`code`)
+with line structure preserved, so regexes neither fire on commented-out
+code nor report wrong line numbers.
+
+Suppressions: a finding of pass P at line L is suppressed when the raw
+source carries `analyze:allow(P)` in a comment on line L or on line L-1
+(an allow comment on its own line covers the next line). Suppressed
+findings are counted and reported, but do not fail the run.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+ERROR = "error"
+WARNING = "warning"
+
+_ALLOW = re.compile(r"analyze:allow\(([a-z0-9_-]+)\)")
+_EXPECT = re.compile(r"analyze:expect\(([a-z0-9_-]+)\)")
+
+# Comment matcher used for stripping: block comments first (newlines inside
+# are preserved by the replacement), then line comments. String literals are
+# not parsed; none of the passes' patterns plausibly match inside QASCA's
+# string constants, and a lint must stay cheap.
+_BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+_LINE_COMMENT = re.compile(r"//[^\n]*")
+
+
+@dataclass
+class Finding:
+    pass_name: str
+    severity: str
+    path: str  # repo-relative, posix
+    line: int  # 1-based; 0 for whole-file findings
+    message: str
+    suppressed: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def to_json(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+def _strip_comments(text: str) -> str:
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    return _LINE_COMMENT.sub(" ", _BLOCK_COMMENT.sub(blank, text))
+
+
+@dataclass
+class SourceFile:
+    """One file plus the derived views every pass shares."""
+
+    absolute: Path
+    rel: str  # repo-relative posix path
+    text: str = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.lines = self.text.splitlines()
+        self.code = _strip_comments(self.text)
+        self.code_lines = self.code.splitlines()
+        # line number -> pass names allowed on that line.
+        self.allows: dict[int, set[str]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            for match in _ALLOW.finditer(line):
+                self.allows.setdefault(number, set()).add(match.group(1))
+
+    def line_of(self, offset: int) -> int:
+        """1-based line containing character `offset` of text/code."""
+        return self.code.count("\n", 0, offset) + 1
+
+    def allowed(self, pass_name: str, line: int) -> bool:
+        return (pass_name in self.allows.get(line, ())
+                or pass_name in self.allows.get(line - 1, ()))
+
+    def expects(self) -> list[tuple[str, int]]:
+        """(pass, line) markers declared by a self-test fixture."""
+        found = []
+        for number, line in enumerate(self.lines, start=1):
+            for match in _EXPECT.finditer(line):
+                found.append((match.group(1), number))
+        return found
+
+
+class SourceTree:
+    """Walks and caches SourceFiles under a repository root.
+
+    Passes address directories repo-relative (e.g. "src/core"), which makes
+    the same pass objects run unmodified over the real tree and over the
+    testdata fixture tree (whose layout mirrors src/...).
+    """
+
+    def __init__(self, root: Path):
+        self.root = root.resolve()
+        self._cache: dict[str, SourceFile] = {}
+
+    def file(self, rel: str) -> SourceFile | None:
+        if rel not in self._cache:
+            path = self.root / rel
+            if not path.is_file():
+                return None
+            self._cache[rel] = SourceFile(
+                absolute=path, rel=rel,
+                text=path.read_text(encoding="utf-8"))
+        return self._cache[rel]
+
+    def files(self, roots: tuple[str, ...],
+              extensions: tuple[str, ...] = (".h", ".cc")) -> list[SourceFile]:
+        out: list[SourceFile] = []
+        for root in roots:
+            base = self.root / root
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in extensions and path.is_file():
+                    rel = path.relative_to(self.root).as_posix()
+                    out.append(self.file(rel))
+        return out
+
+
+def apply_suppressions(tree: SourceTree,
+                       findings: list[Finding]) -> list[Finding]:
+    """Marks findings covered by an analyze:allow comment as suppressed."""
+    for finding in findings:
+        source = tree.file(finding.path)
+        if source is not None and finding.line > 0 and \
+                source.allowed(finding.pass_name, finding.line):
+            finding.suppressed = True
+    return findings

@@ -1,0 +1,154 @@
+"""Driver: runs the pass registry over a tree, reports, self-tests.
+
+Usage (normally via tools/analyze.py):
+
+  python3 tools/analyze.py                 # human-readable, exit 1 on error
+  python3 tools/analyze.py --json          # machine-readable report
+  python3 tools/analyze.py --passes determinism,span-names
+  python3 tools/analyze.py --list-passes
+  python3 tools/analyze.py --self-test     # run passes over testdata/
+
+Exit status: 0 clean (suppressed findings do not fail the run), 1 on any
+error-severity finding (or self-test mismatch), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .base import ERROR, Finding, SourceTree, apply_suppressions
+from .passes import ALL_PASSES, by_name
+
+TESTDATA = Path(__file__).resolve().parent / "testdata"
+
+
+def run_passes(tree: SourceTree, passes) -> list[Finding]:
+    findings: list[Finding] = []
+    for pass_ in passes:
+        findings.extend(pass_.run(tree))
+    return apply_suppressions(tree, findings)
+
+
+def report_text(findings: list[Finding], passes) -> str:
+    lines = []
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+    for finding in active:
+        lines.append(f"{finding.location()}: {finding.severity} "
+                     f"[{finding.pass_name}] {finding.message}")
+    errors = sum(1 for f in active if f.severity == ERROR)
+    warnings = len(active) - errors
+    lines.append(f"analyze: {len(passes)} passes, {errors} errors, "
+                 f"{warnings} warnings, {len(suppressed)} suppressed")
+    return "\n".join(lines)
+
+
+def report_json(findings: list[Finding], passes) -> str:
+    active = [f for f in findings if not f.suppressed]
+    return json.dumps({
+        "passes": [{"name": p.name, "description": p.description}
+                   for p in passes],
+        "findings": [f.to_json() for f in findings],
+        "errors": sum(1 for f in active if f.severity == ERROR),
+        "warnings": sum(1 for f in active if f.severity != ERROR),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+    }, indent=2)
+
+
+def self_test(passes) -> int:
+    """Checks the passes against the known-bad fixture tree.
+
+    Every `analyze:expect(<pass>)` marker must be matched by an active
+    finding of that pass on that exact line; there must be no unexpected
+    active findings; and every pass must demonstrate both a firing fixture
+    and a working `analyze:allow` suppression.
+    """
+    tree = SourceTree(TESTDATA)
+    findings = run_passes(tree, passes)
+    active = {(f.pass_name, f.path, max(f.line, 1))
+              for f in findings if not f.suppressed}
+    suppressed_by_pass: dict[str, int] = {}
+    for f in findings:
+        if f.suppressed:
+            suppressed_by_pass[f.pass_name] = \
+                suppressed_by_pass.get(f.pass_name, 0) + 1
+
+    expected = set()
+    for source in tree.files(("src",), extensions=(".h", ".cc")):
+        for pass_name, line in source.expects():
+            expected.add((pass_name, source.rel, line))
+
+    problems = []
+    for item in sorted(expected - active):
+        problems.append(f"expected finding did not fire: {item[0]} at "
+                        f"{item[1]}:{item[2]}")
+    for item in sorted(active - expected):
+        problems.append(f"unexpected finding: {item[0]} at "
+                        f"{item[1]}:{item[2]}")
+    for pass_ in passes:
+        if not any(name == pass_.name for name, _, _ in expected):
+            problems.append(f"pass {pass_.name} has no firing fixture in "
+                            "testdata/")
+        if suppressed_by_pass.get(pass_.name, 0) == 0:
+            problems.append(f"pass {pass_.name} has no suppressed fixture "
+                            "proving analyze:allow works")
+
+    if problems:
+        print("analyze --self-test: FAIL")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"analyze --self-test: OK ({len(expected)} expected findings "
+          f"fired, {sum(suppressed_by_pass.values())} suppressions held, "
+          f"{len(passes)} passes)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools/analyze.py", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--repo-root", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repository root (defaults to the grandparent "
+                             "of tools/analyze/)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    parser.add_argument("--passes", type=str, default="",
+                        help="comma-separated subset of passes to run")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="list registered passes and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the passes over tools/analyze/testdata/ "
+                             "and check the expected findings fire")
+    args = parser.parse_args(argv)
+
+    try:
+        passes = by_name([n.strip() for n in args.passes.split(",")
+                          if n.strip()]) if args.passes else ALL_PASSES
+    except KeyError as unknown:
+        print(f"analyze: unknown pass(es): {unknown}", file=sys.stderr)
+        return 2
+
+    if args.list_passes:
+        for pass_ in passes:
+            print(f"{pass_.name:18} {pass_.description}")
+        return 0
+
+    if args.self_test:
+        return self_test(passes)
+
+    repo_root = args.repo_root.resolve()
+    if not (repo_root / "src").is_dir():
+        print(f"analyze: {repo_root} has no src/ directory", file=sys.stderr)
+        return 2
+    tree = SourceTree(repo_root)
+    findings = run_passes(tree, passes)
+    print(report_json(findings, passes) if args.json
+          else report_text(findings, passes))
+    active_errors = sum(1 for f in findings
+                        if not f.suppressed and f.severity == ERROR)
+    return 1 if active_errors else 0

@@ -1,0 +1,25 @@
+"""Pass registry. Order is report order; names are the suppression keys."""
+
+from .determinism import DeterminismPass
+from .include_hygiene import IncludeHygienePass
+from .invariants import InvariantsPass
+from .lock_annotations import LockAnnotationsPass
+from .noexcept_audit import NoexceptAuditPass
+from .span_names import SpanNamesPass
+
+ALL_PASSES = (
+    InvariantsPass(),
+    SpanNamesPass(),
+    DeterminismPass(),
+    IncludeHygienePass(),
+    LockAnnotationsPass(),
+    NoexceptAuditPass(),
+)
+
+
+def by_name(names):
+    index = {p.name: p for p in ALL_PASSES}
+    unknown = [n for n in names if n not in index]
+    if unknown:
+        raise KeyError(", ".join(unknown))
+    return tuple(index[n] for n in names)

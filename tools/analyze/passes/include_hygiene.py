@@ -1,0 +1,88 @@
+"""Pass `include-hygiene`: canonical guards and own-header-first includes.
+
+Two mechanically-checkable halves of header hygiene:
+
+  * every header under src/ opens with the canonical include guard derived
+    from its path (src/core/types.h -> QASCA_CORE_TYPES_H_), so guards can
+    never collide after a file move;
+  * every .cc under src/ whose companion header exists includes that header
+    as its *first* include, which is what actually exercises the header's
+    self-containedness on every build.
+
+Full self-containedness ("include what you use") cannot be proven by
+regex; it is enforced by the generated header_selfcontained check — one
+synthesized TU per public header, built by the `header_selfcontained`
+target and run as a tier-1 ctest (see tools/CMakeLists.txt).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..base import ERROR, Finding, SourceFile, SourceTree
+
+# [ \t]* (not \s*) after the anchor: \s would swallow newlines and anchor
+# the match — and therefore the reported line — at the preceding line.
+INCLUDE = re.compile(r'^[ \t]*#\s*include\s+[<"]([^>"]+)[>"]', re.MULTILINE)
+GUARD_IFNDEF = re.compile(r"^[ \t]*#\s*ifndef\s+(\w+)", re.MULTILINE)
+
+
+def canonical_guard(rel: str) -> str:
+    # src/core/assignment/topk_benefit.h -> QASCA_CORE_ASSIGNMENT_TOPK_BENEFIT_H_
+    parts = rel.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts).replace(".", "_").upper()
+    return f"QASCA_{stem}_"
+
+
+class IncludeHygienePass:
+    name = "include-hygiene"
+    description = ("headers carry canonical QASCA_*_H_ guards; every .cc "
+                   "includes its own header first (self-containedness "
+                   "proven by the generated header_selfcontained ctest)")
+    severity = ERROR
+    roots = ("src",)
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in tree.files(self.roots):
+            if source.rel.endswith(".h"):
+                findings.extend(self._check_guard(source))
+            elif source.rel.endswith(".cc"):
+                findings.extend(self._check_own_header(tree, source))
+        return findings
+
+    def _check_guard(self, source: SourceFile) -> list[Finding]:
+        expected = canonical_guard(source.rel)
+        match = GUARD_IFNDEF.search(source.code)
+        if match is None:
+            return [Finding(
+                pass_name=self.name, severity=self.severity,
+                path=source.rel, line=1,
+                message=f"missing include guard (expected #ifndef {expected})")]
+        if match.group(1) != expected:
+            return [Finding(
+                pass_name=self.name, severity=self.severity,
+                path=source.rel, line=source.line_of(match.start()),
+                message=(f"include guard {match.group(1)} does not match the "
+                         f"canonical {expected}"))]
+        return []
+
+    def _check_own_header(self, tree: SourceTree,
+                          source: SourceFile) -> list[Finding]:
+        own = source.rel[:-3] + ".h"
+        if tree.file(own) is None:
+            return []  # no companion header (main files, benches)
+        own_spelling = own[len("src/"):] if own.startswith("src/") else own
+        match = INCLUDE.search(source.code)
+        if match is None or match.group(1) != own_spelling:
+            got = match.group(1) if match else "nothing"
+            return [Finding(
+                pass_name=self.name, severity=self.severity,
+                path=source.rel,
+                line=source.line_of(match.start()) if match else 1,
+                message=(f'first include must be the companion header '
+                         f'"{own_spelling}" (found {got}); own-header-first '
+                         "keeps every header self-contained"))]
+        return []

@@ -1,0 +1,69 @@
+"""Pass `invariants`: distribution-row mutations must be validator-aware.
+
+Port of the first rule of the retired tools/lint_invariants.py (ISSUE 1):
+any translation unit under src/core/ or src/model/ that constructs or
+mutates probability-distribution rows — SetRow / SetRowNormalized calls, or
+manual normalisation loops — must reference the invariant subsystem:
+include util/invariants.h, call an invariants::Check* validator, or use
+QASCA_DCHECK_OK / QASCA_CHECK_OK. Every producer of probability mass stays
+wired to a mechanical proof of row-stochasticity.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..base import ERROR, Finding, SourceFile, SourceTree
+
+MUTATION_PATTERNS = [
+    re.compile(r"\bSetRowNormalized\s*\("),
+    re.compile(r"\bSetRow\s*\("),
+    re.compile(r"\bNormalizeInPlace\s*\("),
+]
+
+VALIDATOR_PATTERNS = [
+    re.compile(r'#include\s+"util/invariants\.h"'),
+    re.compile(r"\binvariants::Check\w+\s*\("),
+    re.compile(r"\bQASCA_DCHECK_OK\s*\("),
+    re.compile(r"\bQASCA_CHECK_OK\s*\("),
+]
+
+# distribution_matrix.h only *declares* the mutators (definitions live in
+# the .cc, which is covered).
+ALLOWLIST = {"src/core/distribution_matrix.h"}
+
+
+class InvariantsPass:
+    name = "invariants"
+    description = ("distribution-row mutations in src/core and src/model "
+                   "must reference util/invariants.h validators")
+    severity = ERROR
+    roots = ("src/core", "src/model")
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in tree.files(self.roots):
+            if source.rel in ALLOWLIST:
+                continue
+            findings.extend(self._check(source))
+        return findings
+
+    def _check(self, source: SourceFile) -> list[Finding]:
+        # The validator reference may sit anywhere in the file (an include,
+        # a DCHECK at another call site), so the rule is file-scoped; the
+        # finding is anchored at the first mutation for suppressions.
+        if any(p.search(source.code) for p in VALIDATOR_PATTERNS):
+            return []
+        findings = []
+        for pattern in MUTATION_PATTERNS:
+            match = pattern.search(source.code)
+            if match:
+                findings.append(Finding(
+                    pass_name=self.name, severity=self.severity,
+                    path=source.rel, line=source.line_of(match.start()),
+                    message=(f"mutates distribution rows "
+                             f"({match.group(0).strip()}...) without "
+                             "referencing util/invariants.h or a Check* "
+                             "validator")))
+                break  # one finding per file, like the original lint
+        return findings

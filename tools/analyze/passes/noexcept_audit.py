@@ -1,0 +1,55 @@
+"""Pass `noexcept-audit`: user-provided move operations must be noexcept.
+
+Core types travel through std::vector and std::move on the hot path;
+a throwing (or potentially-throwing) move constructor silently downgrades
+vector growth to copying and poisons exception-safety reasoning. Any
+user-provided move constructor or move assignment operator in src/core,
+src/model or src/util must therefore be declared noexcept. Defaulted
+(`= default`) and deleted (`= delete`) declarations are exempt — their
+noexcept-ness is derived from the members, which is what we want.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..base import ERROR, Finding, SourceFile, SourceTree
+
+# `Foo(Foo&& other) <trail> ;|{` — the class name must repeat as the sole
+# parameter type; the trail (everything up to the declaration's `;` or
+# body `{`, including any `= default`) is where noexcept must appear.
+MOVE_CTOR = re.compile(
+    r"\b(\w+)\s*\(\s*\1\s*&&[^)]*\)\s*([^;{]*)[;{]", re.DOTALL)
+MOVE_ASSIGN = re.compile(
+    r"\b(\w+)&?\s*operator=\s*\(\s*\1\s*&&[^)]*\)\s*([^;{]*)[;{]", re.DOTALL)
+DEFAULTED = re.compile(r"=\s*(?:default|delete)\b")
+
+
+class NoexceptAuditPass:
+    name = "noexcept-audit"
+    description = ("user-provided move constructors / move assignments in "
+                   "src/core, src/model and src/util must be noexcept")
+    severity = ERROR
+    roots = ("src/core", "src/model", "src/util")
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in tree.files(self.roots):
+            findings.extend(self._check(source))
+        return findings
+
+    def _check(self, source: SourceFile) -> list[Finding]:
+        findings = []
+        for kind, pattern in (("move constructor", MOVE_CTOR),
+                              ("move assignment", MOVE_ASSIGN)):
+            for match in pattern.finditer(source.code):
+                trail = match.group(2)
+                if "noexcept" in trail or DEFAULTED.search(trail):
+                    continue
+                findings.append(Finding(
+                    pass_name=self.name, severity=self.severity,
+                    path=source.rel, line=source.line_of(match.start()),
+                    message=(f"{kind} of {match.group(1)} is user-provided "
+                             "but not noexcept — vector growth falls back "
+                             "to copies and exception safety is lost")))
+        return findings

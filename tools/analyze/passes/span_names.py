@@ -1,0 +1,63 @@
+"""Pass `span-names`: every util::Span must use a registered stage name.
+
+Port of the second rule of the retired tools/lint_invariants.py (ISSUE 3):
+every util::Span constructed under src/ must name its stage via a
+tnames::kSpan* constant declared in util/telemetry_names.h — never a raw
+string literal or an unregistered identifier — so stage names cannot drift
+between the engine, the benches and the docs.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..base import ERROR, Finding, SourceTree
+
+# Every util::Span construction; group 1 is the name argument.
+SPAN_CONSTRUCTION = re.compile(r"\bSpan\s+\w+\s*\(\s*[^,()]+,\s*([^)]+?)\s*\)")
+
+# Declarations in util/telemetry_names.h:
+#   inline constexpr char kSpanAssignHit[] = "assign_hit";
+SPAN_NAME_DECL = re.compile(r"inline\s+constexpr\s+char\s+(kSpan\w+)\s*\[\]")
+
+NAMES_HEADER = "src/util/telemetry_names.h"
+
+# telemetry.{h,cc} define Span itself; telemetry_names.h declares the names.
+ALLOWLIST = {
+    "src/util/telemetry.h",
+    "src/util/telemetry.cc",
+    NAMES_HEADER,
+}
+
+
+class SpanNamesPass:
+    name = "span-names"
+    description = ("util::Span stage names must be tnames::kSpan* constants "
+                   "registered in util/telemetry_names.h")
+    severity = ERROR
+    roots = ("src",)
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        names_header = tree.file(NAMES_HEADER)
+        if names_header is None:
+            return [Finding(
+                pass_name=self.name, severity=self.severity,
+                path=NAMES_HEADER, line=0,
+                message="missing: span-name registry header not found")]
+        registered = set(SPAN_NAME_DECL.findall(names_header.text))
+        findings: list[Finding] = []
+        for source in tree.files(self.roots):
+            if source.rel in ALLOWLIST:
+                continue
+            for match in SPAN_CONSTRUCTION.finditer(source.code):
+                arg = match.group(1).strip()
+                # May be qualified: util::tnames::kSpanX, tnames::kSpanX.
+                identifier = arg.rsplit("::", 1)[-1]
+                if identifier not in registered:
+                    findings.append(Finding(
+                        pass_name=self.name, severity=self.severity,
+                        path=source.rel, line=source.line_of(match.start()),
+                        message=(f"Span constructed with unregistered name "
+                                 f"{arg!r} — declare it as a tnames::kSpan* "
+                                 "constant in util/telemetry_names.h")))
+        return findings

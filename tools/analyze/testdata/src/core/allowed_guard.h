@@ -1,0 +1,7 @@
+#ifndef CORE_ALLOWED_GUARD_H  // analyze:allow(include-hygiene)
+#define CORE_ALLOWED_GUARD_H
+
+// include-hygiene suppression fixture: same non-canonical guard as
+// bad_guard.h, silenced on the finding line.
+
+#endif  // CORE_ALLOWED_GUARD_H

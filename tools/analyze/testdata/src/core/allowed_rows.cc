@@ -1,0 +1,9 @@
+// invariants suppression fixture: the same unvalidated mutation as
+// bad_rows.cc, silenced by an analyze:allow comment on the finding line.
+
+#include <vector>
+
+void MutateAllowed(DistributionMatrix& matrix,
+                   const std::vector<double>& row) {
+  matrix.SetRow(0, row);  // analyze:allow(invariants)
+}

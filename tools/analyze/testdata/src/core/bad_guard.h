@@ -1,0 +1,7 @@
+#ifndef CORE_BAD_GUARD_H  // analyze:expect(include-hygiene)
+#define CORE_BAD_GUARD_H
+
+// include-hygiene fixture: the guard does not match the canonical
+// QASCA_CORE_BAD_GUARD_H_ derived from this file's path.
+
+#endif  // CORE_BAD_GUARD_H

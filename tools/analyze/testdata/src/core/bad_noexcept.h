@@ -1,0 +1,30 @@
+#ifndef QASCA_CORE_BAD_NOEXCEPT_H_
+#define QASCA_CORE_BAD_NOEXCEPT_H_
+
+// noexcept-audit fixture: user-provided move operations without noexcept
+// must fire; noexcept, defaulted and allow'd ones must not.
+
+class Movable {
+ public:
+  Movable(Movable&& other);  // analyze:expect(noexcept-audit)
+  Movable& operator=(Movable&& other);  // analyze:expect(noexcept-audit)
+};
+
+class GoodMovable {
+ public:
+  GoodMovable(GoodMovable&& other) noexcept;
+  GoodMovable& operator=(GoodMovable&& other) noexcept;
+};
+
+class DefaultedMovable {
+ public:
+  DefaultedMovable(DefaultedMovable&& other) = default;
+  DefaultedMovable& operator=(DefaultedMovable&& other) = default;
+};
+
+class AllowedMovable {
+ public:
+  AllowedMovable(AllowedMovable&& other);  // analyze:allow(noexcept-audit)
+};
+
+#endif  // QASCA_CORE_BAD_NOEXCEPT_H_

@@ -1,0 +1,10 @@
+// invariants fixture: mutates a distribution row without referencing the
+// invariant subsystem (no util/invariants.h include, no Check* call, no
+// QASCA_DCHECK_OK). The finding anchors at the first mutating call.
+
+#include <vector>
+
+void MutateWithoutValidators(DistributionMatrix& matrix,
+                             const std::vector<double>& row) {
+  matrix.SetRow(0, row);  // analyze:expect(invariants)
+}

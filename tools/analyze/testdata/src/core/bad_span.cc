@@ -1,0 +1,13 @@
+// span-names fixture: spans constructed with a raw string literal and with
+// an unregistered identifier must fire; a registered tnames constant must
+// not; an allow comment must suppress.
+
+#include "util/telemetry.h"
+#include "util/telemetry_names.h"
+
+void Stages(qasca::util::MetricRegistry* registry) {
+  qasca::util::Span raw(registry, "raw_stage");  // analyze:expect(span-names)
+  qasca::util::Span rogue(registry, kSpanRogue);  // analyze:expect(span-names)
+  qasca::util::Span good(registry, qasca::util::tnames::kSpanGood);
+  qasca::util::Span hushed(registry, "quiet");  // analyze:allow(span-names)
+}

@@ -1,0 +1,8 @@
+// include-hygiene fixture: a .cc whose companion header exists but is not
+// the first include, so the header's self-containedness goes unexercised.
+
+#include <vector>  // analyze:expect(include-hygiene)
+
+#include "core/not_first.h"
+
+int NotFirst() { return static_cast<int>(std::vector<int>{1}.size()); }

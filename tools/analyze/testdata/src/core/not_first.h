@@ -1,0 +1,8 @@
+#ifndef QASCA_CORE_NOT_FIRST_H_
+#define QASCA_CORE_NOT_FIRST_H_
+
+// Companion header for not_first.cc (itself hygienic).
+
+int NotFirst();
+
+#endif  // QASCA_CORE_NOT_FIRST_H_

@@ -1,0 +1,42 @@
+// determinism fixture: hardware randomness, wall-clock reads and
+// unordered-container iteration in decision code must all fire; the
+// sorted-view iteration and the allow'd call must not.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+int HardwareDraw() {
+  return rand();  // analyze:expect(determinism)
+}
+
+long WallClockNs() {
+  auto now = std::chrono::system_clock::now();  // analyze:expect(determinism)
+  return now.time_since_epoch().count();
+}
+
+double UnorderedFold() {
+  std::unordered_map<int, double> weights;
+  double total = 0.0;
+  for (const auto& [key, value] : weights) {  // analyze:expect(determinism)
+    total += value;
+  }
+  return total;
+}
+
+double SortedFold() {
+  std::unordered_map<int, double> weights;
+  std::vector<std::pair<int, double>> ordered(weights.begin(), weights.end());
+  std::sort(ordered.begin(), ordered.end());
+  double total = 0.0;
+  for (const auto& [key, value] : ordered) {
+    total += value;
+  }
+  return total;
+}
+
+int AllowedDraw() {
+  return rand();  // analyze:allow(determinism)
+}

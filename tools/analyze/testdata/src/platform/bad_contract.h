@@ -1,0 +1,15 @@
+#ifndef QASCA_PLATFORM_BAD_CONTRACT_H_
+#define QASCA_PLATFORM_BAD_CONTRACT_H_
+
+// lock-annotations fixture: a platform header defining a class without
+// the required threading-contract comment.
+
+class Contractless {  // analyze:expect(lock-annotations)
+ public:
+  void Mutate();
+
+ private:
+  int state_ = 0;
+};
+
+#endif  // QASCA_PLATFORM_BAD_CONTRACT_H_

@@ -1,0 +1,15 @@
+#ifndef QASCA_PLATFORM_GOOD_CONTRACT_H_
+#define QASCA_PLATFORM_GOOD_CONTRACT_H_
+
+/// Threading contract: engine-thread-only; kernels never see this type.
+/// (Fixture: a platform class whose documented contract satisfies the
+/// lock-annotations pass.)
+class Contracted {
+ public:
+  void Mutate();
+
+ private:
+  int state_ = 0;
+};
+
+#endif  // QASCA_PLATFORM_GOOD_CONTRACT_H_

@@ -1,0 +1,28 @@
+#ifndef QASCA_UTIL_BAD_LOCK_H_
+#define QASCA_UTIL_BAD_LOCK_H_
+
+// lock-annotations fixture: a raw std::mutex member outside util/mutex.h
+// and a util::Mutex member with no QASCA_GUARDED_BY/QASCA_REQUIRES
+// contract must both fire; an annotated Mutex and an allow'd raw mutex
+// must not.
+
+#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class BadLocks {
+ private:
+  std::mutex raw_;  // analyze:expect(lock-annotations)
+  qasca::util::Mutex unguarded_;  // analyze:expect(lock-annotations)
+
+  qasca::util::Mutex guarded_;
+  int shared_state_ QASCA_GUARDED_BY(guarded_) = 0;
+};
+
+class AllowedLocks {
+ private:
+  std::mutex legacy_;  // analyze:allow(lock-annotations)
+};
+
+#endif  // QASCA_UTIL_BAD_LOCK_H_

@@ -1,0 +1,14 @@
+#ifndef QASCA_UTIL_TELEMETRY_NAMES_H_
+#define QASCA_UTIL_TELEMETRY_NAMES_H_
+
+// Span-name registry for the fixture tree: the span-names pass reads
+// kSpan* declarations from this exact path, mirroring the real
+// src/util/telemetry_names.h.
+
+namespace qasca::util::tnames {
+
+inline constexpr char kSpanGood[] = "good_stage";
+
+}  // namespace qasca::util::tnames
+
+#endif  // QASCA_UTIL_TELEMETRY_NAMES_H_

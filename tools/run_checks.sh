@@ -1,30 +1,40 @@
 #!/usr/bin/env bash
-# Standing correctness gate for the QASCA tree (ISSUE 1; documented in
-# README.md and DESIGN.md "Correctness tooling"). Runs, in order:
+# Standing correctness gate for the QASCA tree (ISSUE 1, extended by
+# ISSUE 4; documented in README.md and DESIGN.md §10 "Static analysis").
 #
-#   1. the custom invariant lint (tools/lint_invariants.py),
-#   2. a warning-clean Release build (-Wall -Wextra -Werror, DCHECKs off),
-#   3. clang-tidy over src/ with the project .clang-tidy profile
-#      (skipped with a notice when clang-tidy is not installed),
-#   4. the asan-ubsan sanitizer preset: full build + ctest with every
-#      QASCA_DCHECK invariant enabled and sanitizer reports fatal,
-#   5. the tsan preset over the tests labelled "threads" (the thread-pool,
-#      telemetry and engine-determinism suites that drive the parallel
-#      kernels) — a TSan-clean threads run is a merge gate. --tsan widens
-#      this stage to the full tsan suite,
-#   6. the telemetry-overhead smoke (bench/bench_telemetry_overhead, release
-#      build): disabled-telemetry instrumentation on a hot loop must cost
-#      < 2%.
+# Every stage prints a uniform "[stage N] PASS" / "[stage N] FAIL" line and
+# the script exits non-zero at the first failure. Stages that need a tool
+# the host lacks (clang-tidy, clang++) print "[stage N] SKIP" with the
+# reason instead — they are hard requirements on CI hosts that have clang.
 #
-# Exits non-zero as soon as any stage fails. Usage:
+#   1. tools/analyze.py            — multi-pass static analyzer over src/
+#                                    (invariants, span-names, determinism,
+#                                    include-hygiene, lock-annotations,
+#                                    noexcept-audit); exit 1 on any error
+#   2. tools/analyze.py --self-test — the analyzer proves its own passes
+#                                    fire (and suppressions hold) against
+#                                    tools/analyze/testdata/
+#   3. warning-clean Release build (-Wall -Wextra -Werror, DCHECKs off)
+#   4. clang-tidy over src/ with the project .clang-tidy profile
+#   5. `analyze` preset build: clang++ -Wthread-safety -Werror=thread-safety
+#      over the annotated tree (util::Mutex / QASCA_GUARDED_BY contracts)
+#   6. asan-ubsan preset: full build + ctest, every QASCA_DCHECK invariant
+#      enabled and sanitizer reports fatal
+#   7. tsan preset over the tests labelled "threads" (thread-pool,
+#      thread-annotations, telemetry and engine-determinism suites);
+#      --tsan widens this stage to the full tsan suite
+#   8. telemetry-overhead smoke: disabled-telemetry instrumentation on a
+#      hot loop must cost < 2%
+#
+# Usage:
 #
 #   tools/run_checks.sh [--quick] [--tsan]
 #
-# --quick limits stage 4's ctest run to tests labelled "invariants"
+# --quick limits stage 6's ctest run to tests labelled "invariants"
 # (the probabilistic-invariant suite plus the integration runs that sweep
 # the whole engine) instead of the full suite.
 
-set -euo pipefail
+set -uo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${REPO_ROOT}"
@@ -43,50 +53,82 @@ for arg in "$@"; do
   esac
 done
 
-stage() { printf '\n==== %s ====\n' "$*"; }
+STAGE=0
+stage_begin() {
+  STAGE=$((STAGE + 1))
+  printf '\n[stage %d] %s\n' "${STAGE}" "$*"
+}
+stage_pass() { printf '[stage %d] PASS\n' "${STAGE}"; }
+stage_fail() {
+  printf '[stage %d] FAIL\n' "${STAGE}"
+  exit 1
+}
+stage_skip() { printf '[stage %d] SKIP (%s)\n' "${STAGE}" "$*"; }
+# Runs the stage body; FAIL (and exit) on non-zero status.
+run() { "$@" || stage_fail; }
 
-stage "1/6 invariant lint"
-python3 tools/lint_invariants.py
+stage_begin "static analyzer (tools/analyze.py over src/)"
+run python3 tools/analyze.py
+stage_pass
 
-stage "2/6 warning-clean Release build (-Werror)"
-cmake --preset release -DQASCA_WERROR=ON >/dev/null
-cmake --build --preset release -j "${JOBS}"
+stage_begin "static analyzer self-test (tools/analyze/testdata/)"
+run python3 tools/analyze.py --self-test
+stage_pass
 
-stage "3/6 clang-tidy (src/)"
+stage_begin "warning-clean Release build (-Werror)"
+run cmake --preset release -DQASCA_WERROR=ON >/dev/null
+run cmake --build --preset release -j "${JOBS}"
+stage_pass
+
+stage_begin "clang-tidy (src/, profile: .clang-tidy)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # The release preset's compile commands drive tidy so it sees the same
   # flags the real build uses.
-  cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  run cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   find src -name '*.cc' -print0 |
-    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-release --quiet
+    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-release --quiet ||
+    stage_fail
+  stage_pass
 else
-  echo "clang-tidy not installed on this host; SKIPPED (profile: .clang-tidy)"
+  stage_skip "clang-tidy not installed on this host"
 fi
 
-stage "4/6 asan-ubsan preset (DCHECK invariants on, reports fatal)"
-cmake --preset asan-ubsan >/dev/null
-cmake --build --preset asan-ubsan -j "${JOBS}"
+stage_begin "thread-safety analysis (analyze preset: clang++ -Wthread-safety -Werror=thread-safety)"
+if command -v clang++ >/dev/null 2>&1; then
+  run cmake --preset analyze >/dev/null
+  run cmake --build --preset analyze -j "${JOBS}"
+  stage_pass
+else
+  stage_skip "clang++ not installed on this host; annotations compile as no-ops under gcc"
+fi
+
+stage_begin "asan-ubsan preset (DCHECK invariants on, reports fatal)"
+run cmake --preset asan-ubsan >/dev/null
+run cmake --build --preset asan-ubsan -j "${JOBS}"
 if [[ "${QUICK}" -eq 1 ]]; then
-  ctest --preset asan-ubsan-invariants -j "${JOBS}"
+  run ctest --preset asan-ubsan-invariants -j "${JOBS}"
 else
-  ctest --preset asan-ubsan -j "${JOBS}"
+  run ctest --preset asan-ubsan -j "${JOBS}"
 fi
+stage_pass
 
 if [[ "${RUN_TSAN}" -eq 1 ]]; then
-  stage "5/6 tsan preset (full suite)"
+  stage_begin "tsan preset (full suite)"
 else
-  stage "5/6 tsan preset (threads-labelled tests; --tsan runs the full suite)"
+  stage_begin "tsan preset (threads-labelled tests; --tsan runs the full suite)"
 fi
-cmake --preset tsan >/dev/null
-cmake --build --preset tsan -j "${JOBS}"
+run cmake --preset tsan >/dev/null
+run cmake --build --preset tsan -j "${JOBS}"
 if [[ "${RUN_TSAN}" -eq 1 ]]; then
-  ctest --preset tsan -j "${JOBS}"
+  run ctest --preset tsan -j "${JOBS}"
 else
-  ctest --preset tsan-threads -j "${JOBS}"
+  run ctest --preset tsan-threads -j "${JOBS}"
 fi
+stage_pass
 
-stage "6/6 telemetry-overhead smoke (disabled instruments < 2%)"
-cmake --build --preset release -j "${JOBS}" --target bench_telemetry_overhead
-./build-release/bench/bench_telemetry_overhead
+stage_begin "telemetry-overhead smoke (disabled instruments < 2%)"
+run cmake --build --preset release -j "${JOBS}" --target bench_telemetry_overhead
+run ./build-release/bench/bench_telemetry_overhead
+stage_pass
 
-printf '\nAll checks passed.\n'
+printf '\nAll checks passed (%d stages).\n' "${STAGE}"
