@@ -15,9 +15,14 @@
 // where each HIT cycle's time goes (EM refit, Qw estimation, Top-K scan /
 // Dinkelbach solves), with the full MetricRegistry::ToJson() embedded.
 //
+// (PR 5) adds a fault-tolerance section: the same workload with 5% of HIT
+// requests abandoned — the lease expires, the questions requeue, the
+// budget refunds — reporting completion throughput against the fault-free
+// run plus the robustness layer's lease/requeue counters (schema v3).
+//
 // Emits a single JSON document (schema documented in README.md; written to
 // --out, default stdout). tools/run_bench.sh drives this binary and places
-// BENCH_PR3.json at the repo root.
+// BENCH_PR5.json at the repo root.
 
 #include <algorithm>
 #include <cstdint>
@@ -63,7 +68,21 @@ struct RunResult {
   uint64_t decision_hash = 0;
   int full_em_refits = 0;
   int incremental_refreshes = 0;
+  int completed_hits = 0;
+  int leases_expired = 0;
+  int questions_requeued = 0;
 };
+
+// Deterministic per-round abandonment decision (same mixing as
+// SimulatedAnswer): true on ~abandon_permille/1000 of rounds.
+bool AbandonsRound(int round, int abandon_permille) {
+  if (abandon_permille == 0) return false;
+  uint64_t h = (static_cast<uint64_t>(round) + 1) * 0x9e3779b97f4a7c15ull;
+  h ^= h >> 31;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  return h % 1000 < static_cast<uint64_t>(abandon_permille);
+}
 
 double PercentileOfSorted(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
@@ -75,7 +94,7 @@ double PercentileOfSorted(const std::vector<double>& sorted, double p) {
 }
 
 RunResult RunHitCycles(int n, int num_threads, int em_refresh_interval,
-                       int hits) {
+                       int hits, int abandon_permille = 0) {
   AppConfig config;
   config.name = "hotpath";
   config.num_questions = n;
@@ -88,6 +107,9 @@ RunResult RunHitCycles(int n, int num_threads, int em_refresh_interval,
   config.em.max_iterations = 15;
   config.num_threads = num_threads;
   config.em_refresh_interval = em_refresh_interval;
+  // Abandoned HITs expire on the next Tick; the questions requeue and the
+  // budget refunds, so the run still completes `hits` HITs total.
+  if (abandon_permille > 0) config.lease_timeout_ticks = 1;
 
   GroundTruthVector truth(n);
   for (int q = 0; q < n; ++q) truth[q] = q % 2;
@@ -108,6 +130,12 @@ RunResult RunHitCycles(int n, int num_threads, int em_refresh_interval,
     auto hit = engine.RequestHit(worker);
     request_seconds.push_back(stopwatch.ElapsedSeconds());
     QASCA_CHECK(hit.ok()) << hit.status().ToString();
+    if (AbandonsRound(round - 1, abandon_permille)) {
+      // The worker walks away; the lease (timeout 1) expires on this tick,
+      // requeueing the questions and refunding the HIT.
+      engine.Tick(1);
+      continue;
+    }
     std::vector<LabelIndex> labels;
     labels.reserve(hit->size());
     for (QuestionIndex q : *hit) {
@@ -131,6 +159,9 @@ RunResult RunHitCycles(int n, int num_threads, int em_refresh_interval,
   result.decision_hash = hash;
   result.full_em_refits = engine.full_em_refits();
   result.incremental_refreshes = engine.incremental_refreshes();
+  result.completed_hits = engine.completed_hits();
+  result.leases_expired = engine.leases_expired();
+  result.questions_requeued = engine.questions_requeued();
   return result;
 }
 
@@ -230,7 +261,7 @@ int Main(int argc, char** argv) {
 
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"bench_hotpath_scaling\",\n");
-  std::fprintf(out, "  \"schema_version\": 2,\n");
+  std::fprintf(out, "  \"schema_version\": 3,\n");
   std::fprintf(out, "  \"commit\": \"%s\",\n", commit.c_str());
   std::fprintf(out, "  \"date\": \"%s\",\n", date.c_str());
   std::fprintf(out, "  \"machine\": { \"hardware_threads\": %u },\n",
@@ -301,6 +332,44 @@ int Main(int argc, char** argv) {
           full_total > 0.0 ? full_total / r.total_seconds : 1.0,
           r.full_em_refits, r.incremental_refreshes);
     }
+  }
+  std::fprintf(out, "\n  ],\n");
+
+  // --- fault tolerance: abandonment overhead (PR 5) ----------------------
+  // 5% of HIT requests are abandoned (the worker never answers; the lease
+  // expires, the questions requeue, the budget refunds) and the run still
+  // has to complete the full budget. Reports the completion throughput
+  // against the fault-free run of the same n, plus the lease/requeue
+  // counters the robustness layer maintains.
+  std::fprintf(out, "  \"fault_tolerance\": [\n");
+  first = true;
+  for (int n : sizes) {
+    std::fprintf(stderr, "[bench] n=%d fault-free vs 5%% abandonment ...\n",
+                 n);
+    const RunResult clean =
+        RunHitCycles(n, /*threads=*/1, /*interval=*/1, kHits);
+    const RunResult faulty = RunHitCycles(n, /*threads=*/1, /*interval=*/1,
+                                          kHits, /*abandon_permille=*/50);
+    QASCA_CHECK(faulty.completed_hits == clean.completed_hits)
+        << "abandonment must not change the completed budget";
+    QASCA_CHECK(faulty.leases_expired > 0)
+        << "the 5% abandonment plan never fired";
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(
+        out,
+        "    { \"n\": %d, \"abandon_rate\": 0.05, "
+        "\"completed_hits\": %d, "
+        "\"leases_expired\": %d, \"questions_requeued\": %d, "
+        "\"completions_per_second\": %.6g, "
+        "\"fault_free_completions_per_second\": %.6g, "
+        "\"throughput_vs_fault_free\": %.4g }",
+        n, faulty.completed_hits, faulty.leases_expired,
+        faulty.questions_requeued, faulty.completions_per_second,
+        clean.completions_per_second,
+        clean.completions_per_second > 0.0
+            ? faulty.completions_per_second / clean.completions_per_second
+            : 1.0);
   }
   std::fprintf(out, "\n  ],\n");
 

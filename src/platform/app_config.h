@@ -63,6 +63,18 @@ struct AppConfig {
   /// clock is read, and decisions are byte-identical either way (telemetry
   /// never touches the RNG streams — guarded by the determinism suite).
   bool telemetry_enabled = false;
+  /// Assignment-lease timeout in virtual-clock ticks: a HIT not completed
+  /// within this many ticks of its assignment (time advances only through
+  /// Engine::Tick) expires — its questions return to the worker's candidate
+  /// pool, the budget is refunded, and a late completion is rejected.
+  /// 0 = leases never expire (the paper's idealised lifecycle; default).
+  uint64_t lease_timeout_ticks = 0;
+  /// Path prefix for the crash-recovery lifecycle journal
+  /// ("<prefix>.snapshot" + "<prefix>.log", DESIGN.md §11). Every
+  /// assignment, completion and tick is appended so Engine::Recover can
+  /// replay a crashed engine to a bit-identical state. Empty = persistence
+  /// off (default).
+  std::string persistence_path;
   /// Always-on agreement bound between the incremental Qc and the next full
   /// EM refit: the max absolute cell difference must stay below this, else
   /// the engine aborts. Generous by design: a refit sees fresher worker

@@ -40,6 +40,19 @@ void Database::MarkAssigned(WorkerId worker,
   }
 }
 
+void Database::Unassign(WorkerId worker,
+                        const std::vector<QuestionIndex>& questions) {
+  auto it = assigned_.find(worker);
+  QASCA_CHECK(it != assigned_.end())
+      << "unassigning from a worker with no assignments";
+  for (QuestionIndex q : questions) {
+    QASCA_CHECK_GE(q, 0);
+    QASCA_CHECK_LT(q, num_questions_);
+    QASCA_CHECK_EQ(it->second.erase(q), 1u)
+        << "question was not assigned to this worker";
+  }
+}
+
 void Database::RecordAnswer(QuestionIndex question, WorkerId worker,
                             LabelIndex label) {
   QASCA_CHECK_GE(question, 0);

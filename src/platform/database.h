@@ -46,6 +46,12 @@ class Database {
   /// so the worker can never receive duplicates, even across open HITs.
   void MarkAssigned(WorkerId worker, const std::vector<QuestionIndex>& questions);
 
+  /// Reverses MarkAssigned for an expired lease: `questions` re-enter the
+  /// worker's candidate set S^w. Each must currently be assigned to
+  /// `worker` and must not have an answer recorded from them (requeue
+  /// happens only for HITs that never completed).
+  void Unassign(WorkerId worker, const std::vector<QuestionIndex>& questions);
+
   /// Appends one answer to D_i.
   void RecordAnswer(QuestionIndex question, WorkerId worker, LabelIndex label);
 

@@ -2,12 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
 
 #include "model/posterior.h"
+#include "util/failpoint.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/telemetry_names.h"
+
+namespace {
+
+/// Deadline value of a lease that never expires (lease_timeout_ticks == 0).
+constexpr uint64_t kLeaseNever = std::numeric_limits<uint64_t>::max();
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  hash ^= value;
+  hash *= kFnvPrime;
+  return hash;
+}
+
+uint64_t BitsOf(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
 
 namespace qasca {
 
@@ -28,6 +55,13 @@ TaskAssignmentEngine::TaskAssignmentEngine(
     pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
     pool_->AttachTelemetry(&telemetry_);
   }
+  if (!config_.persistence_path.empty()) {
+    journal_ = std::make_unique<LifecycleJournal>(config_.persistence_path);
+    journal_->AttachTelemetry(&telemetry_);
+  }
+  // Arms any fault plan in the QASCA_FAILPOINTS environment variable; a
+  // no-op when unset or when fail points are compiled out.
+  util::FailPoints::Global().ArmFromEnv();
   database_.AttachTelemetry(&telemetry_);
   instruments_.hits_assigned =
       telemetry_.GetCounter(util::tnames::kHitsAssigned);
@@ -37,6 +71,16 @@ TaskAssignmentEngine::TaskAssignmentEngine(
       telemetry_.GetCounter(util::tnames::kEmFullRefits);
   instruments_.em_incremental_refreshes =
       telemetry_.GetCounter(util::tnames::kEmIncrementalRefreshes);
+  instruments_.lease_expired =
+      telemetry_.GetCounter(util::tnames::kHitLeaseExpired);
+  instruments_.questions_requeued =
+      telemetry_.GetCounter(util::tnames::kHitQuestionsRequeued);
+  instruments_.duplicate_dropped =
+      telemetry_.GetCounter(util::tnames::kHitDuplicateDropped);
+  instruments_.late_completion_rejected =
+      telemetry_.GetCounter(util::tnames::kHitLateCompletionRejected);
+  instruments_.journal_events_replayed =
+      telemetry_.GetCounter(util::tnames::kJournalEventsReplayed);
   instruments_.open_hits = telemetry_.GetGauge(util::tnames::kOpenHits);
   instruments_.remaining_hits =
       telemetry_.GetGauge(util::tnames::kRemainingHits);
@@ -99,9 +143,21 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
         << " outside the candidate set";
   }
 #endif
+  if (journal_ != nullptr && !replaying_) {
+    journal_->AppendAssign(worker, selected);
+  }
   database_.MarkAssigned(worker, selected);
   trace_.RecordAssignment(worker, selected);
-  open_hits_.emplace(worker, selected);
+  OpenHit hit;
+  hit.hit_id = next_hit_id_++;
+  hit.deadline = config_.lease_timeout_ticks == 0
+                     ? kLeaseNever
+                     : now_ticks_ + config_.lease_timeout_ticks;
+  hit.questions = selected;
+  open_hits_.emplace(worker, std::move(hit));
+  // A new HIT supersedes any earlier expired lease: the late-completion
+  // rejection window for this worker closes here.
+  expired_pending_.erase(worker);
   ++assigned_hits_;
   instruments_.hits_assigned->Add(1);
   instruments_.open_hits->Set(static_cast<double>(open_hits_.size()));
@@ -113,9 +169,29 @@ util::Status TaskAssignmentEngine::CompleteHit(
     WorkerId worker, const std::vector<LabelIndex>& labels) {
   auto it = open_hits_.find(worker);
   if (it == open_hits_.end()) {
+    // Distinguish the platform failure modes from a plain unknown worker.
+    // A redelivered completion callback matches the worker's most recent
+    // completed HIT by answer-set hash and is dropped without touching D
+    // or EM; a completion arriving after the lease timed out is rejected
+    // as late. Both are recoverable platform events, not API misuse.
+    auto completed = last_completion_.find(worker);
+    if (completed != last_completion_.end() &&
+        completed->second.answers_hash == HashLabels(labels)) {
+      ++duplicates_dropped_;
+      instruments_.duplicate_dropped->Add(1);
+      return util::Status::AlreadyExists(
+          "duplicate completion of HIT " +
+          std::to_string(completed->second.hit_id) + " dropped");
+    }
+    if (expired_pending_.contains(worker)) {
+      ++late_completions_rejected_;
+      instruments_.late_completion_rejected->Add(1);
+      return util::Status::FailedPrecondition(
+          "lease expired before completion; answers rejected");
+    }
     return util::Status::NotFound("worker has no open HIT");
   }
-  const std::vector<QuestionIndex>& questions = it->second;
+  const std::vector<QuestionIndex>& questions = it->second.questions;
   if (labels.size() != questions.size()) {
     return util::Status::InvalidArgument(
         "answer count does not match HIT size");
@@ -128,11 +204,16 @@ util::Status TaskAssignmentEngine::CompleteHit(
   // Root span of the HIT-completion workflow (steps A-C); em_full_refit /
   // incremental_refresh nest inside it.
   util::Span span(&telemetry_, util::tnames::kSpanCompleteHit);
+  if (journal_ != nullptr && !replaying_) {
+    journal_->AppendComplete(worker, labels);
+  }
   // Step A: update the answer set D.
   for (size_t q = 0; q < questions.size(); ++q) {
     database_.RecordAnswer(questions[q], worker, labels[q]);
   }
-  std::vector<QuestionIndex> touched = it->second;
+  std::vector<QuestionIndex> touched = it->second.questions;
+  last_completion_[worker] =
+      CompletedHit{it->second.hit_id, HashLabels(labels)};
   trace_.RecordCompletion(worker, questions, labels);
   open_hits_.erase(it);
   ++completed_hits_;
@@ -181,6 +262,138 @@ util::Status TaskAssignmentEngine::CompleteHit(
     instruments_.em_incremental_refreshes->Add(1);
   }
   return util::Status::Ok();
+}
+
+int TaskAssignmentEngine::Tick(uint64_t ticks) {
+  QASCA_CHECK_GT(ticks, 0u);
+  now_ticks_ += ticks;
+  if (journal_ != nullptr && !replaying_) journal_->AppendTick(ticks);
+  // Collect the expired workers with an explicit iterator walk and process
+  // them in ascending-id order: expiry requeues questions and is replayed
+  // during recovery, so its effects must not depend on unordered_map
+  // bucket order (determinism pass, tools/analyze.py).
+  std::vector<WorkerId> expired;
+  for (auto it = open_hits_.begin(); it != open_hits_.end(); ++it) {
+    if (it->second.deadline <= now_ticks_) expired.push_back(it->first);
+  }
+  std::sort(expired.begin(), expired.end());
+  for (WorkerId worker : expired) {
+    const OpenHit& hit = open_hits_.at(worker);
+    database_.Unassign(worker, hit.questions);
+    trace_.RecordLeaseExpiry(worker, hit.questions);
+    questions_requeued_ += static_cast<int>(hit.questions.size());
+    instruments_.questions_requeued->Add(
+        static_cast<int64_t>(hit.questions.size()));
+    open_hits_.erase(worker);
+    expired_pending_.insert(worker);
+    // Refund the budget: the HIT was never completed, so it is never paid
+    // for. This keeps assigned_hits == completed_hits + open_hit_count.
+    --assigned_hits_;
+    ++leases_expired_;
+    instruments_.lease_expired->Add(1);
+  }
+  if (!expired.empty()) {
+    instruments_.open_hits->Set(static_cast<double>(open_hits_.size()));
+    instruments_.remaining_hits->Set(static_cast<double>(remaining_hits()));
+  }
+  return static_cast<int>(expired.size());
+}
+
+util::Status TaskAssignmentEngine::Recover() {
+  if (journal_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "recovery requires AppConfig::persistence_path");
+  }
+  QASCA_CHECK_EQ(assigned_hits_, 0)
+      << "Recover must run on a freshly constructed engine";
+  QASCA_CHECK_EQ(trace_.size(), 0);
+  replaying_ = true;
+  for (const LifecycleJournal::Event& event : journal_->events()) {
+    switch (event.kind) {
+      case LifecycleJournal::Event::Kind::kAssign: {
+        util::StatusOr<std::vector<QuestionIndex>> selected =
+            RequestHit(event.worker);
+        if (!selected.ok()) {
+          replaying_ = false;
+          return selected.status();
+        }
+        if (*selected != event.questions) {
+          replaying_ = false;
+          return util::Status::Internal(
+              "journal replay diverged from the strategy's selection — the "
+              "journal was not written by this (config, seed)");
+        }
+        break;
+      }
+      case LifecycleJournal::Event::Kind::kComplete: {
+        util::Status status = CompleteHit(event.worker, event.labels);
+        if (!status.ok()) {
+          replaying_ = false;
+          return status;
+        }
+        break;
+      }
+      case LifecycleJournal::Event::Kind::kTick:
+        Tick(event.ticks);
+        break;
+    }
+    instruments_.journal_events_replayed->Add(1);
+  }
+  replaying_ = false;
+  return util::Status::Ok();
+}
+
+uint64_t TaskAssignmentEngine::HashLabels(
+    const std::vector<LabelIndex>& labels) {
+  uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, labels.size());
+  for (LabelIndex label : labels) {
+    hash = FnvMix(hash, static_cast<uint64_t>(label) + 1);
+  }
+  return hash;
+}
+
+uint64_t TaskAssignmentEngine::StateFingerprint() const {
+  uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, static_cast<uint64_t>(assigned_hits_));
+  hash = FnvMix(hash, static_cast<uint64_t>(completed_hits_));
+  hash = FnvMix(hash, now_ticks_);
+  hash = FnvMix(hash, next_hit_id_);
+  // Open leases, folded in ascending worker order (determinism pass: the
+  // fingerprint must not depend on bucket layout).
+  std::vector<WorkerId> workers;
+  for (auto it = open_hits_.begin(); it != open_hits_.end(); ++it) {
+    workers.push_back(it->first);
+  }
+  std::sort(workers.begin(), workers.end());
+  for (WorkerId worker : workers) {
+    const OpenHit& hit = open_hits_.at(worker);
+    hash = FnvMix(hash, static_cast<uint64_t>(worker));
+    hash = FnvMix(hash, hit.hit_id);
+    hash = FnvMix(hash, hit.deadline);
+    for (QuestionIndex q : hit.questions) {
+      hash = FnvMix(hash, static_cast<uint64_t>(q) + 1);
+    }
+  }
+  // The answer set D, in per-question arrival order.
+  for (int q = 0; q < database_.num_questions(); ++q) {
+    const auto& answers = database_.answers()[static_cast<size_t>(q)];
+    hash = FnvMix(hash, answers.size());
+    for (const Answer& answer : answers) {
+      hash = FnvMix(hash, static_cast<uint64_t>(answer.worker));
+      hash = FnvMix(hash, static_cast<uint64_t>(answer.label) + 1);
+    }
+  }
+  const DistributionMatrix& qc = database_.current();
+  for (int i = 0; i < qc.num_questions(); ++i) {
+    for (int j = 0; j < qc.num_labels(); ++j) {
+      hash = FnvMix(hash, BitsOf(qc.At(i, j)));
+    }
+  }
+  for (LabelIndex r : CurrentResults()) {
+    hash = FnvMix(hash, static_cast<uint64_t>(r) + 1);
+  }
+  return hash;
 }
 
 void TaskAssignmentEngine::ForceFullEmRefit() { RunFullEmRefit(); }

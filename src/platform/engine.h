@@ -1,14 +1,17 @@
 #ifndef QASCA_PLATFORM_ENGINE_H_
 #define QASCA_PLATFORM_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/metrics/metric.h"
 #include "platform/app_config.h"
 #include "platform/database.h"
+#include "platform/journal.h"
 #include "platform/strategy.h"
 #include "platform/trace.h"
 #include "util/rng.h"
@@ -61,9 +64,33 @@ class TaskAssignmentEngine {
   util::StatusOr<std::vector<QuestionIndex>> RequestHit(WorkerId worker);
 
   /// HIT completion event. `labels` must parallel the question list the
-  /// worker received from RequestHit.
+  /// worker received from RequestHit. Idempotent against platform callback
+  /// redelivery: a completion matching the worker's most recent completed
+  /// HIT (by answer-set hash) is dropped with AlreadyExists, never
+  /// double-counted into D or EM; a completion arriving after the lease
+  /// expired is rejected with FailedPrecondition.
   util::Status CompleteHit(WorkerId worker,
                            const std::vector<LabelIndex>& labels);
+
+  /// Advances the virtual clock by `ticks` (> 0) and expires every open
+  /// lease whose deadline has passed: the HIT's questions return to the
+  /// worker's candidate set, the budget HIT is refunded, and the worker's
+  /// next CompleteHit — necessarily for the expired HIT — is rejected as
+  /// late (until a new RequestHit supersedes it). With
+  /// AppConfig::lease_timeout_ticks == 0 this only advances the clock.
+  /// Returns the number of leases expired.
+  int Tick(uint64_t ticks = 1);
+
+  /// Replays the lifecycle journal at AppConfig::persistence_path through
+  /// the normal engine paths, reproducing the crashed engine's state
+  /// bit-for-bit (answers, posteriors, worker models, RNG stream, open
+  /// leases, virtual clock) — decisions are a pure function of (config,
+  /// seed, event history), so re-executing the history is the recovery.
+  /// Each replayed assignment re-runs the strategy and is verified against
+  /// the journaled selection; a mismatch (journal from a different config
+  /// or seed) fails with Internal. Must be called on a freshly constructed
+  /// engine; FailedPrecondition if persistence is off.
+  util::Status Recover();
 
   /// Runs a full EM refit immediately, regardless of where the engine is in
   /// its em_refresh_interval cycle (the incremental-agreement invariant is
@@ -99,6 +126,28 @@ class TaskAssignmentEngine {
 
   int assigned_hits() const noexcept { return assigned_hits_; }
   int completed_hits() const noexcept { return completed_hits_; }
+  /// HITs currently assigned but neither completed nor expired. Always
+  /// equals assigned_hits() - completed_hits() (the accounting invariant
+  /// the lifecycle stress harness checks after every event).
+  int open_hit_count() const noexcept {
+    return static_cast<int>(open_hits_.size());
+  }
+  /// Current virtual-clock time; advances only through Tick().
+  uint64_t now_ticks() const noexcept { return now_ticks_; }
+  /// Lifecycle fault counters (also exported as telemetry when enabled).
+  int leases_expired() const noexcept { return leases_expired_; }
+  int questions_requeued() const noexcept { return questions_requeued_; }
+  int duplicates_dropped() const noexcept { return duplicates_dropped_; }
+  int late_completions_rejected() const noexcept {
+    return late_completions_rejected_;
+  }
+
+  /// FNV-1a fingerprint of every piece of state an assignment decision can
+  /// read: HIT accounting, the virtual clock, open leases, the answer set
+  /// D, the Qc cell bit patterns and the current result vector. Recovery
+  /// tests compare a recovered engine's fingerprint against the reference
+  /// engine's.
+  uint64_t StateFingerprint() const;
   /// HITs the remaining budget still affords.
   int remaining_hits() const noexcept {
     return config_.TotalHits() - assigned_hits_;
@@ -144,6 +193,25 @@ class TaskAssignmentEngine {
   /// invariant against the pre-refit Qc, and resets the refresh cycle.
   void RunFullEmRefit();
 
+  /// An assigned, not-yet-completed HIT: the lease the worker holds.
+  struct OpenHit {
+    /// Monotone per-engine id; names the HIT in duplicate-drop diagnostics.
+    uint64_t hit_id = 0;
+    /// Virtual-clock tick at which the lease expires; kLeaseNever when
+    /// AppConfig::lease_timeout_ticks == 0.
+    uint64_t deadline = 0;
+    std::vector<QuestionIndex> questions;
+  };
+
+  /// Fingerprint of a worker's most recent completed HIT, kept so a
+  /// redelivered completion callback is recognised and dropped.
+  struct CompletedHit {
+    uint64_t hit_id = 0;
+    uint64_t answers_hash = 0;
+  };
+
+  static uint64_t HashLabels(const std::vector<LabelIndex>& labels);
+
   /// Pre-resolved instrument handles, looked up once at construction so the
   /// per-HIT path never touches the registry map.
   struct Instruments {
@@ -151,6 +219,11 @@ class TaskAssignmentEngine {
     util::Counter* hits_completed = nullptr;
     util::Counter* em_full_refits = nullptr;
     util::Counter* em_incremental_refreshes = nullptr;
+    util::Counter* lease_expired = nullptr;
+    util::Counter* questions_requeued = nullptr;
+    util::Counter* duplicate_dropped = nullptr;
+    util::Counter* late_completion_rejected = nullptr;
+    util::Counter* journal_events_replayed = nullptr;
     util::Gauge* open_hits = nullptr;
     util::Gauge* remaining_hits = nullptr;
     util::Gauge* last_refresh_drift = nullptr;
@@ -166,10 +239,26 @@ class TaskAssignmentEngine {
   util::Rng rng_;
   /// Non-null iff config_.num_threads > 1.
   std::unique_ptr<util::ThreadPool> pool_;
-  std::unordered_map<WorkerId, std::vector<QuestionIndex>> open_hits_;
+  /// Non-null iff config_.persistence_path is non-empty.
+  std::unique_ptr<LifecycleJournal> journal_;
+  std::unordered_map<WorkerId, OpenHit> open_hits_;
+  std::unordered_map<WorkerId, CompletedHit> last_completion_;
+  /// Workers whose lease expired and who have not requested a new HIT yet;
+  /// a completion from them is a late delivery for the expired HIT.
+  std::unordered_set<WorkerId> expired_pending_;
   std::optional<WorkerModel> typical_worker_;
+  /// Virtual-clock time; advances only through Tick().
+  uint64_t now_ticks_ = 0;
+  uint64_t next_hit_id_ = 0;
+  /// True while Recover() re-executes journaled events, so the replay does
+  /// not re-append them.
+  bool replaying_ = false;
   int assigned_hits_ = 0;
   int completed_hits_ = 0;
+  int leases_expired_ = 0;
+  int questions_requeued_ = 0;
+  int duplicates_dropped_ = 0;
+  int late_completions_rejected_ = 0;
   int full_em_refits_ = 0;
   int incremental_refreshes_ = 0;
   /// Completions since the last full EM refit.

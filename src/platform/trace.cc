@@ -1,28 +1,13 @@
 #include "platform/trace.h"
 
-#include <chrono>
-
 #include "util/json.h"
 #include "util/logging.h"
 
 namespace qasca {
 
-namespace {
-
 // Default tick source: nanoseconds since the trace was constructed, so
 // traces from different runs line up at t_ns = 0.
-EventTrace::TickSource SteadyTicksFromNow() {
-  return [origin = std::chrono::steady_clock::now()]() -> uint64_t {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - origin)
-            .count());
-  };
-}
-
-}  // namespace
-
-EventTrace::EventTrace() : tick_source_(SteadyTicksFromNow()) {}
+EventTrace::EventTrace() : tick_source_(util::SteadyTickSource()) {}
 
 EventTrace::EventTrace(TickSource tick_source)
     : tick_source_(std::move(tick_source)) {
@@ -54,6 +39,17 @@ void EventTrace::RecordCompletion(
   events_.push_back(std::move(event));
 }
 
+void EventTrace::RecordLeaseExpiry(
+    WorkerId worker, const std::vector<QuestionIndex>& questions) {
+  Event event;
+  event.sequence = size();
+  event.t_ns = tick_source_();
+  event.kind = Kind::kLeaseExpired;
+  event.worker = worker;
+  event.questions = questions;
+  events_.push_back(std::move(event));
+}
+
 int EventTrace::CountOf(Kind kind) const {
   int count = 0;
   for (const Event& event : events_) {
@@ -80,8 +76,10 @@ std::string EventTrace::ToJsonLines() const {
     out += ",\"t_ns\":";
     out += std::to_string(event.t_ns);
     out += ",\"kind\":";
-    util::AppendJsonString(
-        out, event.kind == Kind::kHitAssigned ? "assigned" : "completed");
+    const char* kind_name = "assigned";
+    if (event.kind == Kind::kHitCompleted) kind_name = "completed";
+    if (event.kind == Kind::kLeaseExpired) kind_name = "lease_expired";
+    util::AppendJsonString(out, kind_name);
     out += ",\"worker\":";
     out += std::to_string(event.worker);
     out += ',';

@@ -2,11 +2,11 @@
 #define QASCA_PLATFORM_TRACE_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/types.h"
+#include "util/tick.h"
 
 namespace qasca {
 
@@ -20,11 +20,13 @@ namespace qasca {
 /// so the log needs no locking.
 class EventTrace {
  public:
-  enum class Kind { kHitAssigned, kHitCompleted };
+  enum class Kind { kHitAssigned, kHitCompleted, kLeaseExpired };
 
   /// Produces the timestamp recorded on each event. Injectable so tests and
-  /// replay tooling can pin timestamps; the default reads a steady clock.
-  using TickSource = std::function<uint64_t()>;
+  /// replay tooling can pin timestamps; the default reads a steady clock
+  /// (util::SteadyTickSource — platform code never reads clocks directly,
+  /// per the clock-discipline analyzer pass).
+  using TickSource = util::TickSource;
 
   struct Event {
     /// Monotone 0-based position in the log.
@@ -52,6 +54,10 @@ class EventTrace {
   void RecordCompletion(WorkerId worker,
                         const std::vector<QuestionIndex>& questions,
                         const std::vector<LabelIndex>& labels);
+  /// The worker's lease timed out before completion; `questions` returned
+  /// to the assignment pool.
+  void RecordLeaseExpiry(WorkerId worker,
+                         const std::vector<QuestionIndex>& questions);
 
   const std::vector<Event>& events() const { return events_; }
   int size() const { return static_cast<int>(events_.size()); }

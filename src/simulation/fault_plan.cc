@@ -1,0 +1,43 @@
+#include "simulation/fault_plan.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qasca {
+
+FaultPlan::FaultPlan(uint64_t seed, FaultPlanOptions options)
+    : seed_(seed), options_(options) {
+  QASCA_CHECK_GE(options_.abandon_rate, 0.0);
+  QASCA_CHECK_GE(options_.duplicate_rate, 0.0);
+  QASCA_CHECK_GE(options_.crash_rate, 0.0);
+  QASCA_CHECK_LE(
+      options_.abandon_rate + options_.duplicate_rate + options_.crash_rate,
+      1.0);
+  QASCA_CHECK_GE(options_.tick_rate, 0.0);
+  QASCA_CHECK_LE(options_.tick_rate, 1.0);
+  QASCA_CHECK_GT(options_.max_tick_advance, 0u);
+}
+
+FaultPlan::Fault FaultPlan::At(uint64_t step) const {
+  util::SplitMix64 stream(util::SplitMix64::MixSeed(seed_, step * 2));
+  const double u = stream.NextDouble();
+  if (u < options_.abandon_rate) return Fault::kAbandon;
+  if (u < options_.abandon_rate + options_.duplicate_rate) {
+    return Fault::kDuplicate;
+  }
+  if (u < options_.abandon_rate + options_.duplicate_rate +
+              options_.crash_rate) {
+    return Fault::kCrash;
+  }
+  return Fault::kNone;
+}
+
+uint64_t FaultPlan::TickAdvanceAt(uint64_t step) const {
+  // Independent stream from At(): step*2+1 vs step*2, so fault and tick
+  // decisions for the same step do not correlate.
+  util::SplitMix64 stream(util::SplitMix64::MixSeed(seed_, step * 2 + 1));
+  if (stream.NextDouble() >= options_.tick_rate) return 0;
+  return 1 + stream.Next() % options_.max_tick_advance;
+}
+
+}  // namespace qasca

@@ -1,0 +1,57 @@
+#ifndef QASCA_SIMULATION_FAULT_PLAN_H_
+#define QASCA_SIMULATION_FAULT_PLAN_H_
+
+#include <cstdint>
+
+namespace qasca {
+
+/// Rates of the lifecycle failure modes a FaultPlan injects. The defaults
+/// mirror the deployment failure mix the robustness layer targets
+/// (DESIGN.md §11): abandonment dominates, redelivery is common, crashes
+/// are rare. Rates must be non-negative and sum to at most 1.
+struct FaultPlanOptions {
+  /// Worker walks away from an assigned HIT; the lease must expire and
+  /// requeue the questions.
+  double abandon_rate = 0.05;
+  /// The platform redelivers the completion callback; the duplicate must
+  /// be dropped without double-counting.
+  double duplicate_rate = 0.05;
+  /// The process dies mid-run; a fresh engine must Recover() from the
+  /// journal to the identical state.
+  double crash_rate = 0.0;
+  /// Probability that the virtual clock advances after a lifecycle step.
+  double tick_rate = 0.25;
+  /// Clock advances are uniform in [1, max_tick_advance] ticks.
+  uint64_t max_tick_advance = 3;
+};
+
+/// Deterministic schedule of injected lifecycle faults, driving the stress
+/// harness (tests/integration/lifecycle_stress_test.cc). Every decision is
+/// a pure function of (seed, step) via a counter-based SplitMix64 stream —
+/// no sequential RNG state — so a crash-recovery run can regenerate the
+/// exact schedule from any step, and two harnesses with the same seed
+/// inject byte-identical fault sequences.
+///
+/// Threading contract: immutable after construction; safe to share.
+class FaultPlan {
+ public:
+  enum class Fault { kNone, kAbandon, kDuplicate, kCrash };
+
+  FaultPlan(uint64_t seed, FaultPlanOptions options);
+
+  /// The fault injected at lifecycle step `step`.
+  Fault At(uint64_t step) const;
+
+  /// Virtual-clock ticks to advance after step `step`; 0 = clock holds.
+  uint64_t TickAdvanceAt(uint64_t step) const;
+
+  const FaultPlanOptions& options() const { return options_; }
+
+ private:
+  uint64_t seed_;
+  FaultPlanOptions options_;
+};
+
+}  // namespace qasca
+
+#endif  // QASCA_SIMULATION_FAULT_PLAN_H_

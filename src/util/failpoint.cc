@@ -1,0 +1,97 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+
+namespace qasca::util {
+
+FailPoints& FailPoints::Global() {
+  static FailPoints* instance = new FailPoints();
+  return *instance;
+}
+
+void FailPoints::Arm(const std::string& name, uint64_t skip, uint64_t limit) {
+  QASCA_CHECK(!name.empty()) << "fail point name must be non-empty";
+  MutexLock lock(mutex_);
+  auto [it, inserted] = points_.try_emplace(name);
+  it->second.skip = skip;
+  it->second.limit = limit;
+  it->second.hits = 0;
+  it->second.triggered = 0;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPoints::Disarm(const std::string& name) {
+  MutexLock lock(mutex_);
+  if (points_.erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::DisarmAll() {
+  MutexLock lock(mutex_);
+  armed_count_.fetch_sub(static_cast<int>(points_.size()),
+                         std::memory_order_relaxed);
+  points_.clear();
+}
+
+bool FailPoints::Hit(const std::string& name) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  MutexLock lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return false;
+  Point& point = it->second;
+  const uint64_t hit = point.hits++;
+  if (hit < point.skip || hit >= point.skip + point.limit) return false;
+  ++point.triggered;
+  return true;
+}
+
+uint64_t FailPoints::TriggeredCount(const std::string& name) const {
+  MutexLock lock(mutex_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.triggered;
+}
+
+std::vector<std::string> FailPoints::ArmFromEnv() {
+  std::vector<std::string> armed;
+  const char* spec = std::getenv("QASCA_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return armed;
+  std::string entry;
+  auto arm_entry = [this, &armed](const std::string& text) {
+    if (text.empty()) return;
+    uint64_t skip = 0;
+    uint64_t limit = 1;
+    std::string name = text;
+    const size_t eq = text.find('=');
+    if (eq != std::string::npos) {
+      name = text.substr(0, eq);
+      const std::string counts = text.substr(eq + 1);
+      const size_t colon = counts.find(':');
+      size_t parsed = 0;
+      skip = std::stoull(counts.substr(0, colon), &parsed);
+      QASCA_CHECK(parsed == (colon == std::string::npos ? counts.size()
+                                                        : colon))
+          << "bad QASCA_FAILPOINTS skip count in" << text;
+      if (colon != std::string::npos) {
+        const std::string limit_text = counts.substr(colon + 1);
+        limit = std::stoull(limit_text, &parsed);
+        QASCA_CHECK(parsed == limit_text.size())
+            << "bad QASCA_FAILPOINTS limit in" << text;
+      }
+    }
+    Arm(name, skip, limit);
+    armed.push_back(name);
+  };
+  for (const char* p = spec;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      arm_entry(entry);
+      entry.clear();
+      if (*p == '\0') break;
+    } else {
+      entry += *p;
+    }
+  }
+  return armed;
+}
+
+}  // namespace qasca::util

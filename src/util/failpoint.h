@@ -1,0 +1,102 @@
+#ifndef QASCA_UTIL_FAILPOINT_H_
+#define QASCA_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+// Deterministic fault-injection points, modeled after the FreeBSD/TiKV
+// "fail point" idiom: production code marks the places where a fault can be
+// injected with QASCA_FAIL_POINT("name"); tests arm specific points and the
+// marked code takes its failure branch. Disarmed points cost one relaxed
+// atomic load; in builds without QASCA_ENABLE_FAILPOINTS (Release, where
+// NDEBUG disables DCHECKs too) the macro compiles to `false` and the
+// failure branch is dead code.
+//
+// Usage at an injection site:
+//
+//   if (QASCA_FAIL_POINT("journal.drop_append")) {
+//     return;  // simulate the crash: the append never reaches the log
+//   }
+//
+// Arming from a test:
+//
+//   util::FailPoints::Global().Arm("journal.drop_append", /*skip=*/3,
+//                                  /*limit=*/1);   // fire on the 4th hit
+//
+// or from the environment (picked up by FailPoints::ArmFromEnv, which the
+// engine calls at construction):
+//
+//   QASCA_FAILPOINTS="journal.drop_append=3:1,engine.crash_after_assign"
+
+#ifndef QASCA_ENABLE_FAILPOINTS
+#define QASCA_ENABLE_FAILPOINTS QASCA_ENABLE_DCHECKS
+#endif
+
+namespace qasca::util {
+
+/// Process-wide registry of named fail points.
+///
+/// Threading contract: Arm/Disarm/Hit/TriggeredCount are safe to call from
+/// any thread. Hit() on a fully disarmed registry is a single relaxed
+/// atomic load, so injection sites may sit on hot paths.
+class FailPoints {
+ public:
+  /// The process-wide registry used by the QASCA_FAIL_POINT macro.
+  static FailPoints& Global();
+
+  /// Arms `name`: the first `skip` hits pass through, the next `limit`
+  /// hits trigger, later hits pass through again. Re-arming an armed point
+  /// resets its hit counter.
+  void Arm(const std::string& name, uint64_t skip = 0, uint64_t limit = 1);
+
+  /// Disarms `name`; hits become pass-throughs again. No-op if not armed.
+  void Disarm(const std::string& name);
+
+  /// Disarms every point and zeroes all trigger counts.
+  void DisarmAll();
+
+  /// Reports a hit at injection point `name`. Returns true if the point is
+  /// armed and this hit falls in its [skip, skip+limit) trigger window.
+  bool Hit(const std::string& name);
+
+  /// Times `name` has triggered (returned true from Hit) since it was last
+  /// armed. 0 if never armed.
+  uint64_t TriggeredCount(const std::string& name) const;
+
+  /// Parses the QASCA_FAILPOINTS environment variable and arms each entry.
+  /// Syntax: comma-separated `name[=skip[:limit]]`; bare `name` means
+  /// skip=0, limit=1. Returns the names armed (empty if unset). Malformed
+  /// numbers abort: a silently mis-armed fault plan is worse than a crash.
+  std::vector<std::string> ArmFromEnv();
+
+ private:
+  struct Point {
+    uint64_t skip = 0;
+    uint64_t limit = 1;
+    uint64_t hits = 0;
+    uint64_t triggered = 0;
+  };
+
+  // Fast path: injection sites check this before touching the mutex, so a
+  // disarmed registry adds no contention.
+  std::atomic<int> armed_count_{0};
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, Point> points_ QASCA_GUARDED_BY(mutex_);
+};
+
+}  // namespace qasca::util
+
+#if QASCA_ENABLE_FAILPOINTS
+#define QASCA_FAIL_POINT(name) (::qasca::util::FailPoints::Global().Hit(name))
+#else
+#define QASCA_FAIL_POINT(name) (false)
+#endif
+
+#endif  // QASCA_UTIL_FAILPOINT_H_

@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
   }
   return "Unknown";
 }

@@ -44,6 +44,17 @@ inline constexpr char kPoolTasksQueued[] = "threadpool.tasks_queued";
 inline constexpr char kPoolTasksExecuted[] = "threadpool.tasks_executed";
 inline constexpr char kDbAnswersRecorded[] = "db.answers_recorded";
 inline constexpr char kDbPosteriorRowUpdates[] = "db.posterior_row_updates";
+// HIT-lifecycle robustness (leases / idempotent completion, DESIGN.md §11).
+inline constexpr char kHitLeaseExpired[] = "hit.lease_expired";
+inline constexpr char kHitQuestionsRequeued[] = "hit.questions_requeued";
+inline constexpr char kHitDuplicateDropped[] = "hit.duplicate_dropped";
+inline constexpr char kHitLateCompletionRejected[] =
+    "hit.late_completion_rejected";
+// Lifecycle journal persistence (crash recovery, DESIGN.md §11).
+inline constexpr char kJournalAppends[] = "journal.appends";
+inline constexpr char kJournalCompactions[] = "journal.compactions";
+inline constexpr char kJournalEventsReplayed[] = "journal.events_replayed";
+inline constexpr char kFailpointsTriggered[] = "failpoint.triggered";
 
 // --- gauge names ---------------------------------------------------------
 inline constexpr char kOpenHits[] = "engine.open_hits";

@@ -1,0 +1,16 @@
+#include "util/tick.h"
+
+#include <chrono>
+
+namespace qasca::util {
+
+TickSource SteadyTickSource() {
+  return [origin = std::chrono::steady_clock::now()]() -> uint64_t {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin)
+            .count());
+  };
+}
+
+}  // namespace qasca::util

@@ -1,0 +1,24 @@
+#ifndef QASCA_UTIL_TICK_H_
+#define QASCA_UTIL_TICK_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace qasca::util {
+
+/// Produces monotone timestamps ("ticks"). All platform code that needs a
+/// notion of time — trace timestamps, assignment-lease deadlines — takes a
+/// TickSource instead of reading a clock directly, so tests and replay
+/// tooling can pin time exactly. The clock-discipline analyzer pass bans
+/// raw std::chrono clock reads in src/platform/ for this reason; the only
+/// real-clock implementation lives here in util.
+using TickSource = std::function<uint64_t()>;
+
+/// Real-time source: nanoseconds of std::chrono::steady_clock elapsed since
+/// the call to SteadyTickSource(), so independently constructed sources all
+/// start at tick 0.
+TickSource SteadyTickSource();
+
+}  // namespace qasca::util
+
+#endif  // QASCA_UTIL_TICK_H_

@@ -1,0 +1,177 @@
+// Golden-trace regression test (ISSUE 5): pins the end-to-end decision hash
+// of the engine — every selected question, the final result vector R*, and
+// the bit patterns of every Qc cell — for three seeds under both the
+// Accuracy* metric (confusion-matrix workers) and the F-score* metric
+// (worker-probability workers). Any silent behavioural drift in the
+// assignment path, EM, the incremental Qc refresh, or the result-selection
+// algorithms fails tier-1 here.
+//
+// The pinned hashes were generated against the pre-lease engine (PR 4
+// head), so they additionally prove that the HIT-lifecycle robustness layer
+// (leases, duplicate detection, journaling) is byte-identical to the old
+// engine while disarmed.
+//
+// Regenerating after an INTENDED behaviour change:
+//
+//   cmake --build build -j --target integration_golden_trace_test
+//   ./build/tests/integration_golden_trace_test --update-golden
+//
+// prints a fresh kGoldenCases table; paste it over the one below and
+// explain the behaviour change in the commit message. Never regenerate to
+// silence an unexplained mismatch — that is the drift this test exists to
+// catch.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "platform/engine.h"
+#include "platform/qasca_strategy.h"
+
+namespace qasca {
+
+// Not in an anonymous namespace: main() below (outside namespace qasca)
+// reuses RunGoldenTrace and kGoldenCases for --update-golden.
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  hash ^= value;
+  hash *= 1099511628211ull;
+  return hash;
+}
+
+uint64_t BitsOf(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+// Deterministic pseudo-noisy worker (~25% wrong): the answer is a pure
+// function of (worker, question, truth), so the trace replays identically
+// on every platform and build configuration.
+LabelIndex SimulatedAnswer(WorkerId worker, QuestionIndex question,
+                           LabelIndex truth, int num_labels) {
+  uint64_t h = (static_cast<uint64_t>(worker) * 1000003u +
+                static_cast<uint64_t>(question) + 1) *
+               0x9e3779b97f4a7c15ull;
+  h ^= h >> 31;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  if (h % 100 < 25) {
+    return static_cast<LabelIndex>(
+        (static_cast<uint64_t>(truth) + 1 + h % (num_labels - 1)) %
+        num_labels);
+  }
+  return truth;
+}
+
+enum class GoldenMetric { kAccuracy, kFScore };
+
+struct GoldenCase {
+  const char* name;
+  GoldenMetric metric;
+  uint64_t seed;
+  uint64_t expected_hash;
+};
+
+// Regenerate with --update-golden (see file header). Hash covers every
+// assignment decision, the final R*, and every Qc cell bit pattern.
+constexpr GoldenCase kGoldenCases[] = {
+    {"accuracy_seed1", GoldenMetric::kAccuracy, 1, 0x036b70759255c554ull},
+    {"accuracy_seed2", GoldenMetric::kAccuracy, 2, 0xb7bb7b48f2ab6adcull},
+    {"accuracy_seed3", GoldenMetric::kAccuracy, 3, 0x9a05354c2f14bd48ull},
+    {"fscore_seed1", GoldenMetric::kFScore, 1, 0x238241fc60998c0bull},
+    {"fscore_seed2", GoldenMetric::kFScore, 2, 0x1fe9d74672674633ull},
+    {"fscore_seed3", GoldenMetric::kFScore, 3, 0x72a18340e252d8a0ull},
+};
+
+uint64_t RunGoldenTrace(GoldenMetric metric, uint64_t seed) {
+  AppConfig config;
+  config.name = "golden";
+  config.num_questions = 36;
+  config.num_labels = 2;
+  config.questions_per_hit = 3;
+  config.pay_per_hit = 0.02;
+  config.budget = 0.02 * 20;  // 20 HITs
+  config.em.max_iterations = 10;
+  config.em_refresh_interval = 3;  // exercise the incremental Qc path
+  if (metric == GoldenMetric::kAccuracy) {
+    config.metric = MetricSpec::Accuracy();
+    config.worker_kind = WorkerModel::Kind::kConfusionMatrix;
+  } else {
+    config.metric = MetricSpec::FScore(0.6, 0);
+    config.worker_kind = WorkerModel::Kind::kWorkerProbability;
+  }
+
+  GroundTruthVector truth(config.num_questions);
+  for (int q = 0; q < config.num_questions; ++q) truth[q] = q % 2;
+
+  TaskAssignmentEngine engine(config, std::make_unique<QascaStrategy>(),
+                              seed);
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  int round = 0;
+  while (!engine.BudgetExhausted()) {
+    const WorkerId worker = round++ % 6;
+    auto hit = engine.RequestHit(worker);
+    if (!hit.ok()) break;  // worker pool exhausted before the budget
+    std::vector<LabelIndex> labels;
+    labels.reserve(hit->size());
+    for (QuestionIndex q : *hit) {
+      hash = FnvMix(hash, static_cast<uint64_t>(q) + 1);
+      labels.push_back(SimulatedAnswer(worker, q, truth[q], 2));
+    }
+    EXPECT_TRUE(engine.CompleteHit(worker, labels).ok());
+  }
+  for (LabelIndex r : engine.CurrentResults()) {
+    hash = FnvMix(hash, static_cast<uint64_t>(r) + 1);
+  }
+  const DistributionMatrix& qc = engine.database().current();
+  for (int i = 0; i < qc.num_questions(); ++i) {
+    for (int j = 0; j < qc.num_labels(); ++j) {
+      hash = FnvMix(hash, BitsOf(qc.At(i, j)));
+    }
+  }
+  return hash;
+}
+
+class GoldenTraceTest : public testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenTraceTest, DecisionHashMatchesPinnedValue) {
+  const GoldenCase& c = GetParam();
+  const uint64_t actual = RunGoldenTrace(c.metric, c.seed);
+  EXPECT_EQ(actual, c.expected_hash)
+      << c.name << ": decision hash drifted — if the behaviour change is "
+      << "intended, regenerate with --update-golden (see file header); "
+      << "actual 0x" << std::hex << actual;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSeeds, GoldenTraceTest, testing::ValuesIn(kGoldenCases),
+    [](const testing::TestParamInfo<GoldenCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace qasca
+
+// Custom main so the binary doubles as the golden-table regenerator.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      for (const qasca::GoldenCase& c : qasca::kGoldenCases) {
+        std::printf(
+            "    {\"%s\", GoldenMetric::%s, %llu, 0x%016llxull},\n", c.name,
+            c.metric == qasca::GoldenMetric::kAccuracy ? "kAccuracy"
+                                                       : "kFScore",
+            static_cast<unsigned long long>(c.seed),
+            static_cast<unsigned long long>(
+                qasca::RunGoldenTrace(c.metric, c.seed)));
+      }
+      return 0;
+    }
+  }
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,134 @@
+// Tests for the deterministic fault-injection registry (util/failpoint.h):
+// trigger windows, re-arming semantics, the disarmed fast path, and
+// QASCA_FAILPOINTS environment parsing. All tests restore the registry to
+// fully disarmed so they cannot leak injected faults into other tests in
+// the same binary.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/failpoint.h"
+
+namespace qasca::util {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FailPoints::Global().DisarmAll();
+    ::unsetenv("QASCA_FAILPOINTS");
+  }
+};
+
+TEST_F(FailPointTest, DisarmedPointNeverTriggers) {
+  auto& points = FailPoints::Global();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(points.Hit("never.armed"));
+  }
+  EXPECT_EQ(points.TriggeredCount("never.armed"), 0u);
+}
+
+TEST_F(FailPointTest, DefaultArmTriggersExactlyOnce) {
+  auto& points = FailPoints::Global();
+  points.Arm("fp.once");
+  EXPECT_TRUE(points.Hit("fp.once"));
+  EXPECT_FALSE(points.Hit("fp.once"));
+  EXPECT_FALSE(points.Hit("fp.once"));
+  EXPECT_EQ(points.TriggeredCount("fp.once"), 1u);
+}
+
+TEST_F(FailPointTest, SkipAndLimitDefineTheTriggerWindow) {
+  auto& points = FailPoints::Global();
+  points.Arm("fp.window", /*skip=*/2, /*limit=*/3);
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(points.Hit("fp.window"));
+  const std::vector<bool> expected = {false, false, true, true,
+                                      true,  false, false, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(points.TriggeredCount("fp.window"), 3u);
+}
+
+TEST_F(FailPointTest, RearmingResetsTheHitCounter) {
+  auto& points = FailPoints::Global();
+  points.Arm("fp.rearm", /*skip=*/1, /*limit=*/1);
+  EXPECT_FALSE(points.Hit("fp.rearm"));
+  EXPECT_TRUE(points.Hit("fp.rearm"));
+  points.Arm("fp.rearm", /*skip=*/1, /*limit=*/1);
+  EXPECT_FALSE(points.Hit("fp.rearm"));  // counter restarted
+  EXPECT_TRUE(points.Hit("fp.rearm"));
+  EXPECT_EQ(points.TriggeredCount("fp.rearm"), 1u);  // since last arm
+}
+
+TEST_F(FailPointTest, DisarmStopsTriggeringAndForgetsCounts) {
+  auto& points = FailPoints::Global();
+  points.Arm("fp.disarm", /*skip=*/0, /*limit=*/100);
+  EXPECT_TRUE(points.Hit("fp.disarm"));
+  points.Disarm("fp.disarm");
+  EXPECT_FALSE(points.Hit("fp.disarm"));
+  EXPECT_EQ(points.TriggeredCount("fp.disarm"), 0u);
+  points.Disarm("fp.disarm");  // disarming an unarmed point is a no-op
+}
+
+TEST_F(FailPointTest, PointsAreIndependent) {
+  auto& points = FailPoints::Global();
+  points.Arm("fp.a");
+  points.Arm("fp.b", /*skip=*/1, /*limit=*/1);
+  EXPECT_TRUE(points.Hit("fp.a"));
+  EXPECT_FALSE(points.Hit("fp.b"));
+  EXPECT_TRUE(points.Hit("fp.b"));
+  points.DisarmAll();
+  EXPECT_FALSE(points.Hit("fp.a"));
+  EXPECT_FALSE(points.Hit("fp.b"));
+}
+
+TEST_F(FailPointTest, ArmFromEnvUnsetIsEmpty) {
+  ::unsetenv("QASCA_FAILPOINTS");
+  EXPECT_TRUE(FailPoints::Global().ArmFromEnv().empty());
+  ::setenv("QASCA_FAILPOINTS", "", /*overwrite=*/1);
+  EXPECT_TRUE(FailPoints::Global().ArmFromEnv().empty());
+}
+
+TEST_F(FailPointTest, ArmFromEnvParsesAllThreeForms) {
+  ::setenv("QASCA_FAILPOINTS", "fp.bare,fp.skip=2,fp.full=1:3",
+           /*overwrite=*/1);
+  auto& points = FailPoints::Global();
+  const std::vector<std::string> armed = points.ArmFromEnv();
+  EXPECT_EQ(armed,
+            (std::vector<std::string>{"fp.bare", "fp.skip", "fp.full"}));
+
+  // bare: skip=0, limit=1
+  EXPECT_TRUE(points.Hit("fp.bare"));
+  EXPECT_FALSE(points.Hit("fp.bare"));
+  // name=skip: limit defaults to 1
+  EXPECT_FALSE(points.Hit("fp.skip"));
+  EXPECT_FALSE(points.Hit("fp.skip"));
+  EXPECT_TRUE(points.Hit("fp.skip"));
+  EXPECT_FALSE(points.Hit("fp.skip"));
+  // name=skip:limit
+  EXPECT_FALSE(points.Hit("fp.full"));
+  EXPECT_TRUE(points.Hit("fp.full"));
+  EXPECT_TRUE(points.Hit("fp.full"));
+  EXPECT_TRUE(points.Hit("fp.full"));
+  EXPECT_FALSE(points.Hit("fp.full"));
+}
+
+TEST_F(FailPointTest, ArmFromEnvIgnoresEmptyEntries) {
+  ::setenv("QASCA_FAILPOINTS", ",fp.solo,,", /*overwrite=*/1);
+  const std::vector<std::string> armed = FailPoints::Global().ArmFromEnv();
+  EXPECT_EQ(armed, (std::vector<std::string>{"fp.solo"}));
+}
+
+#if QASCA_ENABLE_FAILPOINTS
+TEST_F(FailPointTest, MacroRoutesThroughTheGlobalRegistry) {
+  FailPoints::Global().Arm("fp.macro");
+  EXPECT_TRUE(QASCA_FAIL_POINT("fp.macro"));
+  EXPECT_FALSE(QASCA_FAIL_POINT("fp.macro"));
+  EXPECT_EQ(FailPoints::Global().TriggeredCount("fp.macro"), 1u);
+}
+#endif
+
+}  // namespace
+}  // namespace qasca::util

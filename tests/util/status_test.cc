@@ -28,6 +28,13 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusTest, AlreadyExistsFormatsLikeTheOtherCodes) {
+  Status status = Status::AlreadyExists("duplicate completion");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.ToString(), "AlreadyExists: duplicate completion");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -1,5 +1,6 @@
 """Pass registry. Order is report order; names are the suppression keys."""
 
+from .clock_discipline import ClockDisciplinePass
 from .determinism import DeterminismPass
 from .include_hygiene import IncludeHygienePass
 from .invariants import InvariantsPass
@@ -11,6 +12,7 @@ ALL_PASSES = (
     InvariantsPass(),
     SpanNamesPass(),
     DeterminismPass(),
+    ClockDisciplinePass(),
     IncludeHygienePass(),
     LockAnnotationsPass(),
     NoexceptAuditPass(),

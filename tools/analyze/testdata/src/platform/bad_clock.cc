@@ -1,0 +1,24 @@
+// clock-discipline fixture: direct std::chrono reads in platform code must
+// fire (even steady_clock, which the determinism pass tolerates elsewhere
+// for telemetry); the allow'd read and the TickSource plumbing must not.
+
+#include <chrono>  // analyze:expect(clock-discipline)
+#include <cstdint>
+#include <functional>
+
+using TickSource = std::function<uint64_t()>;
+
+uint64_t DirectRead() {
+  auto now = std::chrono::steady_clock::now();  // analyze:expect(clock-discipline)
+  return static_cast<uint64_t>(now.time_since_epoch().count());
+}
+
+uint64_t InjectedRead(const TickSource& ticks) {
+  return ticks();  // the sanctioned pattern: time arrives injected
+}
+
+uint64_t AllowedRead() {
+  // A hypothetical site where injection provably cannot work.
+  auto now = std::chrono::steady_clock::now();  // analyze:allow(clock-discipline)
+  return static_cast<uint64_t>(now.time_since_epoch().count());
+}

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Builds the release preset, runs the hot-path scaling benchmark
 # (bench/bench_hotpath_scaling.cc) and writes its JSON report to
-# BENCH_PR3.json at the repo root (schema documented in README.md).
-# The report now includes a per-stage telemetry breakdown (em_refit_ms,
+# BENCH_PR5.json at the repo root (schema v3, documented in README.md).
+# The report includes a per-stage telemetry breakdown (em_refit_ms,
 # qw_estimate_ms, topk_scan_ms, dinkelbach_iters) built from
-# MetricRegistry::ToJson().
+# MetricRegistry::ToJson(), and a fault-tolerance section comparing
+# completion throughput at 5% injected abandonment against fault-free.
 #
 # Usage: tools/run_bench.sh [--out FILE]
 
@@ -13,7 +14,7 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${REPO_ROOT}"
 
-OUT="${REPO_ROOT}/BENCH_PR3.json"
+OUT="${REPO_ROOT}/BENCH_PR5.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --out)
@@ -55,6 +56,13 @@ for stage in report["stage_breakdown"]:
           f"qw_estimate={stage['qw_estimate_ms']:.1f}ms "
           f"topk_scan={stage['topk_scan_ms']:.1f}ms "
           f"dinkelbach_iters={stage['dinkelbach_iters']}")
+for ft in report.get("fault_tolerance", []):
+    print(f"  fault tolerance n={ft['n']}: "
+          f"{ft['completions_per_second']:.1f} completions/s at "
+          f"{ft['abandon_rate']:.0%} abandonment "
+          f"({ft['throughput_vs_fault_free']:.2f}x of fault-free, "
+          f"{ft['leases_expired']} leases expired, "
+          f"{ft['questions_requeued']} questions requeued)")
 EOF
 
 echo "wrote ${OUT}"

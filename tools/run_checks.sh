@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Standing correctness gate for the QASCA tree (ISSUE 1, extended by
-# ISSUE 4; documented in README.md and DESIGN.md §10 "Static analysis").
+# ISSUE 4 and ISSUE 5; documented in README.md and DESIGN.md §10 "Static
+# analysis" / §11 "Robustness").
 #
 # Every stage prints a uniform "[stage N] PASS" / "[stage N] FAIL" line and
 # the script exits non-zero at the first failure. Stages that need a tool
@@ -9,8 +10,9 @@
 #
 #   1. tools/analyze.py            — multi-pass static analyzer over src/
 #                                    (invariants, span-names, determinism,
-#                                    include-hygiene, lock-annotations,
-#                                    noexcept-audit); exit 1 on any error
+#                                    clock-discipline, include-hygiene,
+#                                    lock-annotations, noexcept-audit);
+#                                    exit 1 on any error
 #   2. tools/analyze.py --self-test — the analyzer proves its own passes
 #                                    fire (and suppressions hold) against
 #                                    tools/analyze/testdata/
@@ -20,10 +22,15 @@
 #      over the annotated tree (util::Mutex / QASCA_GUARDED_BY contracts)
 #   6. asan-ubsan preset: full build + ctest, every QASCA_DCHECK invariant
 #      enabled and sanitizer reports fatal
-#   7. tsan preset over the tests labelled "threads" (thread-pool,
-#      thread-annotations, telemetry and engine-determinism suites);
-#      --tsan widens this stage to the full tsan suite
-#   8. telemetry-overhead smoke: disabled-telemetry instrumentation on a
+#   7. faults suite under the same asan-ubsan build: the tests labelled
+#      "faults" (seeded lifecycle stress harness, lease/recovery units,
+#      fail-point registry, golden-trace byte-identity) — the
+#      fault-injection branches only exist with DCHECKs on, so this is
+#      the build that exercises them
+#   8. tsan preset over the tests labelled "threads" (thread-pool,
+#      thread-annotations, telemetry, engine-determinism and lifecycle
+#      stress suites); --tsan widens this stage to the full tsan suite
+#   9. telemetry-overhead smoke: disabled-telemetry instrumentation on a
 #      hot loop must cost < 2%
 #
 # Usage:
@@ -110,6 +117,15 @@ if [[ "${QUICK}" -eq 1 ]]; then
 else
   run ctest --preset asan-ubsan -j "${JOBS}"
 fi
+stage_pass
+
+stage_begin "faults suite under asan-ubsan (lifecycle stress, lease/recovery, fail points)"
+# Reuses the stage-6 sanitizer build; the `faults` label selects the
+# fault-injection slice (ISSUE 5): the seeded lifecycle stress harness,
+# the lease/recovery unit tests, the fail-point registry tests and the
+# golden-trace byte-identity check. Always runs — --quick narrows stage 6,
+# not this gate: crash-recovery bugs are exactly what a quick run skips.
+run ctest --preset asan-ubsan-faults -j "${JOBS}"
 stage_pass
 
 if [[ "${RUN_TSAN}" -eq 1 ]]; then
