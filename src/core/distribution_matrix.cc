@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/fold.h"
 #include "util/invariants.h"
 
 namespace qasca {
@@ -30,11 +31,11 @@ void DistributionMatrix::SetRowNormalized(QuestionIndex i,
   QASCA_CHECK_GE(i, 0);
   QASCA_CHECK_LT(i, num_questions_);
   QASCA_CHECK_EQ(static_cast<int>(weights.size()), num_labels_);
-  double total = 0.0;
-  for (double w : weights) {
-    QASCA_CHECK_GE(w, 0.0) << "negative probability weight";
-    total += w;
-  }
+  const double total = util::DeterministicSum(
+      0, static_cast<int>(weights.size()), [&](int j) {
+        QASCA_CHECK_GE(weights[j], 0.0) << "negative probability weight";
+        return weights[j];
+      });
   QASCA_CHECK_GT(total, 0.0) << "all probability weights are zero";
   double* row = cells_.data() + static_cast<size_t>(i) * num_labels_;
   for (int j = 0; j < num_labels_; ++j) row[j] = weights[j] / total;
@@ -51,11 +52,12 @@ LabelIndex DistributionMatrix::ArgMaxLabel(QuestionIndex i) const noexcept {
 
 bool DistributionMatrix::IsNormalized(double tolerance) const noexcept {
   for (int i = 0; i < num_questions_; ++i) {
-    double total = 0.0;
-    for (double p : Row(i)) {
+    std::span<const double> row = Row(i);
+    for (double p : row) {
       if (p < -tolerance) return false;
-      total += p;
     }
+    const double total = util::DeterministicSum(
+        0, num_labels_, [&](int j) { return row[j]; });
     if (std::fabs(total - 1.0) > tolerance) return false;
   }
   return true;

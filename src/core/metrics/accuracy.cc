@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fold.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 
@@ -22,10 +23,8 @@ double AccuracyMetric::Evaluate(const DistributionMatrix& q,
                                 const ResultVector& result) const {
   QASCA_CHECK_EQ(static_cast<int>(result.size()), q.num_questions());
   QASCA_CHECK_GT(q.num_questions(), 0);
-  double total = 0.0;
-  for (int i = 0; i < q.num_questions(); ++i) {
-    total += q.At(i, result[i]);
-  }
+  const double total = util::DeterministicSum(
+      0, q.num_questions(), [&](int i) { return q.At(i, result[i]); });
   return total / q.num_questions();
 }
 
@@ -41,11 +40,10 @@ ResultVector AccuracyMetric::OptimalResult(const DistributionMatrix& q) const {
 double AccuracyMetric::Quality(const DistributionMatrix& q) const {
   QASCA_CHECK_GT(q.num_questions(), 0);
   QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(q));
-  double total = 0.0;
-  for (int i = 0; i < q.num_questions(); ++i) {
+  const double total = util::DeterministicSum(0, q.num_questions(), [&](int i) {
     std::span<const double> row = q.Row(i);
-    total += *std::max_element(row.begin(), row.end());
-  }
+    return *std::max_element(row.begin(), row.end());
+  });
   return total / q.num_questions();
 }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "util/fold.h"
 #include "util/logging.h"
 
 namespace qasca {
@@ -49,12 +50,9 @@ ResultVector CombinedMetric::OptimalResult(const DistributionMatrix& q) const {
   std::vector<double> target_probability(n);
   std::vector<double> best_other(n);
   std::vector<LabelIndex> best_other_label(n);
-  double target_mass = 0.0;
-  double base_accuracy = 0.0;  // sum of M_i: accuracy mass if none selected
   for (int i = 0; i < n; ++i) {
     std::span<const double> row = q.Row(i);
     target_probability[i] = row[target_label_];
-    target_mass += target_probability[i];
     double best = -1.0;
     LabelIndex best_label = target_label_ == 0 ? 1 : 0;
     for (int j = 0; j < num_labels; ++j) {
@@ -66,8 +64,12 @@ ResultVector CombinedMetric::OptimalResult(const DistributionMatrix& q) const {
     }
     best_other[i] = best;
     best_other_label[i] = best_label;
-    base_accuracy += best;
   }
+  const double target_mass = util::DeterministicSum(
+      0, n, [&](int i) { return target_probability[i]; });
+  // Sum of M_i: the accuracy mass if no question is returned as target.
+  const double base_accuracy = util::DeterministicSum(
+      0, n, [&](int i) { return best_other[i]; });
   const double gamma = (1.0 - alpha_) * target_mass;
 
   // Sweep the number m of returned-as-target questions; for each m the
@@ -91,8 +93,9 @@ ResultVector CombinedMetric::OptimalResult(const DistributionMatrix& q) const {
                        return scores[a] > scores[b] ||
                               (scores[a] == scores[b] && a < b);
                      });
-    double objective = beta_ * base_accuracy / n;
-    for (int c = 0; c < m; ++c) objective += scores[order[c]];
+    const double objective = util::DeterministicFold(
+        beta_ * base_accuracy / n, 0, m,
+        [&](double acc, int c) { return acc + scores[order[c]]; });
     if (objective > best_objective + 1e-15) {
       best_objective = objective;
       best_m = m;

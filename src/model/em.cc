@@ -31,10 +31,23 @@ struct WorkerAnswers {
 // iteration over unordered containers in src/model).
 std::vector<std::pair<WorkerId, WorkerAnswers>> GroupByWorker(
     const AnswerSet& answers) {
+  // Counting pre-pass so each worker's answer arrays are sized once: the
+  // fill loop below runs per full EM refit over the whole answer set, and
+  // unreserved growth there is pure allocator churn (hot-path-alloc pass).
+  std::unordered_map<WorkerId, size_t> answer_counts;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    for (const Answer& answer : answers[i]) ++answer_counts[answer.worker];
+  }
   std::unordered_map<WorkerId, WorkerAnswers> by_worker;
+  by_worker.reserve(answer_counts.size());
   for (size_t i = 0; i < answers.size(); ++i) {
     for (const Answer& answer : answers[i]) {
       WorkerAnswers& wa = by_worker[answer.worker];
+      if (wa.questions.empty()) {
+        const size_t count = answer_counts[answer.worker];
+        wa.questions.reserve(count);
+        wa.labels.reserve(count);
+      }
       wa.questions.push_back(static_cast<QuestionIndex>(i));
       wa.labels.push_back(answer.label);
     }
@@ -199,6 +212,9 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
           partials[static_cast<size_t>(util::ChunkIndex(0, cb, kEStepGrain))];
       for (int i = cb; i < ce; ++i) {
         double marginal = 0.0;
+        // The vector is ComputePosteriorRow's return buffer; eliminating it
+        // needs an out-parameter posterior API (tracked in ROADMAP.md).
+        // analyze:allow(hot-path-alloc)
         std::vector<double> row =
             ComputePosteriorRow(answers[i], result.prior, lookup, &marginal);
         for (int j = 0; j < num_labels; ++j) {

@@ -1,5 +1,6 @@
 #include "model/majority.h"
 
+#include "util/fold.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 
@@ -34,8 +35,8 @@ DistributionMatrix VoteShareDistribution(const AnswerSet& answers,
   for (size_t i = 0; i < answers.size(); ++i) {
     std::fill(votes.begin(), votes.end(), smoothing);
     for (const Answer& answer : answers[i]) votes[answer.label] += 1.0;
-    double total = 0.0;
-    for (double v : votes) total += v;
+    const double total = util::DeterministicSum(
+        0, num_labels, [&](int j) { return votes[j]; });
     if (total <= 0.0) continue;  // keep the uniform initialisation
     distribution.SetRowNormalized(static_cast<int>(i), votes);
   }

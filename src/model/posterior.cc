@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fold.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 #include "util/telemetry_names.h"
@@ -15,8 +16,9 @@ namespace {
 // uniform rather than abort: the data is inconsistent with the model, not
 // with the caller.
 double NormalizeInPlace(std::vector<double>& weights) {
-  double total = 0.0;
-  for (double w : weights) total += w;
+  const double total = util::DeterministicSum(
+      0, static_cast<int>(weights.size()),
+      [&](int j) { return weights[j]; });
   if (total <= 0.0) {
     std::fill(weights.begin(), weights.end(),
               1.0 / static_cast<double>(weights.size()));
@@ -55,6 +57,8 @@ DistributionMatrix ComputeCurrentDistribution(
   const int num_labels = static_cast<int>(prior.size());
   DistributionMatrix qc(n, num_labels);
   for (int i = 0; i < n; ++i) {
+    // ComputePosteriorRow's return buffer (see the em.cc E-step note).
+    // analyze:allow(hot-path-alloc)
     std::vector<double> row = ComputePosteriorRow(answers[i], prior, models);
     qc.SetRow(i, row);
   }
@@ -108,6 +112,8 @@ std::vector<double> EstimateWorkerRowAt(std::span<const double> current_row,
   std::vector<double> expected(num_labels, 0.0);
   for (int answered = 0; answered < num_labels; ++answered) {
     if (answer_distribution[answered] <= 0.0) continue;
+    // `conditioned`'s return buffer; num_labels iterations, small vectors.
+    // analyze:allow(hot-path-alloc)
     std::vector<double> weights = conditioned(answered);
     for (int j = 0; j < num_labels; ++j) {
       expected[j] += answer_distribution[answered] * weights[j];

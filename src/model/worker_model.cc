@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/fold.h"
 #include "util/invariants.h"
 
 namespace qasca {
@@ -52,8 +53,9 @@ double WorkerModel::Deviation(const WorkerModel& other) const {
   QASCA_CHECK_EQ(num_labels_, other.num_labels());
   std::vector<double> a = AsConfusionMatrix();
   std::vector<double> b = other.AsConfusionMatrix();
-  double total = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) total += std::fabs(a[i] - b[i]);
+  const double total = util::DeterministicSum(
+      0, static_cast<int>(a.size()),
+      [&](int i) { return std::fabs(a[i] - b[i]); });
   return total / static_cast<double>(a.size());
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "util/fold.h"
 #include "util/logging.h"
 
 namespace qasca {
@@ -30,10 +31,9 @@ std::vector<WorkerSummary> SummarizeWorkers(const AnswerSet& answers,
     const WorkerModel& model = parameters.WorkerFor(worker);
     std::vector<double> cm = model.AsConfusionMatrix();
     const int num_labels = model.num_labels();
-    double diagonal = 0.0;
-    for (int j = 0; j < num_labels; ++j) {
-      diagonal += cm[static_cast<size_t>(j) * num_labels + j];
-    }
+    const double diagonal = util::DeterministicSum(0, num_labels, [&](int j) {
+      return cm[static_cast<size_t>(j) * num_labels + j];
+    });
     summary.estimated_quality = diagonal / num_labels;
     out.push_back(summary);
   }

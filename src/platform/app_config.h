@@ -6,6 +6,7 @@
 #include "core/metrics/metric.h"
 #include "model/em.h"
 #include "model/posterior.h"
+#include "util/attributes.h"
 #include "util/status.h"
 
 namespace qasca {
@@ -92,7 +93,7 @@ struct AppConfig {
   }
 
   /// Checks the configuration for structural errors.
-  util::Status Validate() const;
+  QASCA_NODISCARD util::Status Validate() const;
 };
 
 }  // namespace qasca

@@ -143,8 +143,11 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
         << " outside the candidate set";
   }
 #endif
+  // Write-ahead: the event must be durable before any engine state mutates,
+  // so a failed append leaves this HIT unassigned everywhere — recovery and
+  // the live engine agree the event never happened.
   if (journal_ != nullptr && !replaying_) {
-    journal_->AppendAssign(worker, selected);
+    QASCA_RETURN_IF_ERROR(journal_->AppendAssign(worker, selected));
   }
   database_.MarkAssigned(worker, selected);
   trace_.RecordAssignment(worker, selected);
@@ -204,8 +207,10 @@ util::Status TaskAssignmentEngine::CompleteHit(
   // Root span of the HIT-completion workflow (steps A-C); em_full_refit /
   // incremental_refresh nest inside it.
   util::Span span(&telemetry_, util::tnames::kSpanCompleteHit);
+  // Write-ahead, as in RequestHit: fail before touching D or the lease so a
+  // completion the journal lost is a completion that never happened.
   if (journal_ != nullptr && !replaying_) {
-    journal_->AppendComplete(worker, labels);
+    QASCA_RETURN_IF_ERROR(journal_->AppendComplete(worker, labels));
   }
   // Step A: update the answer set D.
   for (size_t q = 0; q < questions.size(); ++q) {
@@ -267,7 +272,12 @@ util::Status TaskAssignmentEngine::CompleteHit(
 int TaskAssignmentEngine::Tick(uint64_t ticks) {
   QASCA_CHECK_GT(ticks, 0u);
   now_ticks_ += ticks;
-  if (journal_ != nullptr && !replaying_) journal_->AppendTick(ticks);
+  // Tick has no error channel, and a clock advance the journal lost would
+  // recover to different lease deadlines — divergence, the one thing the
+  // journal must never allow. Fatal, so the operator restarts into Recover.
+  if (journal_ != nullptr && !replaying_) {
+    QASCA_CHECK_OK(journal_->AppendTick(ticks));
+  }
   // Collect the expired workers with an explicit iterator walk and process
   // them in ascending-id order: expiry requeues questions and is replayed
   // during recovery, so its effects must not depend on unordered_map

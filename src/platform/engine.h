@@ -14,6 +14,7 @@
 #include "platform/journal.h"
 #include "platform/strategy.h"
 #include "platform/trace.h"
+#include "util/attributes.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/telemetry.h"
@@ -61,6 +62,7 @@ class TaskAssignmentEngine {
   /// B/b HITs have been assigned, FailedPrecondition if the worker already
   /// holds an open HIT, and NotFound if fewer than k questions remain in
   /// the worker's candidate set.
+  QASCA_NODISCARD
   util::StatusOr<std::vector<QuestionIndex>> RequestHit(WorkerId worker);
 
   /// HIT completion event. `labels` must parallel the question list the
@@ -69,6 +71,7 @@ class TaskAssignmentEngine {
   /// HIT (by answer-set hash) is dropped with AlreadyExists, never
   /// double-counted into D or EM; a completion arriving after the lease
   /// expired is rejected with FailedPrecondition.
+  QASCA_NODISCARD
   util::Status CompleteHit(WorkerId worker,
                            const std::vector<LabelIndex>& labels);
 
@@ -90,6 +93,7 @@ class TaskAssignmentEngine {
   /// the journaled selection; a mismatch (journal from a different config
   /// or seed) fails with Internal. Must be called on a freshly constructed
   /// engine; FailedPrecondition if persistence is off.
+  QASCA_NODISCARD
   util::Status Recover();
 
   /// Runs a full EM refit immediately, regardless of where the engine is in

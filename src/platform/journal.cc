@@ -102,8 +102,10 @@ LifecycleJournal::LifecycleJournal(std::string path_prefix)
   }
   snapshot.close();
   log.close();
-  // Compacting now means a surviving torn tail never receives appends.
-  Compact();
+  // Compacting now means a surviving torn tail never receives appends. A
+  // journal that cannot even rewrite its snapshot at construction has no
+  // durability to offer, so this one is fatal.
+  QASCA_CHECK_OK(Compact());
 }
 
 void LifecycleJournal::AttachTelemetry(util::MetricRegistry* registry) {
@@ -119,70 +121,97 @@ void LifecycleJournal::AttachTelemetry(util::MetricRegistry* registry) {
       registry->GetCounter(util::tnames::kFailpointsTriggered);
 }
 
-void LifecycleJournal::AppendAssign(
+util::Status LifecycleJournal::AppendAssign(
     WorkerId worker, const std::vector<QuestionIndex>& questions) {
   Event event;
   event.kind = Event::Kind::kAssign;
   event.worker = worker;
   event.questions = questions;
-  Append(std::move(event));
+  return Append(std::move(event));
 }
 
-void LifecycleJournal::AppendComplete(WorkerId worker,
-                                      const std::vector<LabelIndex>& labels) {
+util::Status LifecycleJournal::AppendComplete(
+    WorkerId worker, const std::vector<LabelIndex>& labels) {
   Event event;
   event.kind = Event::Kind::kComplete;
   event.worker = worker;
   event.labels = labels;
-  Append(std::move(event));
+  return Append(std::move(event));
 }
 
-void LifecycleJournal::AppendTick(uint64_t ticks) {
+util::Status LifecycleJournal::AppendTick(uint64_t ticks) {
   Event event;
   event.kind = Event::Kind::kTick;
   event.ticks = ticks;
-  Append(std::move(event));
+  return Append(std::move(event));
 }
 
-void LifecycleJournal::Append(Event event) {
+util::Status LifecycleJournal::Append(Event event) {
   event.seq = next_seq_++;
   const std::string line = Serialize(event);
   // The in-memory mirror always advances — these fail points simulate the
-  // *disk* losing the record in a crash, after which the test abandons this
-  // instance and recovers a fresh engine from what reached the file.
+  // *disk* losing the record in a crash the process never observes (so
+  // they return OK), after which the test abandons this instance and
+  // recovers a fresh engine from what reached the file.
   history_.push_back(std::move(event));
   if (appends_ != nullptr) appends_->Add(1);
   if (QASCA_FAIL_POINT("journal.drop_append")) {
     if (failpoints_triggered_ != nullptr) failpoints_triggered_->Add(1);
-    return;
+    return util::Status::Ok();
   }
   std::ofstream log(log_path(), std::ios::app);
-  QASCA_CHECK(log.is_open()) << "cannot append to journal" << log_path();
+  if (!log.is_open()) {
+    return util::Status::Internal("cannot append to journal " + log_path());
+  }
   if (QASCA_FAIL_POINT("journal.torn_append")) {
     if (failpoints_triggered_ != nullptr) failpoints_triggered_->Add(1);
     log << line.substr(0, line.size() / 2);  // no newline: a torn write
-    return;
+    return util::Status::Ok();
   }
+  // A stream write can fail (disk full, quota, I/O error) without throwing;
+  // flush and interrogate the stream so a lost record is reported instead
+  // of silently diverging from the in-memory history.
   log << line;
+  log.flush();
+  if (!log.good()) {
+    return util::Status::Internal("journal append did not reach disk: " +
+                                  log_path());
+  }
+  return util::Status::Ok();
 }
 
-void LifecycleJournal::Compact() {
+util::Status LifecycleJournal::Compact() {
   const std::string tmp_path = snapshot_path() + ".tmp";
   {
     std::ofstream tmp(tmp_path, std::ios::trunc);
-    QASCA_CHECK(tmp.is_open()) << "cannot write journal snapshot" << tmp_path;
+    if (!tmp.is_open()) {
+      return util::Status::Internal("cannot write journal snapshot " +
+                                    tmp_path);
+    }
     for (const Event& event : history_) tmp << Serialize(event);
+    tmp.flush();
+    if (!tmp.good()) {
+      return util::Status::Internal("journal snapshot write failed: " +
+                                    tmp_path);
+    }
   }
-  QASCA_CHECK_EQ(std::rename(tmp_path.c_str(), snapshot_path().c_str()), 0)
-      << "cannot replace journal snapshot" << snapshot_path();
+  if (std::rename(tmp_path.c_str(), snapshot_path().c_str()) != 0) {
+    return util::Status::Internal("cannot replace journal snapshot " +
+                                  snapshot_path());
+  }
   if (compactions_ != nullptr) compactions_->Add(1);
   if (QASCA_FAIL_POINT("journal.compact_skip_truncate")) {
     // Crash between the rename and the truncation: the log keeps events the
     // snapshot already covers, which recovery dedupes by seq.
     if (failpoints_triggered_ != nullptr) failpoints_triggered_->Add(1);
-    return;
+    return util::Status::Ok();
   }
   std::ofstream truncate(log_path(), std::ios::trunc);
+  if (!truncate.is_open()) {
+    return util::Status::Internal("cannot truncate journal log " +
+                                  log_path());
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace qasca

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/types.h"
+#include "util/attributes.h"
+#include "util/status.h"
 #include "util/telemetry.h"
 
 namespace qasca {
@@ -61,22 +63,33 @@ class LifecycleJournal {
   /// failpoint.triggered) into `registry`. nullptr detaches.
   void AttachTelemetry(util::MetricRegistry* registry);
 
-  void AppendAssign(WorkerId worker,
-                    const std::vector<QuestionIndex>& questions);
-  void AppendComplete(WorkerId worker,
-                      const std::vector<LabelIndex>& labels);
-  void AppendTick(uint64_t ticks);
+  /// Durably appends one lifecycle event. A non-OK Status means the record
+  /// did not verifiably reach the log file (open or write failure): the
+  /// caller must not report the event as durable — an append that "succeeds"
+  /// without reaching disk is exactly the silent recovery divergence the
+  /// journal exists to prevent. The in-memory history still advances, so a
+  /// caller that treats the failure as fatal crashes consistent.
+  QASCA_NODISCARD
+  util::Status AppendAssign(WorkerId worker,
+                            const std::vector<QuestionIndex>& questions);
+  QASCA_NODISCARD
+  util::Status AppendComplete(WorkerId worker,
+                              const std::vector<LabelIndex>& labels);
+  QASCA_NODISCARD util::Status AppendTick(uint64_t ticks);
 
   /// Folds the log into the snapshot: writes the full history to a temp
-  /// file, renames it over the snapshot, then truncates the log.
-  void Compact();
+  /// file, renames it over the snapshot, then truncates the log. A non-OK
+  /// Status means the snapshot was not replaced (the old one is intact —
+  /// the rename is atomic) or the log truncation failed; either way the
+  /// on-disk state is still recoverable, just uncompacted.
+  QASCA_NODISCARD util::Status Compact();
 
   /// The event history that survived on disk, seq-ascending. Recovery
   /// replays exactly this.
   const std::vector<Event>& events() const { return history_; }
 
  private:
-  void Append(Event event);
+  QASCA_NODISCARD util::Status Append(Event event);
 
   std::string snapshot_path() const { return path_prefix_ + ".snapshot"; }
   std::string log_path() const { return path_prefix_ + ".log"; }

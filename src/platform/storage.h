@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/types.h"
+#include "util/attributes.h"
 #include "util/status.h"
 
 namespace qasca {
@@ -27,13 +28,16 @@ std::string AnswerSetToCsv(const AnswerSet& answers);
 /// Parses `csv` into an answer set for a pool of `num_questions` questions
 /// with `num_labels` labels. Fails on a bad header, malformed rows, or
 /// out-of-range indices.
+QASCA_NODISCARD
 util::StatusOr<AnswerSet> AnswerSetFromCsv(const std::string& csv,
                                            int num_questions, int num_labels);
 
 /// Writes AnswerSetToCsv(answers) to `path`.
+QASCA_NODISCARD
 util::Status SaveAnswerSet(const std::string& path, const AnswerSet& answers);
 
 /// Reads and parses `path`.
+QASCA_NODISCARD
 util::StatusOr<AnswerSet> LoadAnswerSet(const std::string& path,
                                         int num_questions, int num_labels);
 

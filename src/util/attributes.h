@@ -1,0 +1,21 @@
+#ifndef QASCA_UTIL_ATTRIBUTES_H_
+#define QASCA_UTIL_ATTRIBUTES_H_
+
+/// QASCA_NODISCARD marks types and functions whose return value *is* the
+/// error channel: dropping it converts a reportable failure into silent
+/// corruption (DESIGN.md §7). It decorates util::Status / util::StatusOr
+/// themselves plus the Status-returning platform APIs, so the compiler
+/// flags a discarded result at every call site the build sees; the
+/// analyzer's status-discard pass covers what the attribute cannot
+/// (macro expansions, configurations compiled out). Discard deliberately
+/// with `(void)Expr();` and a comment saying why the failure is ignorable.
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(nodiscard) >= 201603L
+#define QASCA_NODISCARD [[nodiscard]]
+#endif
+#endif
+#ifndef QASCA_NODISCARD
+#define QASCA_NODISCARD
+#endif
+
+#endif  // QASCA_UTIL_ATTRIBUTES_H_

@@ -1,0 +1,40 @@
+#ifndef QASCA_UTIL_FOLD_H_
+#define QASCA_UTIL_FOLD_H_
+
+#include <utility>
+
+namespace qasca::util {
+
+/// The serial blessed fold helpers (DESIGN.md §10, float-determinism).
+///
+/// QASCA's assignment decisions are pinned by golden-trace hashes, and
+/// floating-point addition is not associative, so the *order* of every
+/// accumulation that can reach a decision is part of the engine's
+/// contract. These helpers centralise the serial orders the codebase is
+/// allowed to use — strictly left-to-right over [begin, end) — the same
+/// way util::ParallelSum (util/thread_pool.h) centralises the chunked
+/// order. A future vectorised or compensated summation then changes one
+/// audited definition instead of every loop, and the float-determinism
+/// analyzer pass can flag any raw `+=` fold that bypasses the audit.
+
+/// Sum of term(i) for i in [begin, end), folded strictly left to right.
+/// `term` is called exactly once per index, in order.
+template <typename Term>
+double DeterministicSum(int begin, int end, Term&& term) {
+  double total = 0.0;
+  for (int i = begin; i < end; ++i) total += term(i);
+  return total;
+}
+
+/// General left-to-right fold: state = step(state, i) for i in [begin,
+/// end), in order. For accumulations that carry more than one number
+/// (e.g. a numerator/denominator pair) through the loop.
+template <typename State, typename Step>
+State DeterministicFold(State state, int begin, int end, Step&& step) {
+  for (int i = begin; i < end; ++i) state = step(std::move(state), i);
+  return state;
+}
+
+}  // namespace qasca::util
+
+#endif  // QASCA_UTIL_FOLD_H_

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "util/attributes.h"
 #include "util/logging.h"
 
 namespace qasca::util {
@@ -28,8 +29,10 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error result for operations that can fail at runtime
 /// (bad configuration, exhausted budget, unknown ids). Cheap to copy on
-/// the success path.
-class Status {
+/// the success path. The class itself is QASCA_NODISCARD: any function
+/// returning a Status by value has a must-check result, with no
+/// per-declaration annotation to forget.
+class QASCA_NODISCARD Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -73,9 +76,10 @@ class Status {
 };
 
 /// Holds either a value of type T or an error Status. `value()` aborts if
-/// called on an error; check `ok()` or use `status()` first.
+/// called on an error; check `ok()` or use `status()` first. QASCA_NODISCARD
+/// like Status: discarding a StatusOr discards the error channel too.
 template <typename T>
-class StatusOr {
+class QASCA_NODISCARD StatusOr {
  public:
   /// Implicit construction from a value or an error keeps call sites
   /// readable (`return result;` / `return Status::NotFound(...)`).

@@ -14,9 +14,12 @@ findings are counted and reported, but do not fail the run.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from .frontend import FileModel, ModelCache, build_model
 
 ERROR = "error"
 WARNING = "warning"
@@ -40,19 +43,48 @@ class Finding:
     line: int  # 1-based; 0 for whole-file findings
     message: str
     suppressed: bool = False
+    baselined: bool = False
+    id: str = ""  # stable fingerprint, assigned by assign_finding_ids()
 
     def location(self) -> str:
         return f"{self.path}:{self.line}" if self.line else self.path
 
     def to_json(self) -> dict:
         return {
+            "id": self.id,
             "pass": self.pass_name,
             "severity": self.severity,
             "path": self.path,
             "line": self.line,
             "message": self.message,
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
         }
+
+
+def assign_finding_ids(tree: SourceTree, findings: list[Finding]) -> None:
+    """Gives every finding a stable id: `<pass>:<path>:<digest>:<n>`.
+
+    The digest hashes the message together with the *text* of the finding's
+    source line, not its number, so findings survive unrelated edits that
+    shift lines; `<n>` disambiguates identical findings in file order (two
+    identical bad lines keep distinct, stable ids as long as their relative
+    order holds). Baselines key on these ids.
+    """
+    occurrence: dict[str, int] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line)):
+        source = tree.file(finding.path)
+        line_text = ""
+        if source is not None and 0 < finding.line <= len(source.lines):
+            line_text = source.lines[finding.line - 1].strip()
+        digest = hashlib.sha1(
+            "|".join((finding.pass_name, finding.path,
+                      " ".join(finding.message.split()),
+                      line_text)).encode("utf-8")).hexdigest()[:12]
+        key = f"{finding.pass_name}:{finding.path}:{digest}"
+        n = occurrence.get(key, 0)
+        occurrence[key] = n + 1
+        finding.id = f"{key}:{n}"
 
 
 def _strip_comments(text: str) -> str:
@@ -103,11 +135,27 @@ class SourceTree:
     Passes address directories repo-relative (e.g. "src/core"), which makes
     the same pass objects run unmodified over the real tree and over the
     testdata fixture tree (whose layout mirrors src/...).
+
+    When the driver grounds the tree in a compile_commands.json, `universe`
+    is the repo-relative set of files the build actually compiles (TUs plus
+    the transitive closure of their quoted includes) and `files()` only
+    yields members of it — dead files the build never sees are reported
+    separately by the driver, not silently analyzed as if they were live.
+
+    `model(source)` is the semantic frontend view of a file (tokens already
+    reduced to facts: includes, calls with result usage, Status-returning
+    declarations, loop reductions, allocation sites), memoized in-process
+    and — when the driver attached a ModelCache — across runs keyed on
+    content, which is what keeps incremental re-runs fast.
     """
 
-    def __init__(self, root: Path):
+    def __init__(self, root: Path, universe: set[str] | None = None,
+                 model_cache: ModelCache | None = None):
         self.root = root.resolve()
+        self.universe = universe
+        self.model_cache = model_cache
         self._cache: dict[str, SourceFile] = {}
+        self._models: dict[str, FileModel] = {}
 
     def file(self, rel: str) -> SourceFile | None:
         if rel not in self._cache:
@@ -129,8 +177,41 @@ class SourceTree:
             for path in sorted(base.rglob("*")):
                 if path.suffix in extensions and path.is_file():
                     rel = path.relative_to(self.root).as_posix()
+                    if self.universe is not None and rel not in self.universe:
+                        continue
                     out.append(self.file(rel))
         return out
+
+    def model(self, source: SourceFile) -> FileModel:
+        """The frontend FileModel for `source`, via the cross-run cache."""
+        if source.rel in self._models:
+            return self._models[source.rel]
+        model: FileModel | None = None
+        if self.model_cache is not None:
+            stat = source.absolute.stat()
+            model = self.model_cache.get(
+                source.rel, stat, None,
+                lambda: ModelCache.content_key(source.text))
+            if model is None:
+                model = build_model(source.code)
+                self.model_cache.put(source.rel, stat,
+                                     ModelCache.content_key(source.text),
+                                     model)
+        else:
+            model = build_model(source.code)
+        self._models[source.rel] = model
+        return model
+
+    def resolve_include(self, target: str) -> str | None:
+        """Repo-relative path of a quoted include target, or None when it
+        is not a project file. Project includes are spelled relative to
+        src/ (e.g. "core/types.h"); fixture trees mirror that layout."""
+        candidate = f"src/{target}"
+        if (self.root / candidate).is_file():
+            return candidate
+        if (self.root / target).is_file():
+            return target
+        return None
 
 
 def apply_suppressions(tree: SourceTree,

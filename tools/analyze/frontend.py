@@ -1,0 +1,706 @@
+"""Lightweight C++ semantic frontend shared by the analyzer passes.
+
+The PR-4 analyzer was regex-over-lines: it could not tell a call from a
+declaration, see whether a call's result is consumed, walk the include
+graph, or reason about what happens *inside a loop*. This module adds the
+minimum semantic model those questions need — nothing close to a real
+compiler, but grounded in the same translation units the build compiles:
+
+  * a shared tokenizer over the comment-stripped view of each file
+    (identifiers, literals, punctuators, with line numbers);
+  * per-file models (`FileModel`): include directives, declarations of
+    Status/StatusOr-returning functions, every call site with a verdict on
+    whether its result is used, function definitions with body extents,
+    scalar floating-point reduction sites inside loops, and allocation
+    facts (push_back/reserve receivers, containers constructed inside
+    loops);
+  * a `compile_commands.json` loader (`CompilationDatabase`) so the file
+    universe the passes see is exactly what the build compiles — every
+    preset exports the database (CMakeLists.txt sets
+    CMAKE_EXPORT_COMPILE_COMMANDS), and the driver grounds the tree in the
+    newest one;
+  * a content-addressed model cache (`ModelCache`, mtime/size fast path
+    plus sha1 fallback) so re-running the analyzer only re-tokenizes files
+    that actually changed — tokenization dominates a cold run.
+
+Everything here is derived from the `code` view of base.SourceFile
+(comments stripped, line structure preserved), so token line numbers agree
+with the line numbers the regex passes report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+# Bump whenever tokenization or fact extraction changes shape or meaning:
+# a version mismatch invalidates the whole model cache.
+FRONTEND_VERSION = 3
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id" | "num" | "str" | "chr" | "punct"
+    text: str
+    line: int  # 1-based
+
+
+_TOKEN = re.compile(
+    r"""
+      (?P<id>[A-Za-z_]\w*)
+    | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+    | (?P<str>(?:L|u8?|U)?"(?:[^"\\\n]|\\.)*")
+    | (?P<chr>(?:L|u8?|U)?'(?:[^'\\\n]|\\.)*')
+    | (?P<punct><<=|>>=|->\*|\.\.\.|::|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\|
+        |[-+*/%^&|~!<>=]=|[-+*/%^&|~!<>=?{}()\[\];:,.#])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = frozenset(
+    "if else for while do switch case default return break continue goto "
+    "sizeof alignof new delete throw try catch static_cast dynamic_cast "
+    "const_cast reinterpret_cast co_await co_return co_yield".split())
+
+CONTROL_KEYWORDS = frozenset("if for while switch catch".split())
+
+
+def tokenize(code: str) -> list[Token]:
+    """Tokenizes the comment-stripped `code` view of a file."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    for match in _TOKEN.finditer(code):
+        line += code.count("\n", pos, match.start())
+        pos = match.start()
+        kind = match.lastgroup or "punct"
+        tokens.append(Token(kind=kind, text=match.group(0), line=line))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Per-file facts
+
+
+@dataclass
+class Include:
+    line: int
+    target: str  # as spelled between the delimiters
+    angled: bool
+
+
+@dataclass
+class CallSite:
+    name: str  # unqualified callee name
+    line: int
+    discarded: bool  # full-expression statement whose value is dropped
+    void_cast: bool  # explicitly discarded via (void) / static_cast<void>
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    line: int  # line of the opening brace's statement
+    end_line: int
+
+
+@dataclass
+class ReductionSite:
+    """`var += expr;` inside a loop, where `var` is a scalar double
+    declared outside that loop — a loop-carried floating-point fold."""
+
+    var: str
+    line: int
+    blessed: bool  # inside an argument of a blessed fold helper
+
+
+@dataclass
+class AllocFacts:
+    """Allocation behavior of one function definition."""
+
+    function: str
+    line: int
+    # receiver expression -> first line it appears on
+    push_back: dict[str, int] = field(default_factory=dict)
+    prealloc: dict[str, int] = field(default_factory=dict)
+    # containers constructed inside a loop body: (line, "type name")
+    loop_constructions: list[tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass
+class FileModel:
+    includes: list[Include] = field(default_factory=list)
+    status_functions: list[str] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    functions: list[FunctionDef] = field(default_factory=list)
+    reductions: list[ReductionSite] = field(default_factory=list)
+    accumulate_calls: list[int] = field(default_factory=list)
+    allocs: list[AllocFacts] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        out = asdict(self)
+        out["allocs"] = [
+            {**a, "loop_constructions": [list(t) for t in a["loop_constructions"]]}
+            for a in out["allocs"]
+        ]
+        return out
+
+    @staticmethod
+    def from_json(data: dict) -> "FileModel":
+        return FileModel(
+            includes=[Include(**i) for i in data["includes"]],
+            status_functions=list(data["status_functions"]),
+            calls=[CallSite(**c) for c in data["calls"]],
+            functions=[FunctionDef(**f) for f in data["functions"]],
+            reductions=[ReductionSite(**r) for r in data["reductions"]],
+            accumulate_calls=list(data["accumulate_calls"]),
+            allocs=[
+                AllocFacts(
+                    function=a["function"], line=a["line"],
+                    push_back=dict(a["push_back"]),
+                    prealloc=dict(a["prealloc"]),
+                    loop_constructions=[tuple(t) for t in
+                                        a["loop_constructions"]],
+                )
+                for a in data["allocs"]
+            ],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Extraction
+
+INCLUDE = re.compile(r'^[ \t]*#\s*include\s+([<"])([^>"]+)[>"]', re.MULTILINE)
+
+# A function *returning* Status/StatusOr: the return type immediately
+# precedes the function name, which immediately precedes the parameter
+# list. Catches declarations and out-of-class definitions alike
+# (`util::Status Engine::CompleteHit(...)`). References (`Status&`) and
+# constructors (`Status(...)`, no whitespace before the paren) do not
+# match. Template arguments may span lines.
+STATUS_DECL = re.compile(
+    r"\b(?:util\s*::\s*)?Status(?:Or\s*<[^;{}]*?>)?\s+"
+    r"(?:[A-Za-z_]\w*\s*::\s*)*([A-Za-z_]\w*)\s*\(",
+    re.DOTALL)
+
+# Tokens a call's full expression may start after: statement boundaries,
+# a control-statement's closing paren, label/ctor-init colons.
+_STMT_BOUNDARY = {";", "{", "}", ")", ":"}
+
+# Fold helpers whose argument lambdas legitimately contain chunk-partial
+# `+=` accumulation; the float-determinism pass must not flag the blessed
+# helpers' own usage pattern (util/thread_pool.h, util/fold.h).
+BLESSED_FOLDS = frozenset(
+    {"ParallelFor", "ParallelSum", "DeterministicSum", "DeterministicFold"})
+
+_CONTAINER_TYPES = frozenset(
+    "vector deque map set unordered_map unordered_set multimap multiset "
+    "string basic_string list forward_list".split())
+
+_PREALLOC_METHODS = frozenset({"reserve", "resize", "assign"})
+
+
+def _matching_paren(tokens: list[Token], open_index: int) -> int:
+    """Index of the `)` matching tokens[open_index] == `(`; -1 if torn."""
+    depth = 0
+    for i in range(open_index, len(tokens)):
+        text = tokens[i].text
+        if text == "(":
+            depth += 1
+        elif text == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _matching_brace(tokens: list[Token], open_index: int) -> int:
+    depth = 0
+    for i in range(open_index, len(tokens)):
+        text = tokens[i].text
+        if text == "{":
+            depth += 1
+        elif text == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(tokens) - 1
+
+
+def _expression_start(tokens: list[Token], index: int) -> int:
+    """Walks back from the callee name at `index` over the member/qualifier
+    chain (`a.b->c::d(...)...`) to the first token of the full expression."""
+    i = index
+    steps = 0
+    while i > 0 and steps < 64:
+        steps += 1
+        prev = tokens[i - 1].text
+        if prev in {".", "->", "::"}:
+            i -= 1
+            # The chain element before the access operator: an identifier,
+            # or a balanced () / [] group (e.g. `foo(1).bar`, `v[0].bar`).
+            if i > 0 and tokens[i - 1].text in {")", "]"}:
+                close = tokens[i - 1].text
+                open_ = "(" if close == ")" else "["
+                depth = 0
+                j = i - 1
+                while j >= 0:
+                    if tokens[j].text == close:
+                        depth += 1
+                    elif tokens[j].text == open_:
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j -= 1
+                i = j
+                continue
+            if i > 0 and tokens[i - 1].kind == "id":
+                i -= 1
+                continue
+            break
+        break
+    return i
+
+
+def _call_verdict(tokens: list[Token], name_index: int,
+                  close_paren: int) -> tuple[bool, bool]:
+    """(discarded, void_cast) for the call whose name is at name_index."""
+    after = tokens[close_paren + 1].text if close_paren + 1 < len(tokens) \
+        else ";"
+    if after != ";":
+        return False, False  # chained, assigned, compared, passed on...
+    start = _expression_start(tokens, name_index)
+    before = tokens[start - 1].text if start > 0 else ";"
+    if before not in _STMT_BOUNDARY and before != "else" and before != "do":
+        return False, False
+    # (void)Foo(...) / static_cast<void>(...) wrapping is an explicit,
+    # commented discard — the contract asks for exactly that.
+    if start >= 2 and tokens[start - 1].text == ")" and \
+            tokens[start - 2].text == "void":
+        return True, True
+    return True, False
+
+
+def _extract_calls(tokens: list[Token]) -> list[CallSite]:
+    calls: list[CallSite] = []
+    for i, token in enumerate(tokens):
+        if token.kind != "id" or token.text in KEYWORDS:
+            continue
+        if i + 1 >= len(tokens) or tokens[i + 1].text != "(":
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        # A type name directly before the callee means this is itself a
+        # declaration (`util::Status Validate() const;`), not a call.
+        if prev is not None and (prev.kind == "id" or prev.text in
+                                 {">", "*", "&", "&&"}):
+            continue
+        close = _matching_paren(tokens, i + 1)
+        if close < 0:
+            continue
+        discarded, void_cast = _call_verdict(tokens, i, close)
+        calls.append(CallSite(name=token.text, line=token.line,
+                              discarded=discarded, void_cast=void_cast))
+    return calls
+
+
+def _function_name_before_body(tokens: list[Token],
+                               brace_index: int) -> str | None:
+    """Name of the function whose body opens at tokens[brace_index], or
+    None when the brace opens something else (namespace, class, init)."""
+    i = brace_index - 1
+    steps = 0
+    # Skip the decoration between the parameter list and the body: cv/ref
+    # qualifiers, virt-specifiers, a constructor initializer list (balanced
+    # paren/brace groups after a `:`), and trailing return types.
+    while i >= 0 and steps < 128:
+        steps += 1
+        text = tokens[i].text
+        if text == ")":
+            depth = 0
+            j = i
+            while j >= 0:
+                if tokens[j].text == ")":
+                    depth += 1
+                elif tokens[j].text == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            if j <= 0:
+                return None
+            name = tokens[j - 1]
+            if name.kind != "id":
+                return None  # lambda, operator(), function-try oddities
+            if name.text in CONTROL_KEYWORDS:
+                return None
+            if name.text in KEYWORDS:
+                return None
+            # Constructor initializer element (`: a_(x), b_(y) {`): keep
+            # walking left past the `,`/`:` to the real parameter list.
+            k = j - 2
+            if k >= 0 and tokens[k].text in {":", ","}:
+                i = k - 1
+                continue
+            return name.text
+        if tokens[i].kind == "id" or text in {":", ",", "&", "&&", "*",
+                                              "->", "::", ">", "<", "]",
+                                              "["}:
+            i -= 1
+            continue
+        if text == "}":  # braced member init inside a ctor-init list
+            depth = 0
+            while i >= 0:
+                if tokens[i].text == "}":
+                    depth += 1
+                elif tokens[i].text == "{":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i -= 1
+            i -= 1
+            continue
+        return None
+    return None
+
+
+def _extract_functions(tokens: list[Token]) -> list[tuple[str, int, int]]:
+    """(name, body_open_index, body_close_index) for every outermost
+    function definition."""
+    out: list[tuple[str, int, int]] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        if tokens[i].text == "{":
+            name = _function_name_before_body(tokens, i)
+            if name is not None:
+                close = _matching_brace(tokens, i)
+                out.append((name, i, close))
+                i = close + 1
+                continue
+        i += 1
+    return out
+
+
+def _double_decls(tokens: list[Token], begin: int, end: int) -> dict[str, int]:
+    """name -> token index of scalar `double` declarations in [begin, end)."""
+    decls: dict[str, int] = {}
+    for i in range(begin, end - 1):
+        if tokens[i].text == "double" and tokens[i + 1].kind == "id":
+            follower = tokens[i + 2].text if i + 2 < end else ";"
+            if follower in {"=", ";", "{"}:
+                decls.setdefault(tokens[i + 1].text, i)
+    return decls
+
+
+def _loop_bodies(tokens: list[Token], begin: int,
+                 end: int) -> list[tuple[int, int, int]]:
+    """(loop_keyword_index, body_begin, body_end) for for/while loops in
+    [begin, end), including nested ones."""
+    loops: list[tuple[int, int, int]] = []
+    i = begin
+    while i < end:
+        if tokens[i].kind == "id" and tokens[i].text in {"for", "while"}:
+            if i + 1 < end and tokens[i + 1].text == "(":
+                close = _matching_paren(tokens, i + 1)
+                if 0 < close < end - 1:
+                    if tokens[close + 1].text == "{":
+                        body_end = _matching_brace(tokens, close + 1)
+                        loops.append((i, close + 2, body_end))
+                    else:
+                        # Single-statement body: up to the terminating `;`.
+                        j = close + 1
+                        depth = 0
+                        while j < end:
+                            text = tokens[j].text
+                            if text in "([{":
+                                depth += 1
+                            elif text in ")]}":
+                                depth -= 1
+                            elif text == ";" and depth == 0:
+                                break
+                            j += 1
+                        loops.append((i, close + 1, j))
+        i += 1
+    return loops
+
+
+def _blessed_ranges(tokens: list[Token]) -> list[tuple[int, int]]:
+    """Token ranges spanned by the arguments of blessed fold helpers."""
+    ranges: list[tuple[int, int]] = []
+    for i, token in enumerate(tokens):
+        if token.kind == "id" and token.text in BLESSED_FOLDS and \
+                i + 1 < len(tokens) and tokens[i + 1].text == "(":
+            close = _matching_paren(tokens, i + 1)
+            if close > 0:
+                ranges.append((i + 1, close))
+    return ranges
+
+
+def _extract_reductions(tokens: list[Token],
+                        functions: list[tuple[str, int, int]]
+                        ) -> list[ReductionSite]:
+    sites: list[ReductionSite] = []
+    blessed = _blessed_ranges(tokens)
+    for _name, body_open, body_close in functions:
+        decls = _double_decls(tokens, body_open, body_close)
+        if not decls:
+            continue
+        for _kw, loop_begin, loop_end in _loop_bodies(tokens, body_open,
+                                                      body_close):
+            for i in range(loop_begin, loop_end - 1):
+                if tokens[i + 1].text != "+=" or tokens[i].kind != "id":
+                    continue
+                var = tokens[i].text
+                decl_index = decls.get(var)
+                if decl_index is None or decl_index >= loop_begin:
+                    continue  # not a double, or declared inside the loop
+                # `q[i] += ...` style scatter updates have an indexing
+                # token before the += and are not scalar folds.
+                sites.append(ReductionSite(
+                    var=var, line=tokens[i].line,
+                    blessed=any(lo <= i <= hi for lo, hi in blessed)))
+    return sites
+
+
+def _receiver_chain(tokens: list[Token], method_index: int) -> str | None:
+    """`a.b->c` receiver spelling for the method name at method_index."""
+    parts: list[str] = []
+    i = method_index - 1  # at the `.` / `->`
+    while i > 0 and tokens[i].text in {".", "->"}:
+        if tokens[i - 1].kind == "id":
+            parts.append(tokens[i - 1].text)
+            i -= 2
+        else:
+            return None  # computed receiver: (*x).push_back etc.
+    if not parts:
+        return None
+    return ".".join(reversed(parts))
+
+
+def _extract_allocs(tokens: list[Token],
+                    functions: list[tuple[str, int, int]]
+                    ) -> list[AllocFacts]:
+    out: list[AllocFacts] = []
+    for name, body_open, body_close in functions:
+        facts = AllocFacts(function=name, line=tokens[body_open].line)
+        loops = _loop_bodies(tokens, body_open, body_close)
+        for i in range(body_open, body_close):
+            token = tokens[i]
+            if token.kind != "id":
+                continue
+            if token.text in {"push_back", "emplace_back"} and \
+                    i + 1 < body_close and tokens[i + 1].text == "(" and \
+                    i > 0 and tokens[i - 1].text in {".", "->"}:
+                receiver = _receiver_chain(tokens, i)
+                if receiver is not None:
+                    facts.push_back.setdefault(receiver, token.line)
+            elif token.text in _PREALLOC_METHODS and \
+                    i + 1 < body_close and tokens[i + 1].text == "(" and \
+                    i > 0 and tokens[i - 1].text in {".", "->"}:
+                receiver = _receiver_chain(tokens, i)
+                if receiver is not None:
+                    facts.prealloc.setdefault(receiver, token.line)
+            elif token.text in _CONTAINER_TYPES and \
+                    any(lo <= i < hi for _kw, lo, hi in loops):
+                # `std::vector<double> weights(...)` declared per iteration.
+                j = i + 1
+                if j < body_close and tokens[j].text == "<":
+                    depth = 0
+                    while j < body_close:
+                        if tokens[j].text == "<":
+                            depth += 1
+                        elif tokens[j].text == ">":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        elif tokens[j].text in {";", "{"}:
+                            break
+                        j += 1
+                    j += 1
+                if j < body_close and tokens[j].kind == "id" and \
+                        j + 1 < body_close and \
+                        tokens[j + 1].text in {"(", "{", ";", "="}:
+                    facts.loop_constructions.append(
+                        (tokens[j].line, f"{token.text} {tokens[j].text}"))
+        if facts.push_back or facts.prealloc or facts.loop_constructions:
+            out.append(facts)
+    return out
+
+
+def build_model(code: str) -> FileModel:
+    """Extracts the FileModel for one file's comment-stripped code."""
+    model = FileModel()
+    pos = 0
+    line = 1
+    for match in INCLUDE.finditer(code):
+        line += code.count("\n", pos, match.start())
+        pos = match.start()
+        model.includes.append(Include(
+            line=line, target=match.group(2), angled=match.group(1) == "<"))
+    model.status_functions = sorted(
+        {m.group(1) for m in STATUS_DECL.finditer(code)})
+
+    tokens = tokenize(code)
+    model.calls = _extract_calls(tokens)
+    functions = _extract_functions(tokens)
+    model.functions = [
+        FunctionDef(name=name, line=tokens[open_].line,
+                    end_line=tokens[close].line)
+        for name, open_, close in functions
+    ]
+    model.reductions = _extract_reductions(tokens, functions)
+    model.accumulate_calls = sorted(
+        c.line for c in model.calls if c.name == "accumulate")
+    model.allocs = _extract_allocs(tokens, functions)
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Compilation database
+
+
+class CompilationDatabase:
+    """The TU set the build actually compiles, from compile_commands.json."""
+
+    def __init__(self, path: Path, repo_root: Path):
+        self.path = path
+        self.repo_root = repo_root.resolve()
+        entries = json.loads(path.read_text(encoding="utf-8"))
+        self.sources: list[str] = []
+        seen: set[str] = set()
+        for entry in entries:
+            file_path = Path(entry["file"])
+            if not file_path.is_absolute():
+                file_path = Path(entry.get("directory", ".")) / file_path
+            try:
+                rel = file_path.resolve().relative_to(self.repo_root)
+            except ValueError:
+                continue  # generated TU outside the repo (build dir)
+            rel_posix = rel.as_posix()
+            if rel_posix not in seen:
+                seen.add(rel_posix)
+                self.sources.append(rel_posix)
+        self.sources.sort()
+
+    def sources_under(self, prefix: str) -> list[str]:
+        return [s for s in self.sources if s.startswith(prefix)]
+
+    @staticmethod
+    def discover(repo_root: Path) -> Path | None:
+        """Newest compile_commands.json among the conventional build dirs."""
+        candidates = [
+            p for p in repo_root.glob("build*/compile_commands.json")
+            if p.is_file()
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda p: p.stat().st_mtime)
+
+
+def header_closure(sources: list[str], include_of,
+                   resolve) -> set[str]:
+    """Transitive closure of `sources` over quoted includes.
+
+    `include_of(rel) -> list[str]` returns the quoted include targets of a
+    file; `resolve(target) -> str | None` maps a target to a repo-relative
+    path (or None when it is not a project file).
+    """
+    universe: set[str] = set()
+    frontier = list(sources)
+    while frontier:
+        rel = frontier.pop()
+        if rel in universe:
+            continue
+        universe.add(rel)
+        for target in include_of(rel):
+            resolved = resolve(target)
+            if resolved is not None and resolved not in universe:
+                frontier.append(resolved)
+    return universe
+
+
+# ---------------------------------------------------------------------------
+# Model cache
+
+
+class ModelCache:
+    """Content-addressed FileModel cache.
+
+    Layout (JSON): {"frontend_version": N,
+                    "files": {rel: {"mtime": f, "size": n, "sha1": h,
+                                    "model": {...}}}}
+
+    Lookup tries the (mtime, size) fast path first and falls back to the
+    content hash, so `touch` alone does not re-tokenize and an edit that
+    keeps mtime (rare, but rsync does it) still invalidates correctly via
+    the driver passing the hash it computed for the SourceFile text.
+    """
+
+    def __init__(self, path: Path | None):
+        self.path = path
+        self.dirty = False
+        self._entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None and path.is_file():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                if data.get("frontend_version") == FRONTEND_VERSION:
+                    self._entries = data.get("files", {})
+            except (ValueError, OSError):
+                self._entries = {}
+
+    @staticmethod
+    def content_key(text: str) -> str:
+        return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+    def get(self, rel: str, stat, sha1: str | None,
+            hasher) -> FileModel | None:
+        """Cached model for `rel`, or None. `stat` is the os.stat_result of
+        the file; `hasher()` lazily computes the content sha1 when the
+        mtime/size fast path misses."""
+        entry = self._entries.get(rel)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry["mtime"] == stat.st_mtime and entry["size"] == stat.st_size:
+            self.hits += 1
+            return FileModel.from_json(entry["model"])
+        digest = sha1 if sha1 is not None else hasher()
+        if entry["sha1"] == digest:
+            # Same content, new mtime: refresh the fast path.
+            entry["mtime"] = stat.st_mtime
+            entry["size"] = stat.st_size
+            self.dirty = True
+            self.hits += 1
+            return FileModel.from_json(entry["model"])
+        self.misses += 1
+        return None
+
+    def put(self, rel: str, stat, sha1: str, model: FileModel) -> None:
+        self._entries[rel] = {
+            "mtime": stat.st_mtime,
+            "size": stat.st_size,
+            "sha1": sha1,
+            "model": model.to_json(),
+        }
+        self.dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self.dirty:
+            return
+        payload = json.dumps({
+            "frontend_version": FRONTEND_VERSION,
+            "files": self._entries,
+        })
+        try:
+            self.path.write_text(payload, encoding="utf-8")
+        except OSError:
+            pass  # a read-only checkout just runs cold every time
+        self.dirty = False

@@ -1,12 +1,16 @@
 """Pass registry. Order is report order; names are the suppression keys."""
 
+from .api_layering import ApiLayeringPass
 from .clock_discipline import ClockDisciplinePass
 from .determinism import DeterminismPass
+from .float_determinism import FloatDeterminismPass
+from .hot_path_alloc import HotPathAllocPass
 from .include_hygiene import IncludeHygienePass
 from .invariants import InvariantsPass
 from .lock_annotations import LockAnnotationsPass
 from .noexcept_audit import NoexceptAuditPass
 from .span_names import SpanNamesPass
+from .status_discard import StatusDiscardPass
 
 ALL_PASSES = (
     InvariantsPass(),
@@ -16,6 +20,10 @@ ALL_PASSES = (
     IncludeHygienePass(),
     LockAnnotationsPass(),
     NoexceptAuditPass(),
+    StatusDiscardPass(),
+    ApiLayeringPass(),
+    FloatDeterminismPass(),
+    HotPathAllocPass(),
 )
 
 

@@ -1,0 +1,74 @@
+"""Pass `api-layering`: the include graph must follow the layer DAG.
+
+The engine split planned in ROADMAP.md (assignment core vs serving shell,
+then multi-app serving) only stays tractable if the layers keep their
+one-way dependencies. The sanctioned DAG, lowest first:
+
+    util -> core -> model -> platform -> baselines -> simulation
+
+Each layer may include itself and anything *below* it; an include edge
+that points up the DAG (core including platform, model including
+simulation, ...) couples the assignment math to the serving shell and is
+an error. The edges come from the semantic frontend's include model over
+the same TU set the build compiles, so a layering violation cannot hide in
+a file the regex passes happened to skip.
+
+`src/util` is the foundation and may include nothing but itself (and the
+standard library — angled includes are never layer edges).
+"""
+
+from __future__ import annotations
+
+from ..base import ERROR, Finding, SourceTree
+
+# Layer -> the layers it may include (itself always allowed).
+ALLOWED: dict[str, set[str]] = {
+    "util": {"util"},
+    "core": {"util", "core"},
+    "model": {"util", "core", "model"},
+    "platform": {"util", "core", "model", "platform"},
+    "baselines": {"util", "core", "model", "platform", "baselines"},
+    "simulation": {"util", "core", "model", "platform", "baselines",
+                   "simulation"},
+}
+
+DAG = "util -> core -> model -> platform -> baselines -> simulation"
+
+
+def layer_of(rel: str) -> str | None:
+    parts = rel.split("/")
+    if len(parts) >= 3 and parts[0] == "src" and parts[1] in ALLOWED:
+        return parts[1]
+    return None
+
+
+class ApiLayeringPass:
+    name = "api-layering"
+    description = ("include edges must follow the layer DAG "
+                   f"({DAG}); no layer includes anything above itself")
+    severity = ERROR
+    roots = ("src",)
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in tree.files(self.roots):
+            source_layer = layer_of(source.rel)
+            if source_layer is None:
+                continue
+            allowed = ALLOWED[source_layer]
+            for include in tree.model(source).includes:
+                if include.angled:
+                    continue
+                resolved = tree.resolve_include(include.target)
+                if resolved is None:
+                    continue
+                target_layer = layer_of(resolved)
+                if target_layer is None or target_layer in allowed:
+                    continue
+                findings.append(Finding(
+                    pass_name=self.name, severity=self.severity,
+                    path=source.rel, line=include.line,
+                    message=(f"layering violation: {source_layer} must not "
+                             f"include {target_layer} "
+                             f'("{include.target}") — the DAG is {DAG}')))
+        return findings

@@ -23,16 +23,21 @@ import re
 from ..base import ERROR, Finding, SourceFile, SourceTree
 
 BANNED = [
-    (re.compile(r"#\s*include\s*<chrono>"),
-     "<chrono> include — platform code takes time from util::TickSource"),
-    (re.compile(r"#\s*include\s*<ctime>"),
-     "<ctime> include — platform code takes time from util::TickSource"),
     (re.compile(r"std::chrono\b"),
      "direct std::chrono use — inject a util::TickSource instead"),
     (re.compile(r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::"
                 r"\s*now\s*\("),
      "direct clock read — inject a util::TickSource instead"),
 ]
+
+# Includes that invite direct clock reads; checked against the semantic
+# frontend's include model rather than a separate regex.
+BANNED_INCLUDES = {
+    "chrono": "<chrono> include — platform code takes time from "
+              "util::TickSource",
+    "ctime": "<ctime> include — platform code takes time from "
+             "util::TickSource",
+}
 
 
 class ClockDisciplinePass:
@@ -46,11 +51,19 @@ class ClockDisciplinePass:
     def run(self, tree: SourceTree) -> list[Finding]:
         findings: list[Finding] = []
         for source in tree.files(self.roots):
-            findings.extend(self._check(source))
+            findings.extend(self._check(tree, source))
         return findings
 
-    def _check(self, source: SourceFile) -> list[Finding]:
+    def _check(self, tree: SourceTree,
+               source: SourceFile) -> list[Finding]:
         findings = []
+        for include in tree.model(source).includes:
+            why = BANNED_INCLUDES.get(include.target)
+            if why is not None and include.angled:
+                findings.append(Finding(
+                    pass_name=self.name, severity=self.severity,
+                    path=source.rel, line=include.line,
+                    message=f"clock discipline: {why}"))
         for pattern, why in BANNED:
             for match in pattern.finditer(source.code):
                 findings.append(Finding(

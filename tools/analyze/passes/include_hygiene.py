@@ -13,6 +13,10 @@ Full self-containedness ("include what you use") cannot be proven by
 regex; it is enforced by the generated header_selfcontained check — one
 synthesized TU per public header, built by the `header_selfcontained`
 target and run as a tier-1 ctest (see tools/CMakeLists.txt).
+
+Include directives come from the semantic frontend's per-file model
+(tree.model(source).includes) — the same edges the api-layering pass
+walks — so the two passes can never disagree about what a file includes.
 """
 
 from __future__ import annotations
@@ -21,9 +25,6 @@ import re
 
 from ..base import ERROR, Finding, SourceFile, SourceTree
 
-# [ \t]* (not \s*) after the anchor: \s would swallow newlines and anchor
-# the match — and therefore the reported line — at the preceding line.
-INCLUDE = re.compile(r'^[ \t]*#\s*include\s+[<"]([^>"]+)[>"]', re.MULTILINE)
 GUARD_IFNDEF = re.compile(r"^[ \t]*#\s*ifndef\s+(\w+)", re.MULTILINE)
 
 
@@ -75,13 +76,14 @@ class IncludeHygienePass:
         if tree.file(own) is None:
             return []  # no companion header (main files, benches)
         own_spelling = own[len("src/"):] if own.startswith("src/") else own
-        match = INCLUDE.search(source.code)
-        if match is None or match.group(1) != own_spelling:
-            got = match.group(1) if match else "nothing"
+        includes = tree.model(source).includes
+        first = includes[0] if includes else None
+        if first is None or first.target != own_spelling:
+            got = first.target if first else "nothing"
             return [Finding(
                 pass_name=self.name, severity=self.severity,
                 path=source.rel,
-                line=source.line_of(match.start()) if match else 1,
+                line=first.line if first else 1,
                 message=(f'first include must be the companion header '
                          f'"{own_spelling}" (found {got}); own-header-first '
                          "keeps every header self-contained"))]

@@ -1,0 +1,62 @@
+"""Pass `status-discard`: a Status/StatusOr result must never be dropped.
+
+Every recoverable failure in this codebase travels as util::Status /
+util::StatusOr (DESIGN.md §7); a call site that drops the returned Status
+converts a reportable failure into silent corruption — the exact bug class
+that let LifecycleJournal::Append report durability it did not have. The
+compiler enforces the same contract through QASCA_NODISCARD
+(src/util/attributes.h) on the Status types and the Status-returning
+platform APIs; this pass closes the gaps [[nodiscard]] cannot see (macro
+expansions, builds on compilers where the attribute is softened, code
+compiled out of the current configuration).
+
+Mechanics: the semantic frontend indexes every function the tree declares
+with a Status/StatusOr return type (declarations and out-of-class
+definitions, across all TUs and headers), then inspects every call whose
+callee matches one of those names. A call is a violation when it forms a
+full-expression statement whose value is discarded. Sanctioned discards:
+
+  * `(void)Foo();` — the explicit annotation; pair it with a comment
+    saying why the failure is ignorable;
+  * any use at all: assignment, `QASCA_CHECK_OK(...)` /
+    `QASCA_RETURN_IF_ERROR(...)` (the call sits inside the macro's
+    parentheses, so its result is consumed), chaining (`Foo().ok()`),
+    comparison, `return`.
+
+Matching is by unqualified callee name, so an unrelated void function that
+shares a name with a Status-returning one would false-positive; name such
+helpers distinctly or suppress with `// analyze:allow(status-discard)`.
+"""
+
+from __future__ import annotations
+
+from ..base import ERROR, Finding, SourceTree
+
+
+class StatusDiscardPass:
+    name = "status-discard"
+    description = ("calls to Status/StatusOr-returning functions must "
+                   "consume the result (use it, propagate it, or cast to "
+                   "(void) with a reason comment)")
+    severity = ERROR
+    roots = ("src",)
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        sources = tree.files(self.roots)
+        returns_status: set[str] = set()
+        for source in sources:
+            returns_status.update(tree.model(source).status_functions)
+        findings: list[Finding] = []
+        for source in sources:
+            for call in tree.model(source).calls:
+                if not call.discarded or call.void_cast:
+                    continue
+                if call.name not in returns_status:
+                    continue
+                findings.append(Finding(
+                    pass_name=self.name, severity=self.severity,
+                    path=source.rel, line=call.line,
+                    message=(f"result of Status-returning {call.name}() is "
+                             "discarded — handle it, propagate it, or cast "
+                             "to (void) with a reason comment")))
+        return findings

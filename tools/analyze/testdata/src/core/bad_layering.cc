@@ -1,0 +1,11 @@
+// api-layering fixture: a core TU reaching *up* the DAG into platform must
+// fire; the downward edge into util and the allow'd include must not. The
+// include targets must exist in this fixture tree for the edge to resolve
+// (unresolvable targets are never layer edges).
+
+#include "util/telemetry_names.h"
+
+#include "platform/good_contract.h"  // analyze:expect(api-layering)
+#include "platform/bad_contract.h"  // analyze:allow(api-layering)
+
+int LayeringProbe() { return 0; }

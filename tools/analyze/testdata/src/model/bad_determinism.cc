@@ -1,6 +1,8 @@
 // determinism fixture: hardware randomness, wall-clock reads and
 // unordered-container iteration in decision code must all fire; the
-// sorted-view iteration and the allow'd call must not.
+// sorted-view iteration and the allow'd call must not. The raw `total +=`
+// folds double as float-determinism firings — this file is model code, so
+// both order-sensitivity passes see it.
 
 #include <algorithm>
 #include <chrono>
@@ -21,7 +23,7 @@ double UnorderedFold() {
   std::unordered_map<int, double> weights;
   double total = 0.0;
   for (const auto& [key, value] : weights) {  // analyze:expect(determinism)
-    total += value;
+    total += value;  // analyze:expect(float-determinism)
   }
   return total;
 }
@@ -32,7 +34,7 @@ double SortedFold() {
   std::sort(ordered.begin(), ordered.end());
   double total = 0.0;
   for (const auto& [key, value] : ordered) {
-    total += value;
+    total += value;  // analyze:expect(float-determinism)
   }
   return total;
 }

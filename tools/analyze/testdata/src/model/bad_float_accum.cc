@@ -1,0 +1,42 @@
+// float-determinism fixture: a raw loop-carried double fold and a
+// std::accumulate call in model code must fire; the chunk-partial fold
+// inside a blessed helper's argument and the allow'd loop must not.
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace util {
+template <typename F>
+void ParallelFor(std::size_t begin, std::size_t end, F&& body);
+}  // namespace util
+
+double RawFold(const std::vector<double>& values) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    total += values[i];  // analyze:expect(float-determinism)
+  }
+  return total;
+}
+
+double HiddenFold(const std::vector<double>& values) {
+  return std::accumulate(values.begin(), values.end(), 0.0);  // analyze:expect(float-determinism)
+}
+
+double BlessedFold(const std::vector<double>& values) {
+  double partial = 0.0;
+  util::ParallelFor(0, values.size(), [&](std::size_t chunk) {
+    for (std::size_t i = chunk; i < values.size(); i += 4) {
+      partial += values[i];  // chunk-partial inside the blessed helper
+    }
+  });
+  return partial;
+}
+
+double AllowedFold(const std::vector<double>& values) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    total += values[i];  // analyze:allow(float-determinism)
+  }
+  return total;
+}

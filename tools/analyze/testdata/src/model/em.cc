@@ -1,0 +1,38 @@
+// hot-path-alloc fixture. The file name mirrors the real E-step kernel
+// (src/model/em.cc) because that is how the pass scopes itself to the hot
+// files. push_back without a reserve in the same function and a container
+// constructed per loop iteration must fire; the pre-sized producer and the
+// allow'd growth must not.
+
+#include <cstddef>
+#include <vector>
+
+std::vector<int> GrowsUnreserved(std::size_t n) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int>(i));  // analyze:expect(hot-path-alloc)
+  }
+  return out;
+}
+
+std::vector<int> GrowsReserved(std::size_t n) {
+  std::vector<int> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+void ConstructsPerIteration(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> scratch(8, 0.0);  // analyze:expect(hot-path-alloc)
+    scratch[0] = static_cast<double>(i);
+  }
+}
+
+void AllowedGrowth(std::vector<int>& out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int>(i));  // analyze:allow(hot-path-alloc)
+  }
+}

@@ -1,0 +1,32 @@
+// status-discard fixture: a call to a Status/StatusOr-returning function
+// whose result is dropped on the floor must fire; consumed results, the
+// explicit (void) discard and the allow'd line must not. The Status types
+// are mocked locally — the pass indexes declarations by name, it does not
+// resolve includes.
+
+namespace util {
+class Status;
+template <typename T>
+class StatusOr;
+}  // namespace util
+
+util::Status PersistLease(int hit_id);
+util::StatusOr<int> LoadLeaseCount();
+
+void DropsTheStatus() {
+  PersistLease(7);  // analyze:expect(status-discard)
+}
+
+int UsesTheValue() {
+  auto count = LoadLeaseCount();  // consumed: assigned, then inspected
+  return &count != nullptr ? 1 : 0;
+}
+
+void ExplicitDiscard() {
+  // Lease persistence is advisory here; recovery replays the journal.
+  (void)PersistLease(9);
+}
+
+void AllowedDiscard() {
+  PersistLease(11);  // analyze:allow(status-discard)
+}

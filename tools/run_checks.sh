@@ -1,23 +1,30 @@
 #!/usr/bin/env bash
 # Standing correctness gate for the QASCA tree (ISSUE 1, extended by
-# ISSUE 4 and ISSUE 5; documented in README.md and DESIGN.md §10 "Static
-# analysis" / §11 "Robustness").
+# ISSUE 4, ISSUE 5 and ISSUE 6; documented in README.md and DESIGN.md §10
+# "Static analysis" / §11 "Robustness").
 #
 # Every stage prints a uniform "[stage N] PASS" / "[stage N] FAIL" line and
 # the script exits non-zero at the first failure. Stages that need a tool
 # the host lacks (clang-tidy, clang++) print "[stage N] SKIP" with the
 # reason instead — they are hard requirements on CI hosts that have clang.
 #
-#   1. tools/analyze.py            — multi-pass static analyzer over src/
+#   1. tools/analyze.py            — semantic multi-pass analyzer, grounded
+#                                    on build*/compile_commands.json
 #                                    (invariants, span-names, determinism,
 #                                    clock-discipline, include-hygiene,
-#                                    lock-annotations, noexcept-audit);
-#                                    exit 1 on any error
+#                                    lock-annotations, noexcept-audit,
+#                                    status-discard, api-layering,
+#                                    float-determinism, hot-path-alloc);
+#                                    exit 1 on any non-baselined error
+#                                    (tools/analyze/baseline.json)
 #   2. tools/analyze.py --self-test — the analyzer proves its own passes
 #                                    fire (and suppressions hold) against
-#                                    tools/analyze/testdata/
+#                                    tools/analyze/testdata/, and that
+#                                    finding IDs, the JSON schema and the
+#                                    baseline mechanism stay stable
 #   3. warning-clean Release build (-Wall -Wextra -Werror, DCHECKs off)
-#   4. clang-tidy over src/ with the project .clang-tidy profile
+#   4. clang-tidy over the release compile database's TU set with the
+#      project .clang-tidy profile
 #   5. `analyze` preset build: clang++ -Wthread-safety -Werror=thread-safety
 #      over the annotated tree (util::Mutex / QASCA_GUARDED_BY contracts)
 #   6. asan-ubsan preset: full build + ctest, every QASCA_DCHECK invariant
@@ -74,7 +81,14 @@ stage_skip() { printf '[stage %d] SKIP (%s)\n' "${STAGE}" "$*"; }
 # Runs the stage body; FAIL (and exit) on non-zero status.
 run() { "$@" || stage_fail; }
 
-stage_begin "static analyzer (tools/analyze.py over src/)"
+stage_begin "static analyzer (tools/analyze.py, compile-DB-grounded)"
+# The analyzer grounds its file universe on the newest
+# build*/compile_commands.json (TUs + quoted-include closure). Configure the
+# release preset first if no build tree has exported one yet, so the checked
+# set is exactly the compiled set rather than a filesystem glob.
+if ! compgen -G "build*/compile_commands.json" >/dev/null; then
+  run cmake --preset release >/dev/null
+fi
 run python3 tools/analyze.py
 stage_pass
 
@@ -87,12 +101,23 @@ run cmake --preset release -DQASCA_WERROR=ON >/dev/null
 run cmake --build --preset release -j "${JOBS}"
 stage_pass
 
-stage_begin "clang-tidy (src/, profile: .clang-tidy)"
+stage_begin "clang-tidy (compile-DB TU set, profile: .clang-tidy)"
 if command -v clang-tidy >/dev/null 2>&1; then
-  # The release preset's compile commands drive tidy so it sees the same
-  # flags the real build uses.
-  run cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  find src -name '*.cc' -print0 |
+  # The release compile database supplies both the flags and the file list:
+  # tidy checks exactly the TUs the real build compiles (src/ only — tests
+  # and benches carry their own mocks), not whatever a filesystem glob
+  # happens to find.
+  run cmake --preset release >/dev/null
+  tidy_tus() {
+    python3 - <<'EOF'
+import json, os
+for entry in json.load(open("build-release/compile_commands.json")):
+    path = os.path.relpath(os.path.join(entry["directory"], entry["file"]))
+    if path.startswith("src/"):
+        print(path, end="\0")
+EOF
+  }
+  tidy_tus |
     xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-release --quiet ||
     stage_fail
   stage_pass
