@@ -17,6 +17,16 @@ DistributionMatrix BuildAssignmentMatrix(
   return result;
 }
 
+DistributionMatrix BuildAssignmentMatrix(
+    const AssignmentRequest& request,
+    const std::vector<QuestionIndex>& selected) {
+  DistributionMatrix result = *request.current;
+  for (QuestionIndex i : selected) {
+    result.SetRow(i, request.EstimatedRow(i));
+  }
+  return result;
+}
+
 void ValidateRequest(const AssignmentRequest& request) {
   QASCA_CHECK(request.current != nullptr);
   QASCA_CHECK(request.estimated != nullptr);
@@ -24,18 +34,27 @@ void ValidateRequest(const AssignmentRequest& request) {
                  request.estimated->num_questions());
   QASCA_CHECK_EQ(request.current->num_labels(),
                  request.estimated->num_labels());
+  if (request.overlay != nullptr) {
+    // Overlay rows must be shaped like the matrices they overlay; question
+    // range is enforced per-read by QwOverlay itself.
+    QASCA_CHECK_EQ(request.overlay->num_labels(),
+                   request.current->num_labels());
+    QASCA_CHECK_EQ(request.overlay->num_questions(),
+                   request.current->num_questions());
+  }
   QASCA_CHECK_GT(request.k, 0);
   QASCA_CHECK_LE(static_cast<size_t>(request.k), request.candidates.size());
   QASCA_CHECK_OK(invariants::CheckCandidateSet(
       request.candidates, request.current->num_questions()));
   // Rows of `estimated` outside the candidate set are allowed to be stale,
   // so only the current matrix is validated wholesale; the estimated rows
-  // that will actually be read are checked per-candidate.
+  // that will actually be read are checked per-candidate (through the
+  // overlay when one is attached, exactly as the algorithms read them).
   QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(*request.current));
 #if QASCA_ENABLE_DCHECKS
   for (QuestionIndex i : request.candidates) {
     util::Status status =
-        invariants::CheckDistributionRow(request.estimated->Row(i));
+        invariants::CheckDistributionRow(request.EstimatedRow(i));
     QASCA_DCHECK(status.ok()) << "estimated row " << i << ": "
                               << status.ToString();
   }

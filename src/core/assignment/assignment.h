@@ -1,8 +1,10 @@
 #ifndef QASCA_CORE_ASSIGNMENT_ASSIGNMENT_H_
 #define QASCA_CORE_ASSIGNMENT_ASSIGNMENT_H_
 
+#include <span>
 #include <vector>
 
+#include "core/assignment/qw_overlay.h"
 #include "core/distribution_matrix.h"
 #include "core/types.h"
 
@@ -19,9 +21,18 @@ namespace qasca {
 /// assigned to them), and the HIT size k.
 ///
 /// Rows of `estimated` outside `candidates` are never read.
+///
+/// Zero-copy form (DESIGN.md §12): when `overlay` is set, only the candidate
+/// rows of Qw exist — materialised in the overlay's scratch — and
+/// `estimated` points at Qc so non-candidate reads fall through to the
+/// current matrix. Algorithms read Qw rows through EstimatedRow(), which
+/// resolves overlay-then-fallthrough; both representations hold the same
+/// doubles, so selections are bit-identical either way.
 struct AssignmentRequest {
   const DistributionMatrix* current = nullptr;    // Qc
   const DistributionMatrix* estimated = nullptr;  // Qw
+  /// Optional zero-copy Qw view over `estimated` (candidate rows only).
+  const QwOverlay* overlay = nullptr;
   /// The candidate set S^w: distinct question indices, any order.
   std::vector<QuestionIndex> candidates;
   int k = 0;
@@ -34,6 +45,22 @@ struct AssignmentRequest {
   /// counters); nullptr or disabled records nothing and never influences
   /// the selection.
   util::MetricRegistry* telemetry = nullptr;
+  /// Whether the Top-K benefit algorithms should also evaluate the
+  /// objective F(Q^X*) (an O(n) row-quality sweep per request on top of
+  /// the candidate scan). The serving path only consumes `selected`, so
+  /// QascaStrategy turns this off; analysis callers and tests keep the
+  /// default and get the exact Eq. 12 value. Never read by
+  /// AssignFScoreOnline, whose Dinkelbach iteration computes delta*
+  /// (= the objective) as a by-product either way.
+  bool compute_objective = true;
+
+  /// Row i of the worker's estimated matrix Qw: the overlay row when one is
+  /// attached and holds i, else row i of `estimated`. This is the only way
+  /// assignment algorithms read Qw.
+  std::span<const double> EstimatedRow(QuestionIndex i) const {
+    if (overlay != nullptr && overlay->Contains(i)) return overlay->Row(i);
+    return estimated->Row(i);
+  }
 };
 
 /// Outcome of an assignment: the chosen questions (ascending order) plus the
@@ -56,6 +83,13 @@ struct AssignmentResult {
 /// rows.
 DistributionMatrix BuildAssignmentMatrix(
     const DistributionMatrix& current, const DistributionMatrix& estimated,
+    const std::vector<QuestionIndex>& selected);
+
+/// Request-based form of BuildAssignmentMatrix: estimated rows are read
+/// through request.EstimatedRow(), so it works for both the deep-copy and
+/// the overlay Qw representations.
+DistributionMatrix BuildAssignmentMatrix(
+    const AssignmentRequest& request,
     const std::vector<QuestionIndex>& selected);
 
 /// Validates structural invariants of `request` (matching shapes, distinct

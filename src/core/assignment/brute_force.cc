@@ -36,8 +36,7 @@ AssignmentResult AssignBruteForce(const AssignmentRequest& request,
   ForEachCombination(
       request.candidates, request.k,
       [&](const std::vector<QuestionIndex>& combination) {
-        DistributionMatrix qx = BuildAssignmentMatrix(
-            *request.current, *request.estimated, combination);
+        DistributionMatrix qx = BuildAssignmentMatrix(request, combination);
         double quality = metric.Quality(qx);
         ++best.outer_iterations;  // Repurposed as the enumeration count.
         if (quality > best.objective) {

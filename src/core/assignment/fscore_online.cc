@@ -32,7 +32,6 @@ FractionalSolution UpdateDelta(const AssignmentRequest& request,
   // One span per Update call: the nested Dinkelbach solve of Algorithm 3.
   util::Span span(request.telemetry, util::tnames::kSpanDinkelbachInner);
   const DistributionMatrix& qc = *request.current;
-  const DistributionMatrix& qw = *request.estimated;
   const int n = qc.num_questions();
   const double alpha = options.alpha;
   const double threshold = delta * alpha;
@@ -78,7 +77,7 @@ FractionalSolution UpdateDelta(const AssignmentRequest& request,
         for (int c = cb; c < ce; ++c) {
           QuestionIndex i = request.candidates[static_cast<size_t>(c)];
           double pc = qc.At(i, options.target_label);
-          double pw = qw.At(i, options.target_label);
+          double pw = request.EstimatedRow(i)[options.target_label];
           bool rc = pc >= threshold;
           bool rw = pw >= threshold;
           problem.b[i] = (rw ? pw : 0.0) - (rc ? pc : 0.0);
@@ -103,7 +102,6 @@ AssignmentResult AssignFScoreOnline(const AssignmentRequest& request,
   QASCA_CHECK_LT(options.target_label, request.current->num_labels());
 
   const DistributionMatrix& qc = *request.current;
-  const DistributionMatrix& qw = *request.estimated;
 
   // Degenerate instance: every target probability is zero, so F-score* is 0
   // for every assignment; return the first k candidates.
@@ -119,8 +117,8 @@ AssignmentResult AssignFScoreOnline(const AssignmentRequest& request,
       kFScoreScanGrain, [&](int cb, int ce) {
         double sum = 0.0;
         for (int c = cb; c < ce; ++c) {
-          sum += qw.At(request.candidates[static_cast<size_t>(c)],
-                       options.target_label);
+          sum += request.EstimatedRow(
+              request.candidates[static_cast<size_t>(c)])[options.target_label];
         }
         return sum;
       });

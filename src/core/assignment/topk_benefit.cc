@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/assignment/qw_overlay.h"
+#include "core/kernels/kernels.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
@@ -14,80 +16,166 @@
 namespace qasca {
 namespace {
 
-double RowMax(std::span<const double> row) {
-  return *std::max_element(row.begin(), row.end());
-}
-
 // Fixed chunk grain for the per-candidate benefit scan and the fixed-term
 // objective sum; constant so the decomposition (and the chunk-ordered fold
 // of the objective) is identical for every thread count.
 constexpr int kBenefitScanGrain = 512;
+
+// The selection's strict total order: larger benefit first, ties broken by
+// question index for determinism. Strict and total because no two
+// candidates share a question index.
+inline bool BenefitGreater(const std::pair<double, QuestionIndex>& a,
+                           const std::pair<double, QuestionIndex>& b) {
+  return a.first > b.first || (a.first == b.first && a.second < b.second);
+}
+
+// The Top-K Benefit scan (Section 4.1, generalised to any decomposable row
+// quality), templated on the two quality reads so concrete instantiations —
+// the Accuracy* row max below, the generic RowQualityFn wrapper — inline
+// them into the per-candidate loop instead of paying a type-erased call per
+// row. `est_quality(i)` / `cur_quality(i)` are the qualities of question
+// i's estimated and current rows.
+//
+// Selection is a streaming top-k: each chunk keeps its own k best
+// candidates under BenefitGreater, and the serial chunk-ordered merge picks
+// the global top-k from their union. Because the union always contains the
+// global top-k and the order is strict and total, the selected *set* is
+// exactly what nth_element over a full benefit vector would produce, for
+// every thread count — without materialising (or re-scanning) an n-entry
+// benefit vector per request.
+template <typename EstQuality, typename CurQuality>
+AssignmentResult ScanTopKBenefit(const AssignmentRequest& request,
+                                 const EstQuality& est_quality,
+                                 const CurQuality& cur_quality) {
+  util::Span span(request.telemetry, util::tnames::kSpanTopkScan);
+  const DistributionMatrix& current = *request.current;
+
+  const int num_candidates = static_cast<int>(request.candidates.size());
+  if (request.telemetry != nullptr) {
+    request.telemetry->GetCounter(util::tnames::kTopkCandidatesScanned)
+        ->Add(num_candidates);
+  }
+  const int k = request.k;
+  const int num_chunks = util::NumChunks(0, num_candidates, kBenefitScanGrain);
+  std::vector<std::pair<double, QuestionIndex>> local(
+      static_cast<size_t>(num_chunks) * k);
+  std::vector<int> local_counts(static_cast<size_t>(num_chunks), 0);
+  util::ParallelFor(
+      request.pool, 0, num_candidates, kBenefitScanGrain, [&](int cb, int ce) {
+        const int chunk = util::ChunkIndex(0, cb, kBenefitScanGrain);
+        auto* top = local.data() + static_cast<size_t>(chunk) * k;
+        int count = 0;
+        for (int c = cb; c < ce; ++c) {
+          const QuestionIndex i = request.candidates[static_cast<size_t>(c)];
+          const std::pair<double, QuestionIndex> candidate{
+              est_quality(i) - cur_quality(i), i};
+          // One predictable comparison per candidate once the chunk's
+          // buffer is full; the bounded insertion below is rare.
+          if (count == k && !BenefitGreater(candidate, top[count - 1])) {
+            continue;
+          }
+          int pos = count < k ? count : k - 1;
+          while (pos > 0 && BenefitGreater(candidate, top[pos - 1])) {
+            top[pos] = top[pos - 1];
+            --pos;
+          }
+          top[pos] = candidate;
+          if (count < k) ++count;
+        }
+        local_counts[static_cast<size_t>(chunk)] = count;
+      });
+
+  // Serial merge in chunk order; after the sort, benefits[0..k) is the
+  // global top-k in BenefitGreater order.
+  std::vector<std::pair<double, QuestionIndex>> benefits;
+  benefits.reserve(static_cast<size_t>(num_chunks) * k);
+  for (int chunk = 0; chunk < num_chunks; ++chunk) {
+    const auto* top = local.data() + static_cast<size_t>(chunk) * k;
+    benefits.insert(benefits.end(), top,
+                    top + local_counts[static_cast<size_t>(chunk)]);
+  }
+  std::sort(benefits.begin(), benefits.end(), BenefitGreater);
+
+  AssignmentResult result;
+  result.outer_iterations = 1;
+  result.selected.reserve(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    result.selected.push_back(benefits[static_cast<size_t>(c)].second);
+  }
+  std::sort(result.selected.begin(), result.selected.end());
+
+  // Objective: the fixed term (quality of every current row) plus the
+  // selected benefits, averaged (Eq. 12). Skipped when the caller only
+  // consumes the selection — the fixed term is an O(n) sweep per request.
+  if (request.compute_objective) {
+    double total = util::ParallelSum(
+        request.pool, 0, current.num_questions(), kBenefitScanGrain,
+        [&](int cb, int ce) {
+          double sum = 0.0;
+          for (int i = cb; i < ce; ++i) sum += cur_quality(i);
+          return sum;
+        });
+    for (int c = 0; c < request.k; ++c) total += benefits[c].first;
+    result.objective = total / current.num_questions();
+  }
+  QASCA_DCHECK_OK(invariants::CheckAssignment(result.selected, request.k,
+                                              current.num_questions()));
+  return result;
+}
 
 }  // namespace
 
 AssignmentResult AssignTopKBenefitDecomposable(
     const AssignmentRequest& request, const RowQualityFn& row_quality) {
   ValidateRequest(request);
-  util::Span span(request.telemetry, util::tnames::kSpanTopkScan);
   const DistributionMatrix& current = *request.current;
-  const DistributionMatrix& estimated = *request.estimated;
-
-  // Benefit of assigning each candidate (Section 4.1, generalised to any
-  // decomposable row quality). Each candidate's benefit is independent, so
-  // the scan parallelises by chunk; slots are written by candidate index,
-  // leaving the vector handed to nth_element identical across thread counts.
-  const int num_candidates = static_cast<int>(request.candidates.size());
-  if (request.telemetry != nullptr) {
-    request.telemetry->GetCounter(util::tnames::kTopkCandidatesScanned)
-        ->Add(num_candidates);
-  }
-  std::vector<std::pair<double, QuestionIndex>> benefits(
-      static_cast<size_t>(num_candidates));
-  util::ParallelFor(
-      request.pool, 0, num_candidates, kBenefitScanGrain, [&](int cb, int ce) {
-        for (int c = cb; c < ce; ++c) {
-          QuestionIndex i = request.candidates[static_cast<size_t>(c)];
-          benefits[static_cast<size_t>(c)] = {
-              row_quality(estimated.Row(i)) - row_quality(current.Row(i)), i};
-        }
-      });
-
-  // Linear-time top-k selection (PICK [2]); ties broken by question index
-  // for determinism.
-  auto greater = [](const std::pair<double, QuestionIndex>& a,
-                    const std::pair<double, QuestionIndex>& b) {
-    return a.first > b.first || (a.first == b.first && a.second < b.second);
-  };
-  std::nth_element(benefits.begin(), benefits.begin() + (request.k - 1),
-                   benefits.end(), greater);
-
-  AssignmentResult result;
-  result.outer_iterations = 1;
-  result.selected.reserve(request.k);
-  for (int c = 0; c < request.k; ++c) {
-    result.selected.push_back(benefits[c].second);
-  }
-  std::sort(result.selected.begin(), result.selected.end());
-
-  // Objective: the fixed term (quality of every current row) plus the
-  // selected benefits, averaged (Eq. 12).
-  double total = util::ParallelSum(
-      request.pool, 0, current.num_questions(), kBenefitScanGrain,
-      [&](int cb, int ce) {
-        double sum = 0.0;
-        for (int i = cb; i < ce; ++i) sum += row_quality(current.Row(i));
-        return sum;
-      });
-  for (int c = 0; c < request.k; ++c) total += benefits[c].first;
-  result.objective = total / current.num_questions();
-  QASCA_DCHECK_OK(invariants::CheckAssignment(result.selected, request.k,
-                                              current.num_questions()));
-  return result;
+  return ScanTopKBenefit(
+      request,
+      [&](QuestionIndex i) { return row_quality(request.EstimatedRow(i)); },
+      [&](QuestionIndex i) { return row_quality(current.Row(i)); });
 }
 
 AssignmentResult AssignTopKBenefit(const AssignmentRequest& request) {
-  return AssignTopKBenefitDecomposable(
-      request, [](std::span<const double> row) { return RowMax(row); });
+  ValidateRequest(request);
+  // Accuracy row quality = max cell of the row (Eq. 12's max over labels).
+  // The dispatch is hoisted to one RowMax pointer per scan, current rows
+  // are read straight off the dense matrix, and when the Qw estimation
+  // fused the row maxima into the overlay's quality channel the estimated
+  // quality is a single contiguous load per candidate instead of a row
+  // reduction.
+  const DistributionMatrix& current = *request.current;
+  const kernels::RowMaxFn row_max = kernels::ActiveRowMax();
+  const int num_labels = current.num_labels();
+  const double* current_base = current.Row(0).data();
+  const QwOverlay* overlay = request.overlay;
+  const bool fused_qualities = overlay != nullptr && overlay->has_qualities();
+  if (num_labels == 2) {
+    // Binary labels (every golden workload): the row max is one compare,
+    // inlined instead of an indirect kernel call per candidate. Identical
+    // value to RowMax — max is order-insensitive over NaN-free rows.
+    return ScanTopKBenefit(
+        request,
+        [&, fused_qualities](QuestionIndex i) {
+          if (fused_qualities) return overlay->Quality(i);
+          const std::span<const double> row = request.EstimatedRow(i);
+          return row[0] < row[1] ? row[1] : row[0];
+        },
+        [&](QuestionIndex i) {
+          const double* row = current_base + static_cast<size_t>(i) * 2;
+          return row[0] < row[1] ? row[1] : row[0];
+        });
+  }
+  return ScanTopKBenefit(
+      request,
+      [&, fused_qualities](QuestionIndex i) {
+        if (fused_qualities) return overlay->Quality(i);
+        const std::span<const double> row = request.EstimatedRow(i);
+        return row_max(row.data(), static_cast<int>(row.size()));
+      },
+      [&](QuestionIndex i) {
+        return row_max(current_base + static_cast<size_t>(i) * num_labels,
+                       num_labels);
+      });
 }
 
 }  // namespace qasca

@@ -1,15 +1,25 @@
 #include "core/metrics/fscore.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
 #include "core/fractional.h"
+#include "util/fold.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qasca {
 namespace {
+
+// F-score numerator/denominator pair carried through the blessed fold; the
+// per-question update order inside the fold step matches the historical
+// interleaved loops bit-for-bit.
+struct FScoreTally {
+  double numerator = 0.0;
+  double denominator = 0.0;
+};
 
 // Distribution of the number of successes among independent Bernoulli trials
 // with the given probabilities (Poisson-binomial), via the standard O(n^2)
@@ -46,17 +56,18 @@ std::string FScoreMetric::name() const {
 double FScoreMetric::EvaluateAgainstTruth(const GroundTruthVector& truth,
                                           const ResultVector& result) const {
   QASCA_CHECK_EQ(truth.size(), result.size());
-  double numerator = 0.0;
-  double denominator = 0.0;
-  for (size_t i = 0; i < truth.size(); ++i) {
-    bool returned_target = result[i] == target_label_;
-    bool true_target = truth[i] == target_label_;
-    if (returned_target && true_target) numerator += 1.0;
-    if (returned_target) denominator += alpha_;
-    if (true_target) denominator += 1.0 - alpha_;
-  }
-  if (denominator <= 0.0) return 0.0;
-  return numerator / denominator;
+  const FScoreTally tally = util::DeterministicFold(
+      FScoreTally{}, 0, static_cast<int>(truth.size()),
+      [&](FScoreTally t, int i) {
+        bool returned_target = result[static_cast<size_t>(i)] == target_label_;
+        bool true_target = truth[static_cast<size_t>(i)] == target_label_;
+        if (returned_target && true_target) t.numerator += 1.0;
+        if (returned_target) t.denominator += alpha_;
+        if (true_target) t.denominator += 1.0 - alpha_;
+        return t;
+      });
+  if (tally.denominator <= 0.0) return 0.0;
+  return tally.numerator / tally.denominator;
 }
 
 double FScoreMetric::Evaluate(const DistributionMatrix& q,
@@ -75,18 +86,18 @@ double FScoreStar(const DistributionMatrix& q, const ResultVector& result,
   QASCA_CHECK_LT(target_label, q.num_labels());
   QASCA_CHECK_GE(alpha, 0.0);
   QASCA_CHECK_LE(alpha, 1.0);
-  double numerator = 0.0;
-  double denominator = 0.0;
-  for (int i = 0; i < q.num_questions(); ++i) {
-    double target_probability = q.At(i, target_label);
-    if (result[i] == target_label) {
-      numerator += target_probability;
-      denominator += alpha;
-    }
-    denominator += (1.0 - alpha) * target_probability;
-  }
-  if (denominator <= 0.0) return 0.0;
-  return numerator / denominator;
+  const FScoreTally tally = util::DeterministicFold(
+      FScoreTally{}, 0, q.num_questions(), [&](FScoreTally t, int i) {
+        double target_probability = q.At(i, target_label);
+        if (result[static_cast<size_t>(i)] == target_label) {
+          t.numerator += target_probability;
+          t.denominator += alpha;
+        }
+        t.denominator += (1.0 - alpha) * target_probability;
+        return t;
+      });
+  if (tally.denominator <= 0.0) return 0.0;
+  return tally.numerator / tally.denominator;
 }
 
 FScoreQualityResult SolveFScoreQuality(const DistributionMatrix& q,
@@ -103,11 +114,11 @@ FScoreQualityResult SolveFScoreQuality(const DistributionMatrix& q,
   ZeroOneFractionalProgram problem;
   problem.b.resize(n);
   problem.d.assign(n, alpha);
-  double target_mass = 0.0;
   for (int i = 0; i < n; ++i) {
     problem.b[i] = q.At(i, target_label);
-    target_mass += problem.b[i];
   }
+  const double target_mass = util::DeterministicSum(
+      0, n, [&](int i) { return problem.b[static_cast<size_t>(i)]; });
   problem.gamma = (1.0 - alpha) * target_mass;
 
   FScoreQualityResult result;
@@ -166,17 +177,21 @@ double ExactExpectedFScore(const DistributionMatrix& q,
   std::vector<double> pa = PoissonBinomial(returned_probabilities);
   std::vector<double> pb = PoissonBinomial(other_probabilities);
 
-  double expectation = 0.0;
-  for (size_t a = 1; a < pa.size(); ++a) {
-    if (pa[a] == 0.0) continue;
-    for (size_t b = 0; b < pb.size(); ++b) {
-      if (pb[b] == 0.0) continue;
-      double denominator =
-          alpha * m + (1.0 - alpha) * static_cast<double>(a + b);
-      expectation += pa[a] * pb[b] * static_cast<double>(a) / denominator;
-    }
-  }
-  return expectation;
+  // Nested blessed folds, threading one accumulator through both levels in
+  // the historical (a-major, zero-probability terms skipped) order.
+  return util::DeterministicFold(
+      0.0, 1, static_cast<int>(pa.size()), [&](double acc, int a) {
+        const double pa_a = pa[static_cast<size_t>(a)];
+        if (pa_a == 0.0) return acc;
+        return util::DeterministicFold(
+            acc, 0, static_cast<int>(pb.size()), [&](double inner, int b) {
+              const double pb_b = pb[static_cast<size_t>(b)];
+              if (pb_b == 0.0) return inner;
+              double denominator =
+                  alpha * m + (1.0 - alpha) * static_cast<double>(a + b);
+              return inner + pa_a * pb_b * static_cast<double>(a) / denominator;
+            });
+      });
 }
 
 double BruteForceExpectedFScore(const DistributionMatrix& q,
@@ -187,24 +202,31 @@ double BruteForceExpectedFScore(const DistributionMatrix& q,
   // F-score only depends on whether each t_i equals the target label, so it
   // suffices to enumerate target/non-target patterns with probabilities
   // Q_{i,target} and 1 - Q_{i,target}.
-  double expectation = 0.0;
-  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+  // Pattern probability and F-score tally for one truth assignment, carried
+  // through the blessed inner fold in question order.
+  struct MaskTally {
     double probability = 1.0;
     double numerator = 0.0;
     double denominator = 0.0;
-    for (int i = 0; i < n; ++i) {
-      double p = q.At(i, target_label);
-      bool true_target = (mask >> i) & 1u;
-      probability *= true_target ? p : 1.0 - p;
-      bool returned_target = result[i] == target_label;
-      if (returned_target && true_target) numerator += 1.0;
-      if (returned_target) denominator += alpha;
-      if (true_target) denominator += 1.0 - alpha;
-    }
-    if (probability == 0.0 || denominator <= 0.0) continue;
-    expectation += probability * numerator / denominator;
-  }
-  return expectation;
+  };
+  return util::DeterministicFold(
+      0.0, 0, static_cast<int>(1u << n), [&](double acc, int mask_index) {
+        const uint32_t mask = static_cast<uint32_t>(mask_index);
+        const MaskTally tally = util::DeterministicFold(
+            MaskTally{}, 0, n, [&](MaskTally t, int i) {
+              double p = q.At(i, target_label);
+              bool true_target = (mask >> i) & 1u;
+              t.probability *= true_target ? p : 1.0 - p;
+              bool returned_target =
+                  result[static_cast<size_t>(i)] == target_label;
+              if (returned_target && true_target) t.numerator += 1.0;
+              if (returned_target) t.denominator += alpha;
+              if (true_target) t.denominator += 1.0 - alpha;
+              return t;
+            });
+        if (tally.probability == 0.0 || tally.denominator <= 0.0) return acc;
+        return acc + tally.probability * tally.numerator / tally.denominator;
+      });
 }
 
 }  // namespace qasca

@@ -6,8 +6,10 @@
 #include <utility>
 #include <vector>
 
+#include "model/likelihood_cache.h"
 #include "model/posterior.h"
 #include "model/prior.h"
+#include "util/fold.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 #include "util/telemetry_names.h"
@@ -69,13 +71,18 @@ WorkerModel FitWorker(const WorkerAnswers& wa,
                       const EmOptions& options) {
   if (options.worker_kind == WorkerModel::Kind::kWorkerProbability) {
     // m_w = expected fraction of this worker's answers that match the true
-    // label, Laplace-smoothed.
-    double agree = options.smoothing;
-    double total = 2.0 * options.smoothing;
-    for (size_t a = 0; a < wa.questions.size(); ++a) {
-      agree += posterior.At(wa.questions[a], wa.labels[a]);
-      total += 1.0;
-    }
+    // label, Laplace-smoothed. Both accumulators run through the blessed
+    // left-to-right fold seeded with their smoothing pseudo-counts, which
+    // reproduces the historical `seed; seed += term` order bit-for-bit.
+    const int answered = static_cast<int>(wa.questions.size());
+    const double agree = util::DeterministicFold(
+        options.smoothing, 0, answered, [&](double acc, int a) {
+          return acc + posterior.At(wa.questions[static_cast<size_t>(a)],
+                                    wa.labels[static_cast<size_t>(a)]);
+        });
+    const double total = util::DeterministicFold(
+        2.0 * options.smoothing, 0, answered,
+        [](double acc, int) { return acc + 1.0; });
     return WorkerModel::Wp(std::clamp(agree / total, 0.0, 1.0), num_labels);
   }
 
@@ -90,10 +97,10 @@ WorkerModel FitWorker(const WorkerAnswers& wa,
     }
   }
   for (int j = 0; j < num_labels; ++j) {
-    double row_total = 0.0;
-    for (int j2 = 0; j2 < num_labels; ++j2) {
-      row_total += counts[static_cast<size_t>(j) * num_labels + j2];
-    }
+    const double row_total =
+        util::DeterministicSum(0, num_labels, [&](int j2) {
+          return counts[static_cast<size_t>(j) * num_labels + j2];
+        });
     for (int j2 = 0; j2 < num_labels; ++j2) {
       counts[static_cast<size_t>(j) * num_labels + j2] /= row_total;
     }
@@ -166,6 +173,21 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
   std::vector<EStepPartial> partials(
       static_cast<size_t>(util::NumChunks(0, n, kEStepGrain)));
 
+  // Per-worker likelihood tables for the table-based posterior kernel
+  // (model/likelihood_cache.h). Entries are created once here — grouped is
+  // exactly the fitted-worker set — and rebuilt in place after each
+  // M-step, so the E-step's per-answer inner loop is one contiguous
+  // elementwise multiply with no per-row table construction.
+  std::unordered_map<WorkerId, WorkerLikelihoods> tables;
+  tables.reserve(grouped.size());
+  for (const auto& [worker, wa] : grouped) {
+    tables.emplace(worker, WorkerLikelihoods{});
+  }
+  WorkerLikelihoods fallback_table;
+  // One posterior-row buffer per E-step chunk, reused across rows and
+  // iterations (the out-parameter posterior API; no per-row allocation).
+  std::vector<std::vector<double>> chunk_rows(partials.size());
+
 #if QASCA_ENABLE_DCHECKS
   // MAP objective (data log-likelihood + log penalty) of the previous
   // iteration's parameters; EM theory guarantees it never decreases.
@@ -199,24 +221,34 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
     }
 #endif
 
+    // Refresh the likelihood tables against the models this M-step just
+    // fitted (grouped's ascending-id order; the table values are the
+    // AnswerProbability doubles verbatim, so the table-based E-step below
+    // is bit-identical to the model-call loop it replaced).
+    for (const auto& [worker, wa] : grouped) {
+      tables.find(worker)->second.Rebuild(result.WorkerFor(worker));
+    }
+    fallback_table.Rebuild(result.fallback);
+
     // E-step: posteriors from worker models and prior (Eq. 16). Rows are
     // independent, so the sweep runs chunk-parallel; each chunk writes its
     // own posterior rows and reduction slot, and the slots fold in chunk
     // order below.
-    WorkerModelLookup lookup = [&result](WorkerId worker) -> const WorkerModel& {
-      return result.WorkerFor(worker);
+    LikelihoodLookup lookup =
+        [&tables, &fallback_table](WorkerId worker) -> const WorkerLikelihoods& {
+      auto it = tables.find(worker);
+      return it != tables.end() ? it->second : fallback_table;
     };
     partials.assign(partials.size(), EStepPartial{});
     util::ParallelFor(pool, 0, n, kEStepGrain, [&](int cb, int ce) {
-      EStepPartial& part =
-          partials[static_cast<size_t>(util::ChunkIndex(0, cb, kEStepGrain))];
+      const size_t chunk =
+          static_cast<size_t>(util::ChunkIndex(0, cb, kEStepGrain));
+      EStepPartial& part = partials[chunk];
+      std::vector<double>& row = chunk_rows[chunk];
       for (int i = cb; i < ce; ++i) {
         double marginal = 0.0;
-        // The vector is ComputePosteriorRow's return buffer; eliminating it
-        // needs an out-parameter posterior API (tracked in ROADMAP.md).
-        // analyze:allow(hot-path-alloc)
-        std::vector<double> row =
-            ComputePosteriorRow(answers[i], result.prior, lookup, &marginal);
+        ComputePosteriorRowWithLikelihoods(answers[i], result.prior, lookup,
+                                           &row, &marginal);
         for (int j = 0; j < num_labels; ++j) {
           part.max_change = std::max(
               part.max_change, std::fabs(row[j] - result.posterior.At(i, j)));
@@ -239,8 +271,12 @@ EmResult RunEmIterations(const AnswerSet& answers, int num_labels,
     }
 
 #if QASCA_ENABLE_DCHECKS
+    objective = util::DeterministicFold(
+        objective, 0, static_cast<int>(partials.size()),
+        [&](double acc, int p) {
+          return acc + partials[static_cast<size_t>(p)].log_marginal;
+        });
     for (const EStepPartial& part : partials) {
-      objective += part.log_marginal;
       objective_valid = objective_valid && part.marginals_positive;
     }
     if (have_previous_objective && objective_valid) {
@@ -321,10 +357,16 @@ EmResult RunEmWarmStart(const AnswerSet& answers, int num_labels,
       [&previous](WorkerId worker) -> const WorkerModel& {
     return previous.WorkerFor(worker);
   };
+  // One posterior-row buffer per chunk (out-parameter API; no per-row
+  // allocation in the sweep).
+  std::vector<std::vector<double>> warm_rows(
+      static_cast<size_t>(util::NumChunks(0, n, kEStepGrain)));
   util::ParallelFor(pool, 0, n, kEStepGrain, [&](int cb, int ce) {
+    std::vector<double>& row =
+        warm_rows[static_cast<size_t>(util::ChunkIndex(0, cb, kEStepGrain))];
     for (int i = cb; i < ce; ++i) {
-      result.posterior.SetRow(
-          i, ComputePosteriorRow(answers[i], result.prior, lookup));
+      ComputePosteriorRowInto(answers[i], result.prior, lookup, &row);
+      result.posterior.SetRow(i, row);
     }
   });
   return RunEmIterations(answers, num_labels, options, std::move(result),

@@ -4,8 +4,10 @@
 #include <functional>
 #include <vector>
 
+#include "core/assignment/qw_overlay.h"
 #include "core/distribution_matrix.h"
 #include "core/types.h"
+#include "model/likelihood_cache.h"
 #include "model/worker_model.h"
 #include "util/rng.h"
 #include "util/telemetry.h"
@@ -32,6 +34,29 @@ std::vector<double> ComputePosteriorRow(const AnswerList& answers,
                                         const WorkerModelLookup& models,
                                         double* marginal = nullptr);
 
+/// Out-parameter variant of ComputePosteriorRow for the hot loops (E-step,
+/// incremental refresh): writes the posterior into `*out` (resized to the
+/// label count), so a caller-owned buffer is reused instead of allocating a
+/// fresh return vector per row. Identical results bit-for-bit.
+void ComputePosteriorRowInto(const AnswerList& answers,
+                             const std::vector<double>& prior,
+                             const WorkerModelLookup& models,
+                             std::vector<double>* out,
+                             double* marginal = nullptr);
+
+/// Table-based variant: resolves each answering worker to a transposed
+/// likelihood table (model/likelihood_cache.h) instead of a WorkerModel, so
+/// the per-answer weight update is one contiguous kernels::MulRowInPlace
+/// rather than l strided AnswerProbability calls. Tables hold the exact
+/// AnswerProbability doubles, so results match the model-lookup variants
+/// bit-for-bit. (Named separately from ComputePosteriorRowInto because both
+/// lookups are std::functions and a lambda would convert to either.)
+void ComputePosteriorRowWithLikelihoods(const AnswerList& answers,
+                                        const std::vector<double>& prior,
+                                        const LikelihoodLookup& likelihoods,
+                                        std::vector<double>* out,
+                                        double* marginal = nullptr);
+
 /// The current distribution matrix Qc over all questions (Section 5.1).
 DistributionMatrix ComputeCurrentDistribution(const AnswerSet& answers,
                                               const std::vector<double>& prior,
@@ -46,6 +71,10 @@ enum class QwMode {
   kSampled,
   /// Deterministic ablation: average the conditioned posterior over the
   /// whole predicted answer distribution instead of sampling one label.
+  /// For WP models this expectation has an exact closed form — it is the
+  /// current row Qc_i itself (law of total probability over Eqs. 17–18) —
+  /// which the overlay path returns directly instead of materialising the
+  /// mixture (counted as tnames::kQwClosedFormRows).
   kExpected,
 };
 
@@ -79,11 +108,49 @@ std::vector<double> EstimateWorkerRow(std::span<const double> current_row,
 ///
 /// `telemetry` (optional) counts the weighted draws taken in kSampled mode
 /// (tnames::kQwSamplesDrawn); it never affects the sampled rows.
+///
+/// This is the legacy deep-copy representation (an O(n*l) copy per call);
+/// the serving path uses EstimateWorkerRowsInto + QwOverlay instead and
+/// keeps this entry point as the reference the equivalence suite and the
+/// bench's legacy mode compare against.
 DistributionMatrix EstimateWorkerDistribution(
     const DistributionMatrix& current, const WorkerModel& model,
     const std::vector<QuestionIndex>& candidates, QwMode mode, util::Rng& rng,
     util::ThreadPool* pool = nullptr,
     util::MetricRegistry* telemetry = nullptr);
+
+/// Zero-copy Qw estimation (DESIGN.md §12): materialises only the candidate
+/// rows into `overlay` (reusable per-strategy scratch; reads of other rows
+/// fall through to `current` via AssignmentRequest::EstimatedRow) and runs
+/// the answer-distribution / posterior-weight inner loops through the
+/// runtime-dispatched kernels with zero per-candidate allocations.
+/// `likelihoods` must be the transposed table for `model` (from the
+/// engine's LikelihoodCache or a strategy-local rebuild).
+///
+/// Same randomness contract as EstimateWorkerDistribution, and bit-identical
+/// overlay rows: for every candidate i, overlay->Row(i) holds exactly the
+/// doubles EstimateWorkerDistribution's row i would hold — the kernel
+/// equivalence suite pins this across every ISA. The one deliberate
+/// exception is kExpected with a WP model, where the rows come from the
+/// exact closed form (see QwMode) instead of the numerically-accumulated
+/// mixture: the closed form is the true value the legacy mixture only
+/// approaches to within rounding, so those rows agree with the legacy path
+/// to ~1e-12 rather than bitwise. Golden traces and the engine default run
+/// kSampled, which is bitwise-pinned.
+/// When `fuse_row_max` is set, the overlay's quality channel is armed and
+/// each materialised row's maximum — the Accuracy* row quality — is written
+/// alongside the row while it is still hot (QwOverlay::ArmQualities), so
+/// the Top-K benefit scan reads one contiguous double per candidate instead
+/// of re-reducing the row. The fused maxima are exactly kernels::RowMax of
+/// the materialised rows; they never change which rows are produced.
+void EstimateWorkerRowsInto(const DistributionMatrix& current,
+                            const WorkerModel& model,
+                            const WorkerLikelihoods& likelihoods,
+                            const std::vector<QuestionIndex>& candidates,
+                            QwMode mode, util::Rng& rng, QwOverlay* overlay,
+                            util::ThreadPool* pool = nullptr,
+                            util::MetricRegistry* telemetry = nullptr,
+                            bool fuse_row_max = false);
 
 }  // namespace qasca
 

@@ -6,6 +6,7 @@
 #include <limits>
 #include <string>
 
+#include "core/kernels/kernels.h"
 #include "model/posterior.h"
 #include "util/failpoint.h"
 #include "util/invariants.h"
@@ -86,6 +87,13 @@ TaskAssignmentEngine::TaskAssignmentEngine(
       telemetry_.GetGauge(util::tnames::kRemainingHits);
   instruments_.last_refresh_drift =
       telemetry_.GetGauge(util::tnames::kLastRefreshDrift);
+  likelihood_cache_.AttachCounters(
+      telemetry_.GetCounter(util::tnames::kQwLikelihoodCacheHits),
+      telemetry_.GetCounter(util::tnames::kQwLikelihoodCacheMisses));
+  // Which SIMD tier the runtime dispatcher selected (cpuid-detected, or the
+  // QASCA_KERNEL_ISA override) — exported as the numeric kernels::Isa value.
+  telemetry_.GetGauge(util::tnames::kKernelIsa)
+      ->Set(static_cast<double>(static_cast<int>(kernels::ActiveIsa())));
 }
 
 util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
@@ -117,6 +125,9 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
   context.rng = &rng_;
   context.pool = pool_.get();
   context.telemetry = &telemetry_;
+  context.likelihood_cache =
+      config_.likelihood_cache_enabled ? &likelihood_cache_ : nullptr;
+  context.use_qw_overlay = config_.use_qw_overlay;
 
   util::Stopwatch stopwatch;
   std::vector<QuestionIndex> selected =
@@ -243,19 +254,38 @@ util::Status TaskAssignmentEngine::CompleteHit(
     // refit's drift invariant compares a fully-updated incremental Qc —
     // never one stale by this HIT's k new answers.
     const EmResult& parameters = database_.parameters();
-    WorkerModelLookup lookup =
-        [&parameters](WorkerId w) -> const WorkerModel& {
-      return parameters.WorkerFor(w);
-    };
-    for (QuestionIndex question : touched) {
-      std::vector<double> row = ComputePosteriorRow(
-          database_.answers()[static_cast<size_t>(question)],
-          parameters.prior, lookup);
-      // Always on: an incremental row is the only writer of Qc between
-      // refits, so a denormalised one corrupts every later assignment
-      // decision without crashing.
-      QASCA_CHECK_OK(invariants::CheckDistributionRow(row));
-      database_.UpdatePosteriorRow(question, row);
+    std::vector<double> row;
+    row.reserve(static_cast<size_t>(config_.num_labels));
+    if (config_.likelihood_cache_enabled) {
+      // Table-based refresh: the answering workers' likelihood tables are
+      // memoised across completions (models are frozen between refits, so
+      // entries stay valid until RunFullEmRefit invalidates them).
+      LikelihoodLookup lookup =
+          [this, &parameters](WorkerId w) -> const WorkerLikelihoods& {
+        return likelihood_cache_.Get(w, parameters.WorkerFor(w));
+      };
+      for (QuestionIndex question : touched) {
+        ComputePosteriorRowWithLikelihoods(
+            database_.answers()[static_cast<size_t>(question)],
+            parameters.prior, lookup, &row);
+        // Always on: an incremental row is the only writer of Qc between
+        // refits, so a denormalised one corrupts every later assignment
+        // decision without crashing.
+        QASCA_CHECK_OK(invariants::CheckDistributionRow(row));
+        database_.UpdatePosteriorRow(question, row);
+      }
+    } else {
+      WorkerModelLookup lookup =
+          [&parameters](WorkerId w) -> const WorkerModel& {
+        return parameters.WorkerFor(w);
+      };
+      for (QuestionIndex question : touched) {
+        ComputePosteriorRowInto(
+            database_.answers()[static_cast<size_t>(question)],
+            parameters.prior, lookup, &row);
+        QASCA_CHECK_OK(invariants::CheckDistributionRow(row));
+        database_.UpdatePosteriorRow(question, row);
+      }
     }
     incremental_since_refit_ = true;
   }
@@ -446,8 +476,10 @@ void TaskAssignmentEngine::RunFullEmRefit() {
   instruments_.em_full_refits->Add(1);
   completions_since_refit_ = 0;
   incremental_since_refit_ = false;
-  // The fitted worker pool changed; the cached typical worker is stale.
+  // The fitted worker pool changed; the cached typical worker and every
+  // memoised likelihood table are stale.
   typical_worker_.reset();
+  likelihood_cache_.Invalidate();
 }
 
 ResultVector TaskAssignmentEngine::CurrentResults() const {

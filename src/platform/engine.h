@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/metrics/metric.h"
+#include "model/likelihood_cache.h"
 #include "platform/app_config.h"
 #include "platform/database.h"
 #include "platform/journal.h"
@@ -245,6 +246,11 @@ class TaskAssignmentEngine {
   std::unique_ptr<util::ThreadPool> pool_;
   /// Non-null iff config_.persistence_path is non-empty.
   std::unique_ptr<LifecycleJournal> journal_;
+  /// Per-worker likelihood tables memoised between full EM refits
+  /// (invalidated by RunFullEmRefit alongside the typical-worker cache);
+  /// handed to strategies and the incremental refresh when
+  /// config_.likelihood_cache_enabled.
+  LikelihoodCache likelihood_cache_;
   std::unordered_map<WorkerId, OpenHit> open_hits_;
   std::unordered_map<WorkerId, CompletedHit> last_completion_;
   /// Workers whose lease expired and who have not requested a new HIT yet;

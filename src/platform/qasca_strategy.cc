@@ -1,5 +1,7 @@
 #include "platform/qasca_strategy.h"
 
+#include <optional>
+
 #include "core/assignment/assignment.h"
 #include "core/assignment/fscore_online.h"
 #include "core/assignment/topk_benefit.h"
@@ -20,20 +22,53 @@ std::vector<QuestionIndex> QascaStrategy::SelectQuestions(
   QASCA_CHECK(context.rng != nullptr);
 
   const DistributionMatrix& qc = context.database->current();
-  DistributionMatrix qw = [&] {
-    util::Span span(context.telemetry, util::tnames::kSpanEstimateQw);
-    return EstimateWorkerDistribution(qc, *context.worker_model, candidates,
-                                      qw_mode_, *context.rng, context.pool,
-                                      context.telemetry);
-  }();
 
   AssignmentRequest request;
   request.current = &qc;
-  request.estimated = &qw;
   request.candidates = candidates;
   request.k = k;
   request.pool = context.pool;
   request.telemetry = context.telemetry;
+  // The engine consumes only the selection; skip the Top-K algorithms'
+  // O(n) objective sweep per request (F-score's Dinkelbach computes its
+  // objective as a by-product regardless).
+  request.compute_objective = false;
+
+  // Qw estimation (Section 5.3). Default path: materialise only the
+  // candidate rows into the reusable overlay, multiplying through the
+  // requesting worker's likelihood table (cached across HITs by the engine
+  // when a cache is attached). Legacy path: deep-copy Qc and overwrite the
+  // candidate rows. Both paths produce bit-identical rows, hence identical
+  // selections — the kernel-equivalence suite pins this.
+  std::optional<DistributionMatrix> qw_storage;
+  if (context.use_qw_overlay) {
+    const WorkerLikelihoods* likelihoods;
+    if (context.likelihood_cache != nullptr) {
+      likelihoods =
+          &context.likelihood_cache->Get(context.worker, *context.worker_model);
+    } else {
+      scratch_likelihoods_.Rebuild(*context.worker_model);
+      likelihoods = &scratch_likelihoods_;
+    }
+    util::Span span(context.telemetry, util::tnames::kSpanEstimateQw);
+    // Accuracy* consumes each estimated row only through its max, so the
+    // estimation kernel fuses the row maxima into the overlay's quality
+    // channel while the rows are hot; the benefit scan then reads one
+    // double per candidate (AssignTopKBenefit's fused path).
+    const bool fuse_row_max =
+        context.metric->kind == MetricSpec::Kind::kAccuracy;
+    EstimateWorkerRowsInto(qc, *context.worker_model, *likelihoods, candidates,
+                           qw_mode_, *context.rng, &overlay_, context.pool,
+                           context.telemetry, fuse_row_max);
+    request.estimated = &qc;
+    request.overlay = &overlay_;
+  } else {
+    util::Span span(context.telemetry, util::tnames::kSpanEstimateQw);
+    qw_storage.emplace(EstimateWorkerDistribution(
+        qc, *context.worker_model, candidates, qw_mode_, *context.rng,
+        context.pool, context.telemetry));
+    request.estimated = &*qw_storage;
+  }
 
   AssignmentResult result;
   if (context.metric->kind == MetricSpec::Kind::kAccuracy) {

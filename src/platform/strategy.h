@@ -15,6 +15,7 @@
 namespace qasca {
 
 class Database;
+class LikelihoodCache;
 
 /// Everything a task-assignment policy may inspect when a worker requests a
 /// HIT. All pointers are non-owning and valid only for the duration of the
@@ -47,6 +48,17 @@ struct StrategyContext {
   /// counters; nullptr (or a disabled registry) records nothing and
   /// instruments cost a dead branch. Never influences decisions.
   util::MetricRegistry* telemetry = nullptr;
+  /// Optional per-worker likelihood-table cache (model/likelihood_cache.h),
+  /// owned and invalidated by the engine across EM refits. nullptr makes
+  /// strategies rebuild the requesting worker's table locally; decisions
+  /// are bit-identical either way (the cache is pure memoisation).
+  LikelihoodCache* likelihood_cache = nullptr;
+  /// Whether Qw-estimating strategies may use the zero-copy overlay path
+  /// (EstimateWorkerRowsInto) instead of the legacy deep-copy
+  /// EstimateWorkerDistribution. Both produce bit-identical selections
+  /// (DESIGN.md §12); the flag exists for the equivalence suite and the
+  /// legacy bench mode.
+  bool use_qw_overlay = true;
 };
 
 /// A task-assignment policy: given the candidate set S^w, choose the k

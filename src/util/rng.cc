@@ -4,7 +4,7 @@
 
 namespace qasca::util {
 
-int SampleWeightedAt(const std::vector<double>& weights, double u01) {
+int SampleWeightedAt(std::span<const double> weights, double u01) {
   QASCA_CHECK(!weights.empty());
   double total = 0.0;
   for (double w : weights) {
@@ -23,6 +23,10 @@ int SampleWeightedAt(const std::vector<double>& weights, double u01) {
     if (weights[i] > 0.0) return static_cast<int>(i);
   }
   return static_cast<int>(weights.size()) - 1;
+}
+
+int SampleWeightedAt(const std::vector<double>& weights, double u01) {
+  return SampleWeightedAt(std::span<const double>(weights), u01);
 }
 
 int Rng::SampleWeighted(const std::vector<double>& weights) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "util/logging.h"
@@ -48,6 +49,9 @@ class SplitMix64 {
 /// the uniform variate `u01` in [0, 1): the deterministic core of weighted
 /// random sampling, shared by Rng::SampleWeighted and the counter-based
 /// parallel Qw path. Weights must be non-negative with a positive sum.
+/// The span overload exists for callers holding raw scratch buffers (the
+/// zero-allocation Qw kernel path); both overloads run the identical rule.
+int SampleWeightedAt(std::span<const double> weights, double u01);
 int SampleWeightedAt(const std::vector<double>& weights, double u01);
 
 /// Deterministic pseudo-random source used by every stochastic component in

@@ -35,6 +35,14 @@ inline constexpr char kEmFullRefits[] = "em.full_refits";
 inline constexpr char kEmIncrementalRefreshes[] = "em.incremental_refreshes";
 inline constexpr char kEmIterations[] = "em.iterations";
 inline constexpr char kQwSamplesDrawn[] = "qw.samples_drawn";
+// Assignment-kernel overhaul (DESIGN.md §12): per-worker likelihood-table
+// cache hits/misses, rows served by the exact WP closed form instead of a
+// weighted draw, and candidate rows materialised into the Qw overlay.
+inline constexpr char kQwLikelihoodCacheHits[] = "qw.likelihood_cache_hits";
+inline constexpr char kQwLikelihoodCacheMisses[] =
+    "qw.likelihood_cache_misses";
+inline constexpr char kQwClosedFormRows[] = "qw.closed_form_rows";
+inline constexpr char kQwOverlayRows[] = "qw.overlay_rows";
 inline constexpr char kTopkCandidatesScanned[] = "topk.candidates_scanned";
 inline constexpr char kDinkelbachOuterIterations[] =
     "dinkelbach.outer_iterations";
@@ -60,6 +68,10 @@ inline constexpr char kFailpointsTriggered[] = "failpoint.triggered";
 inline constexpr char kOpenHits[] = "engine.open_hits";
 inline constexpr char kRemainingHits[] = "engine.remaining_hits";
 inline constexpr char kLastRefreshDrift[] = "em.last_refresh_drift";
+// Active kernel ISA as the numeric kernels::Isa value (0 = scalar,
+// 1 = sse2, 2 = avx2); gauges are numeric, so the bench JSON carries the
+// name string alongside.
+inline constexpr char kKernelIsa[] = "kernel.isa";
 
 }  // namespace qasca::util::tnames
 

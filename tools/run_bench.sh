@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Builds the release preset, runs the hot-path scaling benchmark
 # (bench/bench_hotpath_scaling.cc) and writes its JSON report to
-# BENCH_PR5.json at the repo root (schema v3, documented in README.md).
+# BENCH_PR7.json at the repo root (schema v4, documented in README.md).
 # The report includes a per-stage telemetry breakdown (em_refit_ms,
 # qw_estimate_ms, topk_scan_ms, dinkelbach_iters) built from
-# MetricRegistry::ToJson(), and a fault-tolerance section comparing
-# completion throughput at 5% injected abandonment against fault-free.
+# MetricRegistry::ToJson(), a fault-tolerance section comparing completion
+# throughput at 5% injected abandonment against fault-free, and the PR 7
+# assignment-kernel sections: the resolved SIMD ISA, likelihood-cache hit
+# rate and overlay row counts, plus the legacy-vs-optimized Qw path p50
+# assignment-latency comparison.
 #
 # Usage: tools/run_bench.sh [--out FILE]
 
@@ -14,7 +17,7 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${REPO_ROOT}"
 
-OUT="${REPO_ROOT}/BENCH_PR5.json"
+OUT="${REPO_ROOT}/BENCH_PR7.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --out)
@@ -63,6 +66,22 @@ for ft in report.get("fault_tolerance", []):
           f"({ft['throughput_vs_fault_free']:.2f}x of fault-free, "
           f"{ft['leases_expired']} leases expired, "
           f"{ft['questions_requeued']} questions requeued)")
+kernels = report.get("kernels")
+if kernels:
+    print(f"  kernels: isa={kernels['isa']} "
+          f"cache_hit_rate={kernels['cache_hit_rate']:.2f} "
+          f"overlay_rows={kernels['overlay_rows']} "
+          f"closed_form_rows={kernels['closed_form_rows']}")
+for ko in report.get("kernel_optimization", []):
+    print(f"  kernel path n={ko['n']}: p50 assignment "
+          f"{ko['legacy_p50_assignment_seconds']*1e3:.2f}ms legacy -> "
+          f"{ko['optimized_p50_assignment_seconds']*1e3:.2f}ms optimized "
+          f"({ko['p50_speedup']:.2f}x), qw_estimate "
+          f"{ko['legacy_qw_estimate_ms']:.0f}ms -> "
+          f"{ko['optimized_qw_estimate_ms']:.0f}ms, topk_scan "
+          f"{ko['legacy_topk_scan_ms']:.0f}ms -> "
+          f"{ko['optimized_topk_scan_ms']:.0f}ms, identical decisions: "
+          f"{ko['identical_decisions']}")
 EOF
 
 echo "wrote ${OUT}"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Standing correctness gate for the QASCA tree (ISSUE 1, extended by
-# ISSUE 4, ISSUE 5 and ISSUE 6; documented in README.md and DESIGN.md §10
-# "Static analysis" / §11 "Robustness").
+# ISSUE 4, ISSUE 5, ISSUE 6 and ISSUE 7; documented in README.md and
+# DESIGN.md §10 "Static analysis" / §11 "Robustness" / §12 "Assignment
+# kernels").
 #
 # Every stage prints a uniform "[stage N] PASS" / "[stage N] FAIL" line and
 # the script exits non-zero at the first failure. Stages that need a tool
@@ -34,10 +35,14 @@
 #      fail-point registry, golden-trace byte-identity) — the
 #      fault-injection branches only exist with DCHECKs on, so this is
 #      the build that exercises them
-#   8. tsan preset over the tests labelled "threads" (thread-pool,
+#   8. kernel-equivalence suite under the same asan-ubsan build, replayed
+#      once per QASCA_KERNEL_ISA override (scalar, sse2, avx2): the tests
+#      labelled "kernels" prove every SIMD dispatch path makes
+#      byte-identical assignment decisions (DESIGN.md §12)
+#   9. tsan preset over the tests labelled "threads" (thread-pool,
 #      thread-annotations, telemetry, engine-determinism and lifecycle
 #      stress suites); --tsan widens this stage to the full tsan suite
-#   9. telemetry-overhead smoke: disabled-telemetry instrumentation on a
+#  10. telemetry-overhead smoke: disabled-telemetry instrumentation on a
 #      hot loop must cost < 2%
 #
 # Usage:
@@ -151,6 +156,20 @@ stage_begin "faults suite under asan-ubsan (lifecycle stress, lease/recovery, fa
 # golden-trace byte-identity check. Always runs — --quick narrows stage 6,
 # not this gate: crash-recovery bugs are exactly what a quick run skips.
 run ctest --preset asan-ubsan-faults -j "${JOBS}"
+stage_pass
+
+stage_begin "kernel-equivalence suite under asan-ubsan, per QASCA_KERNEL_ISA override"
+# Reuses the stage-6 sanitizer build. The `kernels` label selects the
+# bit-identity suite (ISSUE 7, DESIGN.md §12): per-kernel ISA equivalence,
+# overlay/cache units and full-engine equivalence runs. Replaying it with
+# each QASCA_KERNEL_ISA value covers the env-var dispatch path itself
+# (parsing, unsupported-ISA fallback) that in-process SetIsaForTesting
+# cannot reach; unsupported ISAs fall back with a warning, so every
+# iteration is safe on every host.
+for isa in scalar sse2 avx2; do
+  QASCA_KERNEL_ISA="${isa}" ctest --preset asan-ubsan-kernels -j "${JOBS}" ||
+    stage_fail
+done
 stage_pass
 
 if [[ "${RUN_TSAN}" -eq 1 ]]; then
