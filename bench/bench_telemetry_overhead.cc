@@ -12,6 +12,12 @@
 // sweep. Best-of-N trials on both sides squeeze scheduler noise out; the
 // check fails (exit 1) if the relative overhead exceeds the threshold.
 //
+// A third trial measures the ENABLED registry with an attached flight
+// recorder (util/flight_recorder.h): every span then also appends two ring
+// events. That cost is informational — tracing is an opt-in debugging mode
+// with its own budget (DESIGN.md §13) — but the trial proves the recorder
+// records under load and keeps its cost observable release to release.
+//
 // tools/run_checks.sh runs this as its telemetry-overhead stage with the
 // default 2% threshold.
 
@@ -21,6 +27,7 @@
 #include <cstring>
 #include <vector>
 
+#include "util/flight_recorder.h"
 #include "util/stats.h"
 #include "util/telemetry.h"
 #include "util/telemetry_names.h"
@@ -83,17 +90,24 @@ int Main(int argc, char** argv) {
   }
 
   util::MetricRegistry disabled(false);
+  util::MetricRegistry recording(true);
+  util::FlightRecorder recorder(1 << 16);
+  recording.AttachFlightRecorder(&recorder);
 
-  // Warm up both paths once before timing.
+  // Warm up all paths once before timing.
   BareTrial(row);
   InstrumentedTrial(row, &disabled);
+  InstrumentedTrial(row, &recording);
 
   double best_bare = 1e300;
   double best_instrumented = 1e300;
+  double best_recording = 1e300;
   for (int t = 0; t < kTrials; ++t) {
     best_bare = std::min(best_bare, BareTrial(row));
     best_instrumented =
         std::min(best_instrumented, InstrumentedTrial(row, &disabled));
+    best_recording =
+        std::min(best_recording, InstrumentedTrial(row, &recording));
   }
 
   const double overhead = best_instrumented / best_bare - 1.0;
@@ -102,6 +116,19 @@ int Main(int argc, char** argv) {
       "overhead %+.2f%% (threshold %.1f%%)\n",
       best_bare * 1e3, best_instrumented * 1e3, overhead * 100.0,
       threshold * 100.0);
+  // Informational: enabled registry + flight recorder (per-span ring
+  // appends). Not thresholded — tracing is opt-in — but the recorder must
+  // actually have recorded, else the "cost" was measuring a dead branch.
+  std::printf(
+      "telemetry-overhead: instrumented(recording) %.3f ms, overhead %+.2f%% "
+      "(informational), %lld ring events\n",
+      best_recording * 1e3, (best_recording / best_bare - 1.0) * 100.0,
+      static_cast<long long>(recorder.total_events()));
+  if (recorder.total_events() <= 0) {
+    std::fprintf(stderr,
+                 "FAIL: attached flight recorder captured no events\n");
+    return 1;
+  }
 
   // The disabled registry must also have recorded nothing.
   if (disabled.GetCounter(util::tnames::kTopkCandidatesScanned)->value() !=

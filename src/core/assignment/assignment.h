@@ -68,6 +68,13 @@ struct AssignmentRequest {
 /// diagnostics for the efficiency experiments (Figure 4).
 struct AssignmentResult {
   std::vector<QuestionIndex> selected;
+  /// Per-question selection scores parallel to `selected`: the quantity the
+  /// optimizer ranked each chosen question by (Top-K Benefit: the Eq. 12
+  /// benefit est_quality - cur_quality; F-score*: the target-label
+  /// probability swing Qw[i][t] - Qc[i][t]). Consumed by the decision
+  /// provenance records (platform/provenance.h); purely diagnostic, never
+  /// read back by the algorithms.
+  std::vector<double> selected_scores;
   /// The optimal objective value (Accuracy*(Q^X*, R^X*) or delta* for
   /// F-score*).
   double objective = 0.0;

@@ -126,6 +126,8 @@ AssignmentResult AssignFScoreOnline(const AssignmentRequest& request,
     AssignmentResult result;
     result.selected.assign(request.candidates.begin(),
                            request.candidates.begin() + request.k);
+    // Every assignment is equally worthless here, so every swing is zero.
+    result.selected_scores.assign(static_cast<size_t>(request.k), 0.0);
     return result;
   }
 
@@ -153,8 +155,17 @@ AssignmentResult AssignFScoreOnline(const AssignmentRequest& request,
     if (std::fabs(update.value - delta) <= kDeltaTolerance) {
       result.objective = update.value;
       result.selected.clear();
+      result.selected_scores.clear();
+      result.selected.reserve(static_cast<size_t>(request.k));
+      result.selected_scores.reserve(static_cast<size_t>(request.k));
       for (int i = 0; i < qc.num_questions(); ++i) {
-        if (update.z[i]) result.selected.push_back(i);
+        if (!update.z[i]) continue;
+        result.selected.push_back(i);
+        // Diagnostic score: the target-label probability swing this
+        // assignment contributes (Eq. 15's numerator change).
+        result.selected_scores.push_back(
+            request.EstimatedRow(i)[options.target_label] -
+            qc.At(i, options.target_label));
       }
       QASCA_CHECK_OK(invariants::CheckAssignment(result.selected, request.k,
                                                  qc.num_questions()));

@@ -98,11 +98,23 @@ AssignmentResult ScanTopKBenefit(const AssignmentRequest& request,
 
   AssignmentResult result;
   result.outer_iterations = 1;
+  // The selection and its scores, reordered ascending by question index.
+  // `benefits` itself stays in BenefitGreater order: the objective fold
+  // below sums benefits[0..k) in that order, and reordering it would change
+  // the floating-point association (the golden traces pin the exact bits).
+  std::vector<std::pair<double, QuestionIndex>> topk(
+      benefits.begin(), benefits.begin() + k);
+  std::sort(topk.begin(), topk.end(),
+            [](const std::pair<double, QuestionIndex>& a,
+               const std::pair<double, QuestionIndex>& b) {
+              return a.second < b.second;
+            });
   result.selected.reserve(static_cast<size_t>(k));
+  result.selected_scores.reserve(static_cast<size_t>(k));
   for (int c = 0; c < k; ++c) {
-    result.selected.push_back(benefits[static_cast<size_t>(c)].second);
+    result.selected.push_back(topk[static_cast<size_t>(c)].second);
+    result.selected_scores.push_back(topk[static_cast<size_t>(c)].first);
   }
-  std::sort(result.selected.begin(), result.selected.end());
 
   // Objective: the fixed term (quality of every current row) plus the
   // selected benefits, averaged (Eq. 12). Skipped when the caller only

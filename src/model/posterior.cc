@@ -6,6 +6,7 @@
 #include "util/fold.h"
 #include "util/invariants.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
 #include "util/telemetry_names.h"
 
 namespace qasca {
@@ -223,9 +224,15 @@ void EstimateWorkerRowsInto(const DistributionMatrix& current,
   QASCA_CHECK_EQ(model.num_labels(), num_labels);
   QASCA_CHECK_EQ(likelihoods.num_labels(), num_labels);
   const int count = static_cast<int>(candidates.size());
-  overlay->Begin(current.num_questions(), num_labels, count);
-  for (int c = 0; c < count; ++c) {
-    overlay->Stamp(candidates[static_cast<size_t>(c)], c);
+  {
+    // Arming the overlay (slot table reset + candidate stamping) is the
+    // serial prefix of every estimation; traced separately so a trace shows
+    // how much of estimate_qw is setup vs. row kernels.
+    util::Span overlay_span(telemetry, util::tnames::kSpanQwOverlayFill);
+    overlay->Begin(current.num_questions(), num_labels, count);
+    for (int c = 0; c < count; ++c) {
+      overlay->Stamp(candidates[static_cast<size_t>(c)], c);
+    }
   }
 
   const bool wp_closed_form =
@@ -299,6 +306,7 @@ void EstimateWorkerRowsInto(const DistributionMatrix& current,
     // slot-contiguous per chunk (slot == candidate position), so the chunk
     // writes one dense [cb, ce) block of rows — and of fused row maxima.
     const double* qc_base = current.Row(0).data();
+    util::Span batch_span(telemetry, util::tnames::kSpanQwSampledBatch);
     util::ParallelFor(pool, 0, count, kQwScanGrain, [&](int cb, int ce) {
       const int chunk = util::ChunkIndex(0, cb, kQwScanGrain);
       double* dist =

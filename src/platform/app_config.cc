@@ -33,6 +33,22 @@ util::Status AppConfig::Validate() const {
     return util::Status::InvalidArgument(
         "em_drift_tolerance must be positive");
   }
+  if (flight_recorder_enabled && flight_recorder_capacity < 2) {
+    return util::Status::InvalidArgument(
+        "flight_recorder_capacity must hold at least one span (2 events)");
+  }
+  if (provenance_enabled && provenance_capacity < 1) {
+    return util::Status::InvalidArgument(
+        "provenance_capacity must be at least 1");
+  }
+  if (slo_p95_assign_ms < 0.0) {
+    return util::Status::InvalidArgument(
+        "slo_p95_assign_ms must be non-negative (0 disables)");
+  }
+  if (latency_window_samples < 1) {
+    return util::Status::InvalidArgument(
+        "latency_window_samples must be at least 1");
+  }
   if (metric.kind == MetricSpec::Kind::kCostAccuracy) {
     size_t expected = static_cast<size_t>(num_labels) * num_labels;
     if (metric.costs.size() != expected) {

@@ -96,6 +96,30 @@ struct AppConfig {
   /// means the incremental path asserts near-certainty the refit
   /// contradicts — a logic error (stale or forgotten rows), not noise.
   double em_drift_tolerance = 0.95;
+  /// Enables the flight recorder (util/flight_recorder.h): every telemetry
+  /// span additionally appends begin/end events to a fixed-capacity ring,
+  /// exportable as Chrome/Perfetto trace JSON (qasca_sim --trace-out).
+  /// Implies the telemetry registry is live even when telemetry_enabled is
+  /// false. OFF by default; decisions are byte-identical either way
+  /// (DeterminismTest.TracingNeverChangesDecisions).
+  bool flight_recorder_enabled = false;
+  /// Flight-recorder ring capacity in events (one span = two events).
+  int flight_recorder_capacity = 65536;
+  /// Record a DecisionProvenance entry (platform/provenance.h) for every
+  /// assignment: chosen questions + benefit scores, kernel ISA, overlay and
+  /// cache usage, EM generation, lease/journal sequencing. Dumpable as
+  /// JSONL (qasca_sim --provenance-out). OFF by default.
+  bool provenance_enabled = false;
+  /// Provenance ring capacity in records (one per assignment).
+  int provenance_capacity = 4096;
+  /// p95 assignment-latency SLO target in milliseconds, tracked by a
+  /// util::SloTracker over a sliding window of the last
+  /// latency_window_samples assignments (breach counters + window-p95
+  /// gauge under the slo.assign_hit.* names). 0 disables tracking
+  /// (default). Implies the telemetry registry is live.
+  double slo_p95_assign_ms = 0.0;
+  /// Sliding-window size in samples for the SLO tracker's percentiles.
+  int latency_window_samples = 512;
 
   /// Total number of HITs the budget affords: m = B / b (rounded to the
   /// nearest whole HIT to absorb floating-point currency arithmetic).

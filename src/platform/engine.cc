@@ -43,7 +43,12 @@ TaskAssignmentEngine::TaskAssignmentEngine(
     AppConfig config, std::unique_ptr<AssignmentStrategy> strategy,
     uint64_t seed)
     : config_(std::move(config)),
-      telemetry_(config_.telemetry_enabled),
+      // The flight recorder and the SLO tracker ride the span/instrument
+      // machinery, so either one needs the registry live even when plain
+      // telemetry is off. Decisions are byte-identical either way
+      // (DeterminismTest.TracingNeverChangesDecisions).
+      telemetry_(config_.telemetry_enabled || config_.flight_recorder_enabled ||
+                 config_.slo_p95_assign_ms > 0.0),
       strategy_(std::move(strategy)),
       metric_(config_.metric.Make()),
       database_(config_.num_questions, config_.num_labels),
@@ -52,6 +57,28 @@ TaskAssignmentEngine::TaskAssignmentEngine(
   QASCA_CHECK(status.ok()) << status.ToString();
   QASCA_CHECK(strategy_ != nullptr);
   config_.em.worker_kind = config_.worker_kind;
+  if (config_.flight_recorder_enabled) {
+    flight_recorder_ =
+        std::make_unique<util::FlightRecorder>(config_.flight_recorder_capacity);
+    // Attached before any worker thread exists — the registry's recorder
+    // pointer is written exactly once, here.
+    telemetry_.AttachFlightRecorder(flight_recorder_.get());
+  }
+  if (config_.provenance_enabled) {
+    provenance_ = std::make_unique<ProvenanceLog>(config_.provenance_capacity);
+  }
+  if (config_.slo_p95_assign_ms > 0.0) {
+    util::SloTracker::Instruments slo_instruments;
+    slo_instruments.window_name = util::tnames::kWindowAssignHit;
+    slo_instruments.over_target_name = util::tnames::kSloAssignOverTarget;
+    slo_instruments.breaches_name = util::tnames::kSloAssignP95Breaches;
+    slo_instruments.window_p95_name = util::tnames::kSloAssignWindowP95Ms;
+    util::SloTracker::Options slo_options;
+    slo_options.target_p95_seconds = config_.slo_p95_assign_ms * 1e-3;
+    slo_options.window = config_.latency_window_samples;
+    assign_slo_ = std::make_unique<util::SloTracker>(
+        &telemetry_, slo_instruments, slo_options);
+  }
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
     pool_->AttachTelemetry(&telemetry_);
@@ -92,8 +119,12 @@ TaskAssignmentEngine::TaskAssignmentEngine(
       telemetry_.GetCounter(util::tnames::kQwLikelihoodCacheMisses));
   // Which SIMD tier the runtime dispatcher selected (cpuid-detected, or the
   // QASCA_KERNEL_ISA override) — exported as the numeric kernels::Isa value.
-  telemetry_.GetGauge(util::tnames::kKernelIsa)
-      ->Set(static_cast<double>(static_cast<int>(kernels::ActiveIsa())));
+  // The span makes the one-time dispatch resolution visible in traces.
+  {
+    util::Span isa_span(&telemetry_, util::tnames::kSpanKernelDispatch);
+    telemetry_.GetGauge(util::tnames::kKernelIsa)
+        ->Set(static_cast<double>(static_cast<int>(kernels::ActiveIsa())));
+  }
 }
 
 util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
@@ -105,6 +136,11 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
     return util::Status::FailedPrecondition(
         "worker already holds an open HIT");
   }
+  // Request-scoped trace id: stamped onto every span event this request
+  // records and onto its provenance record. Advances unconditionally so
+  // observability flags never shift the ids a later request would get.
+  const uint64_t trace_id = next_trace_id_++;
+  util::TraceScope trace_scope(trace_id);
   // Root span of the HIT-request workflow; every stage below (estimate_qw,
   // topk_scan / fscore_online -> dinkelbach_inner) nests inside it.
   util::Span span(&telemetry_, util::tnames::kSpanAssignHit);
@@ -128,6 +164,14 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
   context.likelihood_cache =
       config_.likelihood_cache_enabled ? &likelihood_cache_ : nullptr;
   context.use_qw_overlay = config_.use_qw_overlay;
+  // Decision provenance: the strategy fills the selection scores and
+  // optimizer diagnostics into this stack record; the identity fields are
+  // filled below once the assignment is durable. The cache-hit bit comes
+  // from the cache's own lifetime counters (telemetry-independent), read as
+  // a delta around the strategy call.
+  DecisionProvenance provenance_record;
+  context.provenance = provenance_ != nullptr ? &provenance_record : nullptr;
+  const int64_t cache_hits_before = likelihood_cache_.hits();
 
   util::Stopwatch stopwatch;
   std::vector<QuestionIndex> selected =
@@ -135,6 +179,9 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
   last_assignment_seconds_ = stopwatch.ElapsedSeconds();
   max_assignment_seconds_ =
       std::max(max_assignment_seconds_, last_assignment_seconds_);
+  if (assign_slo_ != nullptr) {
+    assign_slo_->RecordSeconds(last_assignment_seconds_);
+  }
 
   // Every HIT leaving the engine must be exactly k distinct in-range
   // questions, and each must come from the candidate set the strategy was
@@ -168,6 +215,8 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
                      ? kLeaseNever
                      : now_ticks_ + config_.lease_timeout_ticks;
   hit.questions = selected;
+  const uint64_t hit_id = hit.hit_id;
+  const uint64_t lease_deadline = hit.deadline;
   open_hits_.emplace(worker, std::move(hit));
   // A new HIT supersedes any earlier expired lease: the late-completion
   // rejection window for this worker closes here.
@@ -176,6 +225,29 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
   instruments_.hits_assigned->Add(1);
   instruments_.open_hits->Set(static_cast<double>(open_hits_.size()));
   instruments_.remaining_hits->Set(static_cast<double>(remaining_hits()));
+  if (provenance_ != nullptr) {
+    // Appended after the assignment is durable, and during replay too:
+    // provenance is re-derivable audit state, rebuilt by recovery exactly
+    // like the event trace, so counts stay consistent across crashes.
+    provenance_record.trace_id = trace_id;
+    provenance_record.hit_id = hit_id;
+    provenance_record.worker = worker;
+    provenance_record.questions = selected;
+    provenance_record.candidates = static_cast<int>(candidates.size());
+    provenance_record.likelihood_cache_hit =
+        likelihood_cache_.hits() > cache_hits_before;
+    provenance_record.em_generation =
+        static_cast<uint64_t>(full_em_refits_);
+    provenance_record.kernel_isa =
+        static_cast<int>(kernels::ActiveIsa());
+    provenance_record.journal_seq =
+        journal_ == nullptr ? 0
+        : replaying_       ? replay_journal_seq_
+                           : journal_->events().size() - 1;
+    provenance_record.now_ticks = now_ticks_;
+    provenance_record.lease_deadline = lease_deadline;
+    provenance_->Record(std::move(provenance_record));
+  }
   return selected;
 }
 
@@ -215,6 +287,11 @@ util::Status TaskAssignmentEngine::CompleteHit(
       return util::Status::InvalidArgument("answer label out of range");
     }
   }
+  // Fresh trace id for the completion workflow, advanced unconditionally so
+  // observability flags can never shift the id sequence (and with it any
+  // trace-correlated output) between configurations.
+  const uint64_t trace_id = next_trace_id_++;
+  util::TraceScope trace_scope(trace_id);
   // Root span of the HIT-completion workflow (steps A-C); em_full_refit /
   // incremental_refresh nest inside it.
   util::Span span(&telemetry_, util::tnames::kSpanCompleteHit);
@@ -348,6 +425,7 @@ util::Status TaskAssignmentEngine::Recover() {
       << "Recover must run on a freshly constructed engine";
   QASCA_CHECK_EQ(trace_.size(), 0);
   replaying_ = true;
+  replay_journal_seq_ = 0;
   for (const LifecycleJournal::Event& event : journal_->events()) {
     switch (event.kind) {
       case LifecycleJournal::Event::Kind::kAssign: {
@@ -378,6 +456,7 @@ util::Status TaskAssignmentEngine::Recover() {
         break;
     }
     instruments_.journal_events_replayed->Add(1);
+    ++replay_journal_seq_;
   }
   replaying_ = false;
   return util::Status::Ok();

@@ -13,9 +13,11 @@
 #include "platform/app_config.h"
 #include "platform/database.h"
 #include "platform/journal.h"
+#include "platform/provenance.h"
 #include "platform/strategy.h"
 #include "platform/trace.h"
 #include "util/attributes.h"
+#include "util/flight_recorder.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/telemetry.h"
@@ -116,11 +118,28 @@ class TaskAssignmentEngine {
   const Database& database() const { return database_; }
   /// Ordered log of every assignment and completion this engine served.
   const EventTrace& trace() const { return trace_; }
-  /// The engine's telemetry registry (enabled iff
-  /// AppConfig::telemetry_enabled): per-stage latency spans, hot-path
+  /// The engine's telemetry registry: per-stage latency spans, hot-path
   /// counters and gauges. Strategies and kernels record into it through
-  /// StrategyContext / AssignmentRequest.
+  /// StrategyContext / AssignmentRequest. Live when
+  /// AppConfig::telemetry_enabled — or when the flight recorder or the SLO
+  /// tracker needs it (both ride the span machinery).
   const util::MetricRegistry& telemetry() const { return telemetry_; }
+  /// The flight recorder capturing span begin/end events for trace export
+  /// (Chrome/Perfetto JSON); nullptr unless
+  /// AppConfig::flight_recorder_enabled.
+  const util::FlightRecorder* flight_recorder() const noexcept {
+    return flight_recorder_.get();
+  }
+  /// The per-assignment decision-provenance ring; nullptr unless
+  /// AppConfig::provenance_enabled.
+  const ProvenanceLog* provenance() const noexcept {
+    return provenance_.get();
+  }
+  /// The assignment-latency SLO tracker; nullptr unless
+  /// AppConfig::slo_p95_assign_ms > 0.
+  const util::SloTracker* assign_slo() const noexcept {
+    return assign_slo_.get();
+  }
   /// Point-in-time copy of every instrument (name-sorted); the programmatic
   /// form behind MetricRegistry::ToJson() / ToPrometheusText().
   util::TelemetrySnapshot TelemetrySnapshot() const {
@@ -251,6 +270,18 @@ class TaskAssignmentEngine {
   /// handed to strategies and the incremental refresh when
   /// config_.likelihood_cache_enabled.
   LikelihoodCache likelihood_cache_;
+  /// Non-null iff config_.flight_recorder_enabled; attached to telemetry_
+  /// at construction so every enabled span also records B/E events.
+  std::unique_ptr<util::FlightRecorder> flight_recorder_;
+  /// Non-null iff config_.provenance_enabled; one record per assignment.
+  std::unique_ptr<ProvenanceLog> provenance_;
+  /// Non-null iff config_.slo_p95_assign_ms > 0; fed the strategy-selection
+  /// seconds of every assignment.
+  std::unique_ptr<util::SloTracker> assign_slo_;
+  /// Request-scoped trace ids: advances on every RequestHit/CompleteHit
+  /// regardless of observability flags (pure bookkeeping, never feeds a
+  /// decision — the determinism suite pins this).
+  uint64_t next_trace_id_ = 0;
   std::unordered_map<WorkerId, OpenHit> open_hits_;
   std::unordered_map<WorkerId, CompletedHit> last_completion_;
   /// Workers whose lease expired and who have not requested a new HIT yet;
@@ -263,6 +294,10 @@ class TaskAssignmentEngine {
   /// True while Recover() re-executes journaled events, so the replay does
   /// not re-append them.
   bool replaying_ = false;
+  /// Journal index of the event Recover() is currently re-executing; lets
+  /// replayed provenance records carry the same journal_seq the live run
+  /// recorded.
+  uint64_t replay_journal_seq_ = 0;
   int assigned_hits_ = 0;
   int completed_hits_ = 0;
   int leases_expired_ = 0;

@@ -1,12 +1,14 @@
 #include "platform/qasca_strategy.h"
 
 #include <optional>
+#include <utility>
 
 #include "core/assignment/assignment.h"
 #include "core/assignment/fscore_online.h"
 #include "core/assignment/topk_benefit.h"
 #include "core/metrics/cost_accuracy.h"
 #include "platform/database.h"
+#include "platform/provenance.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
 #include "util/telemetry_names.h"
@@ -92,6 +94,16 @@ std::vector<QuestionIndex> QascaStrategy::SelectQuestions(
   }
   last_outer_iterations_ = result.outer_iterations;
   last_inner_iterations_ = result.inner_iterations;
+  if (context.provenance != nullptr) {
+    context.provenance->scores = std::move(result.selected_scores);
+    context.provenance->objective = result.objective;
+    context.provenance->outer_iterations = result.outer_iterations;
+    context.provenance->inner_iterations = result.inner_iterations;
+    context.provenance->used_overlay = context.use_qw_overlay;
+    // The overlay path materialises exactly the candidate rows.
+    context.provenance->overlay_rows =
+        context.use_qw_overlay ? static_cast<int>(candidates.size()) : 0;
+  }
   return result.selected;
 }
 

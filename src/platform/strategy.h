@@ -16,6 +16,7 @@ namespace qasca {
 
 class Database;
 class LikelihoodCache;
+struct DecisionProvenance;
 
 /// Everything a task-assignment policy may inspect when a worker requests a
 /// HIT. All pointers are non-owning and valid only for the duration of the
@@ -59,6 +60,13 @@ struct StrategyContext {
   /// (DESIGN.md §12); the flag exists for the equivalence suite and the
   /// legacy bench mode.
   bool use_qw_overlay = true;
+  /// Optional out-record for decision provenance (platform/provenance.h).
+  /// When non-null, strategies that can explain their choice fill the
+  /// selection scores and optimizer diagnostics; the engine fills the
+  /// identity fields (ids, ticks, journal seq) and appends the record.
+  /// Purely write-only diagnostics — never read back, never influences the
+  /// selection.
+  DecisionProvenance* provenance = nullptr;
 };
 
 /// A task-assignment policy: given the candidate set S^w, choose the k

@@ -1,0 +1,156 @@
+#include "util/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <utility>
+
+#include "util/json.h"
+
+namespace qasca::util {
+namespace {
+
+// Innermost request-scoped trace id on this thread (see TraceScope).
+thread_local uint64_t g_current_trace_id = 0;
+
+// Recorder-local thread ids: small, dense, assigned on a thread's first
+// record. Process-wide (shared across recorders) so the ids stay stable if
+// several recorders coexist; the exact values only feed shard selection and
+// the exported "tid" field, never a decision.
+std::atomic<uint32_t> g_next_thread_id{0};
+
+uint32_t ThreadId() noexcept {
+  thread_local const uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceScope::TraceScope(uint64_t trace_id) noexcept
+    : saved_(g_current_trace_id) {
+  g_current_trace_id = trace_id;
+}
+
+TraceScope::~TraceScope() { g_current_trace_id = saved_; }
+
+uint64_t TraceScope::current() noexcept { return g_current_trace_id; }
+
+FlightRecorder::FlightRecorder(int capacity_events, TickSource tick_source)
+    : shard_capacity_(std::max(1, (capacity_events + kShards - 1) / kShards)),
+      tick_source_(tick_source ? std::move(tick_source)
+                               : SteadyTickSource()) {
+  capacity_ = shard_capacity_ * kShards;
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    shard.ring.reserve(static_cast<size_t>(shard_capacity_));
+  }
+}
+
+void FlightRecorder::Record(const char* name, Phase phase) noexcept {
+  Event event;
+  event.ts_ns = tick_source_();
+  event.trace_id = g_current_trace_id;
+  event.name = name;
+  event.tid = ThreadId();
+  event.phase = phase;
+  Shard& shard = shards_[event.tid % kShards];
+  MutexLock lock(shard.mutex);
+  if (static_cast<int>(shard.ring.size()) < shard_capacity_) {
+    shard.ring.push_back(event);
+  } else {
+    shard.ring[static_cast<size_t>(shard.head % shard_capacity_)] = event;
+  }
+  ++shard.head;
+}
+
+void FlightRecorder::RecordBegin(const char* name) noexcept {
+  Record(name, Phase::kBegin);
+}
+
+void FlightRecorder::RecordEnd(const char* name) noexcept {
+  Record(name, Phase::kEnd);
+}
+
+int64_t FlightRecorder::total_events() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    total += shard.head;
+  }
+  return total;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::Snapshot() const {
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(capacity_));
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    const auto size = static_cast<int64_t>(shard.ring.size());
+    // Oldest-first logical order: once wrapped, the oldest surviving event
+    // sits at the next write slot.
+    const int64_t start = shard.head >= shard_capacity_
+                              ? shard.head % shard_capacity_
+                              : 0;
+    for (int64_t i = 0; i < size; ++i) {
+      events.push_back(shard.ring[static_cast<size_t>((start + i) % size)]);
+    }
+  }
+  // Stable sort keeps each shard's append order among equal timestamps, and
+  // a thread's events all live in one shard — so per-thread program order
+  // survives the merge (the B/E balancing below depends on this).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return events;
+}
+
+std::string FlightRecorder::ToChromeJson() const {
+  const std::vector<Event> events = Snapshot();
+
+  // Per-thread stack simulation over the merged stream, marking the events
+  // to emit. Ring eviction drops a *prefix* of each thread's event sequence
+  // (appends are in program order and a shard overwrites oldest-first), and
+  // the survivors of a prefix-truncated well-nested sequence leave every
+  // orphaned "E" arriving at an empty stack — so dropping empty-stack "E"s
+  // and still-open "B"s yields balanced pairs.
+  std::vector<char> keep(events.size(), 0);
+  std::map<uint32_t, std::vector<size_t>> stacks;
+  for (size_t i = 0; i < events.size(); ++i) {
+    std::vector<size_t>& stack = stacks[events[i].tid];
+    if (events[i].phase == Phase::kBegin) {
+      stack.push_back(i);
+    } else if (!stack.empty() && events[stack.back()].name == events[i].name) {
+      keep[stack.back()] = 1;
+      keep[i] = 1;
+      stack.pop_back();
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (!keep[i]) continue;
+    const Event& event = events[i];
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, event.name);
+    out += ",\"cat\":\"qasca\",\"ph\":\"";
+    out += event.phase == Phase::kBegin ? 'B' : 'E';
+    out += "\",\"ts\":";
+    // trace_event timestamps are microseconds; fractional values keep the
+    // full nanosecond resolution.
+    AppendJsonNumber(out, static_cast<double>(event.ts_ns) / 1e3);
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"args\":{\"trace\":";
+    out += std::to_string(event.trace_id);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace qasca::util

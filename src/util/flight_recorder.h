@@ -1,0 +1,128 @@
+#ifndef QASCA_UTIL_FLIGHT_RECORDER_H_
+#define QASCA_UTIL_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/tick.h"
+
+namespace qasca::util {
+
+/// Request-scoped trace id, maintained as a thread-local by TraceScope so
+/// span begin/end events recorded anywhere under one engine call can be
+/// attributed to that request without threading an id through every
+/// signature. Scopes nest (the previous id is restored on destruction);
+/// outside any scope the id is 0.
+///
+/// The id is bookkeeping only: it is derived from a per-engine counter that
+/// advances on every request whether or not a recorder is attached, and it
+/// never feeds an assignment decision (DeterminismTest pins this).
+class TraceScope {
+ public:
+  explicit TraceScope(uint64_t trace_id) noexcept;
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// The innermost active trace id on this thread (0 outside any scope).
+  static uint64_t current() noexcept;
+
+ private:
+  uint64_t saved_;
+};
+
+/// Always-on-capable, fixed-capacity flight recorder: a lock-sharded ring
+/// buffer of structured span begin/end events, exportable on demand as
+/// Chrome/Perfetto `trace_event` JSON so one slow request can be
+/// reconstructed stage by stage (DESIGN.md §13).
+///
+/// Design points:
+///  - Fixed memory: `capacity` events total, split evenly across 8 shards;
+///    when a shard's ring is full the oldest events in that shard are
+///    overwritten. Steady state is therefore "the last ~capacity events",
+///    which is exactly what a post-hoc latency investigation needs.
+///  - Lock sharding: a thread always appends to the shard keyed by its own
+///    small recorder-assigned thread id, so threads only contend when they
+///    hash to the same shard, and one thread's events stay in append order
+///    within one shard (the export relies on this).
+///  - Event payload is 32 bytes and records the *registered* span name
+///    pointer (tnames constants have static storage), so appending never
+///    allocates and never copies strings — safe on the per-HIT hot path.
+///  - Timestamps come from an injectable TickSource (default:
+///    SteadyTickSource), so tests pin byte-exact exports with a counter.
+///
+/// Threading: RecordBegin/RecordEnd are safe from any thread; Snapshot and
+/// the exporters take every shard lock briefly and may run concurrently
+/// with recording (they see a consistent per-shard prefix).
+class FlightRecorder {
+ public:
+  enum class Phase : uint8_t { kBegin = 0, kEnd = 1 };
+
+  struct Event {
+    uint64_t ts_ns = 0;          // TickSource nanoseconds
+    uint64_t trace_id = 0;       // TraceScope::current() at record time
+    const char* name = nullptr;  // tnames constant (static storage)
+    uint32_t tid = 0;            // recorder-local small thread id
+    Phase phase = Phase::kBegin;
+  };
+
+  /// `capacity_events` is the total ring capacity (a span costs two
+  /// events); it is rounded up so every shard holds at least one event.
+  /// A default-constructed `tick_source` means SteadyTickSource().
+  explicit FlightRecorder(int capacity_events,
+                          TickSource tick_source = TickSource());
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends a begin/end event stamped with the current tick, thread id and
+  /// trace id. `name` must have static storage duration (tnames constant).
+  void RecordBegin(const char* name) noexcept;
+  void RecordEnd(const char* name) noexcept;
+
+  /// Total ring capacity in events (after per-shard rounding).
+  int capacity() const noexcept { return capacity_; }
+
+  /// Events appended over the recorder's lifetime (including overwritten
+  /// ones).
+  int64_t total_events() const;
+
+  /// Merged view of every shard, sorted by timestamp; events of one thread
+  /// keep their append order. At most capacity() entries.
+  std::vector<Event> Snapshot() const;
+
+  /// Chrome/Perfetto trace_event JSON: {"traceEvents":[...]} with "B"/"E"
+  /// phase pairs, microsecond "ts" in non-decreasing order, and the trace
+  /// id in "args". Per thread the pairs are balanced: an "E" whose "B" was
+  /// evicted from the ring is dropped, as is a "B" still unclosed at export
+  /// time, so the file always loads in the Perfetto UI.
+  std::string ToChromeJson() const;
+
+ private:
+  static constexpr int kShards = 8;
+
+  struct Shard {
+    mutable Mutex mutex;
+    /// Ring storage, capacity shard_capacity_; logical order is the append
+    /// order, oldest first once wrapped.
+    std::vector<Event> ring QASCA_GUARDED_BY(mutex);
+    /// Events ever appended to this shard; head % shard_capacity_ is the
+    /// next write slot.
+    int64_t head QASCA_GUARDED_BY(mutex) = 0;
+  };
+
+  void Record(const char* name, Phase phase) noexcept;
+
+  int capacity_;
+  int shard_capacity_;
+  TickSource tick_source_;
+  Shard shards_[kShards];
+};
+
+}  // namespace qasca::util
+
+#endif  // QASCA_UTIL_FLIGHT_RECORDER_H_

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/flight_recorder.h"
 #include "util/json.h"
 #include "util/mutex.h"
 
@@ -15,6 +16,43 @@ namespace {
 thread_local const Span* g_current_span = nullptr;
 
 double MsFromSeconds(double seconds) { return seconds * 1e3; }
+
+// Log2 bucket index of a duration, shared by both latency instruments:
+// bit_width(ns), so bucket b holds [2^(b-1), 2^b) ns and bucket 0 holds
+// sub-nanosecond samples.
+int Log2BucketOfSeconds(double seconds) noexcept {
+  seconds = std::max(seconds, 0.0);
+  const auto ns = static_cast<uint64_t>(seconds * 1e9);
+  return std::bit_width(ns);
+}
+
+// Linear interpolation inside log2 bucket b at fraction f in [0, 1): the
+// bucket spans [2^(b-1), 2^b) ns (bucket 0: [0, 1) ns), so any returned
+// value is within one bucket width of the true sample — the error bound
+// the percentile unit test pins.
+double InterpolateLog2BucketNs(int b, double f) {
+  const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+  const double hi = std::ldexp(1.0, b == 0 ? 0 : b);
+  return lo + (hi - lo) * f;
+}
+
+// Rank walk shared by both latency instruments: finds the bucket holding
+// `rank` (0-based over the sorted samples) and interpolates the rank's
+// position within it. Returns nanoseconds.
+double PercentileNsFromBuckets(const int64_t* counts, int num_buckets,
+                               int64_t rank) {
+  int64_t cumulative = 0;
+  for (int b = 0; b < num_buckets; ++b) {
+    const int64_t in_bucket = counts[b];
+    if (cumulative + in_bucket > rank) {
+      const double f = static_cast<double>(rank - cumulative) /
+                       static_cast<double>(in_bucket);
+      return InterpolateLog2BucketNs(b, f);
+    }
+    cumulative += in_bucket;
+  }
+  return InterpolateLog2BucketNs(num_buckets - 1, 1.0);
+}
 
 // Prometheus metric names allow [a-zA-Z0-9_:]; our dotted instrument names
 // map '.' (and any other separator) to '_'.
@@ -33,8 +71,7 @@ std::string PrometheusName(std::string_view name) {
 void LatencyHistogram::RecordSeconds(double seconds) noexcept {
   if (!enabled_) return;
   seconds = std::max(seconds, 0.0);
-  const auto ns = static_cast<uint64_t>(seconds * 1e9);
-  const auto log2_bucket = static_cast<double>(std::bit_width(ns));
+  const auto log2_bucket = static_cast<double>(Log2BucketOfSeconds(seconds));
   MutexLock lock(mutex_);
   stats_.Add(seconds);
   log2_ns_.Add(log2_bucket);
@@ -65,19 +102,55 @@ double LatencyHistogram::PercentileLocked(double p) const {
   if (total == 0) return 0.0;
   if (p <= 0.0) return stats_.min();
   if (p >= 1.0) return stats_.max();
-  // Rank of the requested quantile among the sorted samples, then the
-  // geometric midpoint of the log2 bucket that holds it.
+  // Rank of the requested quantile among the sorted samples, then linear
+  // interpolation of the rank's position within the log2 bucket holding it.
   const auto rank = static_cast<int64_t>(p * static_cast<double>(total - 1));
-  int64_t cumulative = 0;
-  for (int b = 0; b < log2_ns_.buckets(); ++b) {
-    cumulative += log2_ns_.count(b);
-    if (cumulative > rank) {
-      // Bucket b holds durations in [2^(b-1), 2^b) ns; midpoint 1.5*2^(b-1).
-      const double ns = b == 0 ? 0.0 : 1.5 * std::ldexp(1.0, b - 1);
-      return std::clamp(ns * 1e-9, stats_.min(), stats_.max());
-    }
+  std::array<int64_t, kLog2LatencyBuckets> counts{};
+  for (int b = 0; b < log2_ns_.buckets(); ++b) counts[b] = log2_ns_.count(b);
+  const double ns =
+      PercentileNsFromBuckets(counts.data(), log2_ns_.buckets(), rank);
+  return std::clamp(ns * 1e-9, stats_.min(), stats_.max());
+}
+
+WindowedLatency::WindowedLatency(std::string name, bool enabled, int window)
+    : name_(std::move(name)), enabled_(enabled), window_(std::max(1, window)) {
+  MutexLock lock(mutex_);
+  ring_.reserve(static_cast<size_t>(window_));
+  buckets_.fill(0);
+}
+
+void WindowedLatency::RecordSeconds(double seconds) noexcept {
+  if (!enabled_) return;
+  const auto bucket = static_cast<uint8_t>(Log2BucketOfSeconds(seconds));
+  MutexLock lock(mutex_);
+  if (static_cast<int>(ring_.size()) < window_) {
+    ring_.push_back(bucket);
+  } else {
+    // Overwrite the oldest sample, retiring its bucket count.
+    uint8_t& slot = ring_[static_cast<size_t>(total_ % window_)];
+    --buckets_[slot];
+    slot = bucket;
   }
-  return stats_.max();
+  ++buckets_[bucket];
+  ++total_;
+}
+
+int64_t WindowedLatency::count() const {
+  MutexLock lock(mutex_);
+  return total_;
+}
+
+double WindowedLatency::Percentile(double p) const {
+  MutexLock lock(mutex_);
+  const auto in_window = static_cast<int64_t>(ring_.size());
+  if (in_window == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank =
+      static_cast<int64_t>(p * static_cast<double>(in_window - 1));
+  std::array<int64_t, kLog2LatencyBuckets> counts{};
+  for (int b = 0; b < kLog2LatencyBuckets; ++b) counts[b] = buckets_[b];
+  return PercentileNsFromBuckets(counts.data(), kLog2LatencyBuckets, rank) *
+         1e-9;
 }
 
 double LatencyHistogram::Percentile(double p) const {
@@ -111,6 +184,20 @@ LatencyHistogram* MetricRegistry::GetLatency(std::string_view name) {
   return GetOrCreate(&latencies_, name);
 }
 
+WindowedLatency* MetricRegistry::GetWindowed(std::string_view name,
+                                             int window) {
+  MutexLock lock(mutex_);
+  auto it = windows_.find(name);
+  if (it == windows_.end()) {
+    it = windows_
+             .emplace(std::string(name),
+                      std::unique_ptr<WindowedLatency>(new WindowedLatency(
+                          std::string(name), enabled_, window)))
+             .first;
+  }
+  return it->second.get();
+}
+
 TelemetrySnapshot MetricRegistry::Snapshot() const {
   TelemetrySnapshot snapshot;
   snapshot.enabled = enabled_;
@@ -137,6 +224,17 @@ TelemetrySnapshot MetricRegistry::Snapshot() const {
     entry.p99_seconds = latency->PercentileLocked(0.99);
     entry.max_seconds = entry.count > 0 ? latency->stats_.max() : 0.0;
     snapshot.latencies.push_back(std::move(entry));
+  }
+  snapshot.windows.reserve(windows_.size());
+  for (const auto& [name, window] : windows_) {
+    WindowSnapshot entry;
+    entry.name = name;
+    entry.window = window->window();
+    entry.count = window->count();
+    entry.p50_seconds = window->Percentile(0.50);
+    entry.p95_seconds = window->Percentile(0.95);
+    entry.p99_seconds = window->Percentile(0.99);
+    snapshot.windows.push_back(std::move(entry));
   }
   return snapshot;
 }
@@ -170,6 +268,28 @@ std::string MetricRegistry::ToJson() const {
         {"p50_ms", latency.p50_seconds},   {"p95_ms", latency.p95_seconds},
         {"p99_ms", latency.p99_seconds},   {"max_ms", latency.max_seconds},
         {"mean_ms", latency.mean_seconds}, {"total_ms", latency.total_seconds},
+    };
+    for (const auto& [key, seconds] : fields) {
+      out += ",\"";
+      out += key;
+      out += "\":";
+      AppendJsonNumber(out, MsFromSeconds(seconds));
+    }
+    out += '}';
+  }
+  out += "},\"windows\":{";
+  for (size_t i = 0; i < snapshot.windows.size(); ++i) {
+    const WindowSnapshot& window = snapshot.windows[i];
+    if (i > 0) out += ',';
+    AppendJsonString(out, window.name);
+    out += ":{\"window\":";
+    out += std::to_string(window.window);
+    out += ",\"count\":";
+    out += std::to_string(window.count);
+    const std::pair<const char*, double> fields[] = {
+        {"p50_ms", window.p50_seconds},
+        {"p95_ms", window.p95_seconds},
+        {"p99_ms", window.p99_seconds},
     };
     for (const auto& [key, seconds] : fields) {
       out += ",\"";
@@ -216,6 +336,21 @@ std::string MetricRegistry::ToPrometheusText() const {
     AppendJsonNumber(out, latency.total_seconds);
     out += '\n';
   }
+  for (const WindowSnapshot& window : snapshot.windows) {
+    const std::string name = PrometheusName(window.name) + "_window_seconds";
+    out += "# TYPE " + name + " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", window.p50_seconds},
+        {"0.95", window.p95_seconds},
+        {"0.99", window.p99_seconds},
+    };
+    for (const auto& [q, seconds] : quantiles) {
+      out += name + "{quantile=\"" + q + "\"} ";
+      AppendJsonNumber(out, seconds);
+      out += '\n';
+    }
+    out += name + "_count " + std::to_string(window.count) + '\n';
+  }
   return out;
 }
 
@@ -257,14 +392,34 @@ std::string MetricRegistry::ToReport() const {
       out += line;
     }
   }
+  if (!snapshot.windows.empty()) {
+    out += "-- sliding windows (ms) --\n";
+    std::snprintf(line, sizeof(line), "%-20s %8s %8s %10s %10s %10s\n",
+                  "window", "size", "count", "p50", "p95", "p99");
+    out += line;
+    for (const WindowSnapshot& window : snapshot.windows) {
+      std::snprintf(line, sizeof(line),
+                    "%-20s %8d %8lld %10.4f %10.4f %10.4f\n",
+                    window.name.c_str(), window.window,
+                    static_cast<long long>(window.count),
+                    MsFromSeconds(window.p50_seconds),
+                    MsFromSeconds(window.p95_seconds),
+                    MsFromSeconds(window.p99_seconds));
+      out += line;
+    }
+  }
   return out;
 }
 
 void Span::Start(MetricRegistry* registry) noexcept {
   histogram_ = registry->GetLatency(name_);
+  recorder_ = registry->flight_recorder();
   parent_ = g_current_span;
   depth_ = parent_ != nullptr ? parent_->depth_ + 1 : 0;
   g_current_span = this;
+  // Flight-recorder begin event before the histogram clock read so the
+  // recorded interval nests strictly inside the B/E pair.
+  if (recorder_ != nullptr) recorder_->RecordBegin(name_);
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -272,10 +427,38 @@ void Span::Finish() noexcept {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
+  if (recorder_ != nullptr) recorder_->RecordEnd(name_);
   g_current_span = parent_;
   histogram_->RecordSeconds(seconds);
 }
 
 const Span* Span::current() noexcept { return g_current_span; }
+
+SloTracker::SloTracker(MetricRegistry* registry,
+                       const Instruments& instruments, const Options& options)
+    : options_(options),
+      window_(registry->GetWindowed(instruments.window_name, options.window)),
+      over_target_(registry->GetCounter(instruments.over_target_name)),
+      breach_counter_(registry->GetCounter(instruments.breaches_name)),
+      window_p95_gauge_(registry->GetGauge(instruments.window_p95_name)) {}
+
+void SloTracker::RecordSeconds(double seconds) noexcept {
+  window_->RecordSeconds(seconds);
+  if (seconds > options_.target_p95_seconds) {
+    ++samples_over_target_;
+    over_target_->Add(1);
+  }
+  const double p95 = window_->Percentile(0.95);
+  window_p95_gauge_->Set(MsFromSeconds(p95));
+  if (p95 > options_.target_p95_seconds) {
+    if (!in_breach_) {
+      in_breach_ = true;
+      ++breaches_;
+      breach_counter_->Add(1);
+    }
+  } else {
+    in_breach_ = false;
+  }
+}
 
 }  // namespace qasca::util

@@ -1,6 +1,7 @@
 #ifndef QASCA_UTIL_TELEMETRY_H_
 #define QASCA_UTIL_TELEMETRY_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -16,7 +17,14 @@
 
 namespace qasca::util {
 
+class FlightRecorder;
 class MetricRegistry;
+
+/// Shared bucketing for every latency instrument: buckets indexed by
+/// bit_width(nanoseconds), so bucket b holds durations in [2^(b-1), 2^b) ns
+/// and bucket 0 holds sub-nanosecond (clock-resolution) samples. 65 buckets
+/// cover the full uint64 nanosecond range.
+inline constexpr int kLog2LatencyBuckets = 65;
 
 /// Monotone event counter. Add() is wait-free (one relaxed fetch_add) and a
 /// single predictable branch when the owning registry is disabled, so
@@ -76,8 +84,9 @@ class LatencyHistogram {
   double mean_seconds() const QASCA_EXCLUDES(mutex_);
   double max_seconds() const QASCA_EXCLUDES(mutex_);
   /// Quantile estimate in seconds: exact min/max at p<=0 / p>=1, otherwise
-  /// the geometric midpoint of the log2 bucket holding the rank, clamped to
-  /// the observed [min, max].
+  /// linear interpolation of the rank's position within the log2 bucket
+  /// that holds it (error bounded by the bucket width), clamped to the
+  /// observed [min, max].
   double Percentile(double p) const QASCA_EXCLUDES(mutex_);
 
   const std::string& name() const noexcept { return name_; }
@@ -87,12 +96,7 @@ class LatencyHistogram {
   LatencyHistogram(std::string name, bool enabled)
       : name_(std::move(name)),
         enabled_(enabled),
-        log2_ns_(0.0, kLog2Buckets, kLog2Buckets) {}
-
-  // Buckets indexed by bit_width(nanoseconds): bucket b holds durations in
-  // [2^(b-1), 2^b) ns; bucket 0 holds sub-nanosecond (clock-resolution)
-  // samples. 65 buckets cover the full uint64 nanosecond range.
-  static constexpr int kLog2Buckets = 65;
+        log2_ns_(0.0, kLog2LatencyBuckets, kLog2LatencyBuckets) {}
 
   double PercentileLocked(double p) const QASCA_REQUIRES(mutex_);
 
@@ -101,6 +105,46 @@ class LatencyHistogram {
   mutable Mutex mutex_;
   RunningStats stats_ QASCA_GUARDED_BY(mutex_);  // seconds
   Histogram log2_ns_ QASCA_GUARDED_BY(mutex_);
+};
+
+/// Sliding-window latency percentiles: the last `window` samples as log2-ns
+/// bucket indices in a ring, plus an incrementally maintained bucket-count
+/// array — O(1) per record, O(kLog2LatencyBuckets) per percentile query.
+/// Lifetime aggregates answer "how fast is this stage overall"; this
+/// answers "how fast is it *right now*", which is what an SLO needs
+/// (DESIGN.md §13). One byte per window slot, so a 512-sample window costs
+/// 512 bytes.
+///
+/// Thread-safe like LatencyHistogram: one short mutex-guarded update per
+/// record.
+class WindowedLatency {
+ public:
+  void RecordSeconds(double seconds) noexcept QASCA_EXCLUDES(mutex_);
+
+  /// Samples ever recorded (not just those still in the window).
+  int64_t count() const QASCA_EXCLUDES(mutex_);
+  /// Window size in samples.
+  int window() const noexcept { return window_; }
+  /// Quantile estimate in seconds over the samples currently in the window
+  /// (linear interpolation inside the holding log2 bucket, like
+  /// LatencyHistogram::Percentile). 0 when the window is empty.
+  double Percentile(double p) const QASCA_EXCLUDES(mutex_);
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricRegistry;
+  WindowedLatency(std::string name, bool enabled, int window);
+
+  std::string name_;
+  bool enabled_;
+  int window_;
+  mutable Mutex mutex_;
+  /// Ring of log2 bucket indices, one per retained sample.
+  std::vector<uint8_t> ring_ QASCA_GUARDED_BY(mutex_);
+  int64_t total_ QASCA_GUARDED_BY(mutex_) = 0;
+  /// Bucket counts over the samples currently in the ring.
+  std::array<int32_t, kLog2LatencyBuckets> buckets_ QASCA_GUARDED_BY(mutex_);
 };
 
 /// Snapshot structs: the stable, lock-free-to-read view the exporters and
@@ -123,11 +167,20 @@ struct LatencySnapshot {
   double p99_seconds = 0.0;
   double max_seconds = 0.0;
 };
+struct WindowSnapshot {
+  std::string name;
+  int window = 0;
+  int64_t count = 0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
 struct TelemetrySnapshot {
   bool enabled = false;
   std::vector<CounterSnapshot> counters;   // name-sorted
   std::vector<GaugeSnapshot> gauges;       // name-sorted
   std::vector<LatencySnapshot> latencies;  // name-sorted
+  std::vector<WindowSnapshot> windows;     // name-sorted
 };
 
 /// Process- or engine-scoped registry of named instruments. Get* is
@@ -151,6 +204,20 @@ class MetricRegistry {
   Counter* GetCounter(std::string_view name) QASCA_EXCLUDES(mutex_);
   Gauge* GetGauge(std::string_view name) QASCA_EXCLUDES(mutex_);
   LatencyHistogram* GetLatency(std::string_view name) QASCA_EXCLUDES(mutex_);
+  /// Get-or-create a sliding-window latency instrument. `window` applies on
+  /// creation only; later calls return the existing instrument regardless.
+  WindowedLatency* GetWindowed(std::string_view name, int window)
+      QASCA_EXCLUDES(mutex_);
+
+  /// Attaches a flight recorder: every enabled Span additionally appends
+  /// begin/end events to it (util/flight_recorder.h). Must be called before
+  /// the registry is shared across threads (the engine attaches in its
+  /// constructor); pass nullptr to detach. The registry does not own the
+  /// recorder.
+  void AttachFlightRecorder(FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  FlightRecorder* flight_recorder() const noexcept { return recorder_; }
 
   TelemetrySnapshot Snapshot() const QASCA_EXCLUDES(mutex_);
 
@@ -174,6 +241,9 @@ class MetricRegistry {
                  std::string_view name) QASCA_EXCLUDES(mutex_);
 
   bool enabled_;
+  // Written once before the registry goes concurrent (see
+  // AttachFlightRecorder), read on every enabled span.
+  FlightRecorder* recorder_ = nullptr;
   mutable Mutex mutex_;
   // std::map keeps exports deterministically name-sorted. The pointed-to
   // instruments are internally synchronised (atomics / their own mutex_),
@@ -184,6 +254,8 @@ class MetricRegistry {
       QASCA_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
       latencies_ QASCA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<WindowedLatency>, std::less<>>
+      windows_ QASCA_GUARDED_BY(mutex_);
 };
 
 /// RAII scoped timer in the spirit of Dapper-style span tracing: on
@@ -225,9 +297,65 @@ class Span {
 
   const char* name_;
   LatencyHistogram* histogram_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
   const Span* parent_ = nullptr;
   int depth_ = 0;
   std::chrono::steady_clock::time_point start_{};
+};
+
+/// Tracks one stage against a p95 latency target over a sliding window:
+/// records every sample into a WindowedLatency, counts samples over the
+/// target, publishes the window p95 as a gauge, and counts *breach
+/// transitions* (window p95 crossing from <= target to > target), so
+/// "how many times did we blow the SLO" is one counter read rather than a
+/// log dive. All instruments live in the owning registry under the caller's
+/// registered names, so they ride the existing exports.
+///
+/// RecordSeconds must be called from one thread at a time (the engine's
+/// external-synchronization contract); reads are safe from anywhere via the
+/// registry instruments.
+class SloTracker {
+ public:
+  struct Options {
+    /// The p95 target in seconds; samples and the window p95 are judged
+    /// against this.
+    double target_p95_seconds = 0.0;
+    /// Sliding-window size in samples for the p95 estimate.
+    int window = 512;
+  };
+  /// Instrument names (tnames constants) the tracker publishes under.
+  struct Instruments {
+    const char* window_name;        // WindowedLatency
+    const char* over_target_name;   // Counter: samples over target
+    const char* breaches_name;      // Counter: breach transitions
+    const char* window_p95_name;    // Gauge: current window p95, in ms
+  };
+
+  SloTracker(MetricRegistry* registry, const Instruments& instruments,
+             const Options& options);
+
+  void RecordSeconds(double seconds) noexcept;
+
+  /// Current window p95 in seconds.
+  double WindowP95() const { return window_->Percentile(0.95); }
+  bool in_breach() const noexcept { return in_breach_; }
+  int64_t breaches() const noexcept { return breaches_; }
+  int64_t samples_over_target() const noexcept {
+    return samples_over_target_;
+  }
+  double target_p95_seconds() const noexcept {
+    return options_.target_p95_seconds;
+  }
+
+ private:
+  Options options_;
+  WindowedLatency* window_;
+  Counter* over_target_;
+  Counter* breach_counter_;
+  Gauge* window_p95_gauge_;
+  bool in_breach_ = false;
+  int64_t breaches_ = 0;
+  int64_t samples_over_target_ = 0;
 };
 
 }  // namespace qasca::util

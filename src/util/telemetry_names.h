@@ -27,6 +27,12 @@ inline constexpr char kSpanIncrementalRefresh[] = "incremental_refresh";
 inline constexpr char kSpanTopkScan[] = "topk_scan";
 inline constexpr char kSpanFscoreOnline[] = "fscore_online";
 inline constexpr char kSpanDinkelbachInner[] = "dinkelbach_inner";
+// Assignment-kernel overhaul stages (DESIGN.md §12): one-time runtime ISA
+// resolution, candidate-row materialisation into the Qw overlay, and the
+// fused SampledQwRows batch over all candidate chunks.
+inline constexpr char kSpanKernelDispatch[] = "kernel_dispatch";
+inline constexpr char kSpanQwOverlayFill[] = "qw_overlay_fill";
+inline constexpr char kSpanQwSampledBatch[] = "qw_sampled_batch";
 
 // --- counter names -------------------------------------------------------
 inline constexpr char kHitsAssigned[] = "engine.hits_assigned";
@@ -63,6 +69,14 @@ inline constexpr char kJournalAppends[] = "journal.appends";
 inline constexpr char kJournalCompactions[] = "journal.compactions";
 inline constexpr char kJournalEventsReplayed[] = "journal.events_replayed";
 inline constexpr char kFailpointsTriggered[] = "failpoint.triggered";
+// Assignment-latency SLO tracking (flight recorder PR, DESIGN.md §13):
+// samples over the p95 target and window-p95 breach transitions.
+inline constexpr char kSloAssignOverTarget[] = "slo.assign_hit.over_target";
+inline constexpr char kSloAssignP95Breaches[] =
+    "slo.assign_hit.p95_breaches";
+
+// --- sliding-window latency names ---------------------------------------
+inline constexpr char kWindowAssignHit[] = "assign_hit.window";
 
 // --- gauge names ---------------------------------------------------------
 inline constexpr char kOpenHits[] = "engine.open_hits";
@@ -72,6 +86,10 @@ inline constexpr char kLastRefreshDrift[] = "em.last_refresh_drift";
 // 1 = sse2, 2 = avx2); gauges are numeric, so the bench JSON carries the
 // name string alongside.
 inline constexpr char kKernelIsa[] = "kernel.isa";
+// Current sliding-window p95 of assign_hit in milliseconds, published by
+// the SloTracker after every sample.
+inline constexpr char kSloAssignWindowP95Ms[] =
+    "slo.assign_hit.window_p95_ms";
 
 }  // namespace qasca::util::tnames
 

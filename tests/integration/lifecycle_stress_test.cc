@@ -100,6 +100,10 @@ AppConfig MakeConfig(const StressCase& c, const std::string& persistence) {
   // refit can legitimately flip a posterior cell end to end; a cell is a
   // probability, so 1.0 still bounds it while disabling the abort.
   config.em_drift_tolerance = 1.0;
+  // Decision provenance rides the whole storm (crashes included): recovery
+  // must rebuild one record per assignment, exactly like the event trace.
+  config.provenance_enabled = true;
+  config.provenance_capacity = 4096;
   return config;
 }
 
@@ -273,6 +277,20 @@ TEST_P(LifecycleStressTest, SeededEventStormHoldsInvariants) {
   // every recovery replay — must agree with the cumulative count.
   EXPECT_EQ(engine->trace().CountOf(EventTrace::Kind::kLeaseExpired),
             expected_expired);
+
+  // One provenance record per assignment the surviving engine knows about:
+  // replay re-derives the records the same way it rebuilds the trace, so
+  // the counts agree across every crash/recovery boundary, and each record
+  // carries a full HIT's worth of scored questions.
+  ASSERT_NE(engine->provenance(), nullptr);
+  EXPECT_EQ(engine->provenance()->total_appended(),
+            engine->trace().CountOf(EventTrace::Kind::kHitAssigned));
+  for (int i = 0; i < engine->provenance()->size(); ++i) {
+    const DecisionProvenance& record = engine->provenance()->at(i);
+    ASSERT_EQ(record.questions.size(),
+              static_cast<size_t>(kQuestionsPerHit));
+    ASSERT_EQ(record.scores.size(), record.questions.size());
+  }
 
   // The storm must actually have exercised every failure mode.
   EXPECT_GE(completions, 100) << c.name;

@@ -60,7 +60,8 @@ struct RunRecord {
 void RunEngine(const MetricSpec& metric, WorkerModel::Kind kind,
                int num_threads, int em_refresh_interval,
                bool force_final_refit, RunRecord* record_out,
-               bool telemetry_enabled = false) {
+               bool telemetry_enabled = false,
+               bool observability_enabled = false) {
   AppConfig config;
   config.name = "determinism";
   config.num_questions = 36;
@@ -74,6 +75,16 @@ void RunEngine(const MetricSpec& metric, WorkerModel::Kind kind,
   config.num_threads = num_threads;
   config.em_refresh_interval = em_refresh_interval;
   config.telemetry_enabled = telemetry_enabled;
+  if (observability_enabled) {
+    // The full PR 8 observability stack: flight recorder, decision
+    // provenance and the SLO tracker, all live at once.
+    config.flight_recorder_enabled = true;
+    config.flight_recorder_capacity = 4096;
+    config.provenance_enabled = true;
+    config.provenance_capacity = 64;
+    config.slo_p95_assign_ms = 5.0;
+    config.latency_window_samples = 64;
+  }
 
   GroundTruthVector truth(config.num_questions);
   for (int q = 0; q < config.num_questions; ++q) {
@@ -122,10 +133,12 @@ void RunEngine(const MetricSpec& metric, WorkerModel::Kind kind,
 RunRecord MustRun(const MetricSpec& metric, WorkerModel::Kind kind,
                   int num_threads, int em_refresh_interval,
                   bool force_final_refit = false,
-                  bool telemetry_enabled = false) {
+                  bool telemetry_enabled = false,
+                  bool observability_enabled = false) {
   RunRecord record;
   RunEngine(metric, kind, num_threads, em_refresh_interval,
-            force_final_refit, &record, telemetry_enabled);
+            force_final_refit, &record, telemetry_enabled,
+            observability_enabled);
   return record;
 }
 
@@ -222,6 +235,30 @@ TEST(DeterminismTest, TelemetryNeverChangesDecisions) {
                 /*em_refresh_interval=*/4, false, /*telemetry_enabled=*/true);
     ExpectIdentical(off, on_threaded,
                     s.name + " telemetry on @ 8 threads vs off serial");
+  }
+}
+
+TEST(DeterminismTest, TracingNeverChangesDecisions) {
+  // The flight recorder, provenance log and SLO tracker observe every
+  // request, but none of them may perturb one: trace ids advance whether or
+  // not a recorder exists, recorder appends touch no RNG stream, and
+  // provenance is filled from the decision after it is made. Decisions must
+  // stay byte-identical with the full stack on — serial and threaded.
+  for (const Scenario& s : AllScenarios()) {
+    const RunRecord off = MustRun(s.metric, s.kind, /*num_threads=*/1,
+                                    /*em_refresh_interval=*/4, false,
+                                    /*telemetry_enabled=*/false,
+                                    /*observability_enabled=*/false);
+    const RunRecord on = MustRun(s.metric, s.kind, /*num_threads=*/1,
+                                   /*em_refresh_interval=*/4, false,
+                                   /*telemetry_enabled=*/false,
+                                   /*observability_enabled=*/true);
+    ExpectIdentical(off, on, s.name + " observability on vs off");
+    const RunRecord on_threaded = MustRun(
+        s.metric, s.kind, /*num_threads=*/8, /*em_refresh_interval=*/4,
+        false, /*telemetry_enabled=*/true, /*observability_enabled=*/true);
+    ExpectIdentical(off, on_threaded,
+                    s.name + " observability+telemetry @ 8 threads");
   }
 }
 

@@ -1,0 +1,192 @@
+#include "platform/provenance.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/kernels/kernels.h"
+#include "platform/engine.h"
+#include "platform/qasca_strategy.h"
+#include "util/flight_recorder.h"
+
+namespace qasca {
+namespace {
+
+DecisionProvenance SampleRecord(uint64_t hit_id) {
+  DecisionProvenance record;
+  record.trace_id = hit_id * 10 + 1;
+  record.hit_id = hit_id;
+  record.worker = static_cast<WorkerId>(hit_id % 5);
+  record.questions = {1, 4, 9};
+  record.scores = {0.25, 0.125, 0.0625};
+  record.objective = 0.75;
+  record.outer_iterations = 2;
+  record.inner_iterations = 6;
+  record.candidates = 40;
+  record.overlay_rows = 40;
+  record.used_overlay = true;
+  record.likelihood_cache_hit = hit_id % 2 == 0;
+  record.em_generation = 3;
+  record.kernel_isa = 1;
+  record.journal_seq = hit_id * 2;
+  record.now_ticks = hit_id * 7;
+  record.lease_deadline = hit_id * 7 + 100;
+  return record;
+}
+
+TEST(ProvenanceLogTest, RecordStampsSequenceAndRetains) {
+  ProvenanceLog log(8);
+  EXPECT_EQ(log.size(), 0);
+  EXPECT_EQ(log.total_appended(), 0);
+  for (uint64_t i = 0; i < 3; ++i) log.Record(SampleRecord(i));
+  EXPECT_EQ(log.size(), 3);
+  EXPECT_EQ(log.total_appended(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(log.at(i).seq, static_cast<uint64_t>(i));
+    EXPECT_EQ(log.at(i).hit_id, static_cast<uint64_t>(i));
+  }
+}
+
+TEST(ProvenanceLogTest, RingWrapKeepsNewestOldestFirst) {
+  ProvenanceLog log(4);
+  for (uint64_t i = 0; i < 10; ++i) log.Record(SampleRecord(i));
+  EXPECT_EQ(log.capacity(), 4);
+  EXPECT_EQ(log.size(), 4);
+  EXPECT_EQ(log.total_appended(), 10);
+  // Records 6..9 survive, oldest first, seq == lifetime append index.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(log.at(i).seq, static_cast<uint64_t>(6 + i));
+    EXPECT_EQ(log.at(i).hit_id, static_cast<uint64_t>(6 + i));
+  }
+}
+
+TEST(ProvenanceLogTest, JsonLinesRoundTripsEveryField) {
+  ProvenanceLog log(8);
+  log.Record(SampleRecord(0));
+  log.Record(SampleRecord(1));
+  const std::string dump = log.ToJsonLines();
+  auto parsed = ProvenanceLog::ParseJsonLines(dump);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    const DecisionProvenance& got = (*parsed)[i];
+    const DecisionProvenance& want = log.at(static_cast<int>(i));
+    EXPECT_EQ(got.seq, want.seq);
+    EXPECT_EQ(got.trace_id, want.trace_id);
+    EXPECT_EQ(got.hit_id, want.hit_id);
+    EXPECT_EQ(got.worker, want.worker);
+    EXPECT_EQ(got.questions, want.questions);
+    ASSERT_EQ(got.scores.size(), want.scores.size());
+    for (size_t s = 0; s < got.scores.size(); ++s) {
+      EXPECT_DOUBLE_EQ(got.scores[s], want.scores[s]);
+    }
+    EXPECT_DOUBLE_EQ(got.objective, want.objective);
+    EXPECT_EQ(got.outer_iterations, want.outer_iterations);
+    EXPECT_EQ(got.inner_iterations, want.inner_iterations);
+    EXPECT_EQ(got.candidates, want.candidates);
+    EXPECT_EQ(got.overlay_rows, want.overlay_rows);
+    EXPECT_EQ(got.used_overlay, want.used_overlay);
+    EXPECT_EQ(got.likelihood_cache_hit, want.likelihood_cache_hit);
+    EXPECT_EQ(got.em_generation, want.em_generation);
+    EXPECT_EQ(got.kernel_isa, want.kernel_isa);
+    EXPECT_EQ(got.journal_seq, want.journal_seq);
+    EXPECT_EQ(got.now_ticks, want.now_ticks);
+    EXPECT_EQ(got.lease_deadline, want.lease_deadline);
+  }
+}
+
+TEST(ProvenanceLogTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(ProvenanceLog::ParseJsonLines("not json").ok());
+  EXPECT_FALSE(ProvenanceLog::ParseJsonLines(
+                   "{\"seq\": 0, \"questions\": [1, 2], \"scores\": [0.5]}")
+                   .ok());
+  // Blank lines and trailing newlines are fine.
+  auto empty = ProvenanceLog::ParseJsonLines("\n\n");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+AppConfig ObservedConfig() {
+  AppConfig config;
+  config.name = "provenance-test";
+  config.num_questions = 30;
+  config.num_labels = 2;
+  config.questions_per_hit = 3;
+  config.pay_per_hit = 0.02;
+  config.budget = 0.02 * 6;  // 6 HITs
+  config.metric = MetricSpec::Accuracy();
+  config.em.max_iterations = 10;
+  config.provenance_enabled = true;
+  config.provenance_capacity = 16;
+  config.flight_recorder_enabled = true;
+  config.flight_recorder_capacity = 4096;
+  return config;
+}
+
+TEST(ProvenanceEngineTest, EveryAssignmentGetsOneRecord) {
+  TaskAssignmentEngine engine(ObservedConfig(),
+                              std::make_unique<QascaStrategy>(), /*seed=*/3);
+  int assigned = 0;
+  while (!engine.BudgetExhausted()) {
+    const WorkerId worker = assigned % 3;
+    auto hit = engine.RequestHit(worker);
+    ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+    ++assigned;
+    std::vector<LabelIndex> labels(hit->size(), 0);
+    ASSERT_TRUE(engine.CompleteHit(worker, labels).ok());
+  }
+  ASSERT_GT(assigned, 0);
+
+  const ProvenanceLog* log = engine.provenance();
+  ASSERT_NE(log, nullptr);
+  EXPECT_EQ(log->total_appended(), assigned);
+  EXPECT_EQ(log->size(), assigned);
+  for (int i = 0; i < log->size(); ++i) {
+    const DecisionProvenance& record = log->at(i);
+    EXPECT_EQ(record.seq, static_cast<uint64_t>(i));
+    EXPECT_EQ(record.questions.size(), 3u);
+    EXPECT_EQ(record.scores.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(record.questions.begin(),
+                               record.questions.end()));
+    EXPECT_GT(record.candidates, 0);
+    EXPECT_TRUE(record.used_overlay);
+    EXPECT_EQ(record.overlay_rows, record.candidates);
+    EXPECT_EQ(record.kernel_isa, static_cast<int>(kernels::ActiveIsa()));
+    // Requests and completions alternate, each taking one trace id.
+    EXPECT_EQ(record.trace_id, static_cast<uint64_t>(2 * i));
+  }
+
+  // The failed request after budget exhaustion must not have appended.
+  auto rejected = engine.RequestHit(0);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(log->total_appended(), assigned);
+
+  // The flight recorder captured the same workflow: its export names every
+  // nested assignment stage and references the recorded trace ids.
+  const util::FlightRecorder* recorder = engine.flight_recorder();
+  ASSERT_NE(recorder, nullptr);
+  const std::string trace = recorder->ToChromeJson();
+  for (const char* stage :
+       {"assign_hit", "estimate_qw", "qw_overlay_fill", "topk_scan",
+        "complete_hit"}) {
+    EXPECT_NE(trace.find(stage), std::string::npos) << stage;
+  }
+}
+
+TEST(ProvenanceEngineTest, DisabledByDefault) {
+  AppConfig config = ObservedConfig();
+  config.provenance_enabled = false;
+  config.flight_recorder_enabled = false;
+  TaskAssignmentEngine engine(std::move(config),
+                              std::make_unique<QascaStrategy>(), /*seed=*/3);
+  ASSERT_TRUE(engine.RequestHit(0).ok());
+  EXPECT_EQ(engine.provenance(), nullptr);
+  EXPECT_EQ(engine.flight_recorder(), nullptr);
+}
+
+}  // namespace
+}  // namespace qasca

@@ -1,0 +1,226 @@
+#include "util/flight_recorder.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/telemetry.h"
+#include "util/telemetry_names.h"
+
+namespace qasca::util {
+namespace {
+
+// Deterministic tick source: 1, 2, 3, ... so exports are byte-stable.
+TickSource CountingTicks(std::shared_ptr<std::atomic<uint64_t>> counter) {
+  return [counter]() {
+    return counter->fetch_add(1, std::memory_order_relaxed) + 1;
+  };
+}
+
+TickSource CountingTicks() {
+  return CountingTicks(std::make_shared<std::atomic<uint64_t>>(0));
+}
+
+TEST(TraceScopeTest, NestsAndRestores) {
+  EXPECT_EQ(TraceScope::current(), 0u);
+  {
+    TraceScope outer(7);
+    EXPECT_EQ(TraceScope::current(), 7u);
+    {
+      TraceScope inner(9);
+      EXPECT_EQ(TraceScope::current(), 9u);
+    }
+    EXPECT_EQ(TraceScope::current(), 7u);
+  }
+  EXPECT_EQ(TraceScope::current(), 0u);
+}
+
+TEST(FlightRecorderTest, RecordsBalancedPairsWithTraceIds) {
+  FlightRecorder recorder(64, CountingTicks());
+  {
+    TraceScope scope(42);
+    recorder.RecordBegin("outer");
+    recorder.RecordBegin("inner");
+    recorder.RecordEnd("inner");
+    recorder.RecordEnd("outer");
+  }
+  EXPECT_EQ(recorder.total_events(), 4);
+  std::vector<FlightRecorder::Event> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, FlightRecorder::Phase::kBegin);
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_STREQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].phase, FlightRecorder::Phase::kEnd);
+  EXPECT_STREQ(events[3].name, "outer");
+  for (const FlightRecorder::Event& event : events) {
+    EXPECT_EQ(event.trace_id, 42u);
+  }
+  // Ticks stamp in record order.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].ts_ns, events[i].ts_ns);
+  }
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToWholeShards) {
+  // 8 shards, so any capacity rounds up to the next multiple of 8 with at
+  // least one event per shard.
+  EXPECT_EQ(FlightRecorder(1, CountingTicks()).capacity(), 8);
+  EXPECT_EQ(FlightRecorder(8, CountingTicks()).capacity(), 8);
+  EXPECT_EQ(FlightRecorder(9, CountingTicks()).capacity(), 16);
+  EXPECT_EQ(FlightRecorder(64, CountingTicks()).capacity(), 64);
+}
+
+TEST(FlightRecorderTest, RingWrapEvictsOldestAndKeepsOrder) {
+  // Single-threaded, so every event lands in one shard whose ring holds
+  // capacity()/8 events: total_events keeps counting while the snapshot
+  // retains only the newest window, oldest first.
+  FlightRecorder recorder(16, CountingTicks());
+  const int shard_capacity = recorder.capacity() / 8;
+  const int appended = 3 * recorder.capacity();
+  for (int i = 0; i < appended; ++i) {
+    recorder.RecordBegin("spin");
+  }
+  EXPECT_EQ(recorder.total_events(), appended);
+  std::vector<FlightRecorder::Event> events = recorder.Snapshot();
+  ASSERT_EQ(static_cast<int>(events.size()), shard_capacity);
+  // The survivors are exactly the last shard_capacity appends (ticks are
+  // 1-based), still in append order.
+  for (int i = 0; i < shard_capacity; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].ts_ns,
+              static_cast<uint64_t>(appended - shard_capacity + i + 1));
+  }
+}
+
+TEST(FlightRecorderTest, ChromeJsonIsBalancedAfterEviction) {
+  // Wrap the ring mid-span so the export sees orphaned "E"s (their "B"s
+  // were evicted) and an unclosed trailing "B"; both must be dropped.
+  // Capacity 32 -> 4 events in the single active shard, so the surviving
+  // window still contains at least one intact pair.
+  FlightRecorder recorder(32, CountingTicks());
+  for (int i = 0; i < 50; ++i) {
+    recorder.RecordBegin("work");
+    recorder.RecordEnd("work");
+  }
+  recorder.RecordBegin("unclosed");
+  std::string json = recorder.ToChromeJson();
+  size_t begins = 0;
+  size_t ends = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"B\"", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++begins;
+  }
+  for (size_t pos = 0;
+       (pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos; ++pos) {
+    ++ends;
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+  EXPECT_EQ(json.find("unclosed"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ChromeJsonGoldenShape) {
+  FlightRecorder recorder(64, CountingTicks());
+  {
+    TraceScope scope(5);
+    recorder.RecordBegin("assign");
+    recorder.RecordEnd("assign");
+  }
+  EXPECT_EQ(recorder.ToChromeJson(),
+            "{\"traceEvents\":["
+            "{\"name\":\"assign\",\"cat\":\"qasca\",\"ph\":\"B\","
+            "\"ts\":0.001,\"pid\":0,\"tid\":" +
+                std::to_string(recorder.Snapshot()[0].tid) +
+                ",\"args\":{\"trace\":5}},"
+                "{\"name\":\"assign\",\"cat\":\"qasca\",\"ph\":\"E\","
+                "\"ts\":0.002,\"pid\":0,\"tid\":" +
+                std::to_string(recorder.Snapshot()[0].tid) +
+                ",\"args\":{\"trace\":5}}]}");
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordingStaysBalancedPerThread) {
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  // Each thread appends 800 events into its own shard (consecutive thread
+  // ids land in distinct shards); 1<<16 total keeps every shard (8192
+  // events) far from eviction so the full stream survives for the balance
+  // check below.
+  FlightRecorder recorder(1 << 16, CountingTicks(counter));
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      TraceScope scope(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        recorder.RecordBegin("outer");
+        recorder.RecordBegin("inner");
+        recorder.RecordEnd("inner");
+        recorder.RecordEnd("outer");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(recorder.total_events(), kThreads * kSpansPerThread * 4);
+
+  // The merged snapshot is timestamp-sorted, and per tid the B/E stream is
+  // well nested (nothing was evicted at this capacity).
+  std::vector<FlightRecorder::Event> events = recorder.Snapshot();
+  ASSERT_EQ(static_cast<int>(events.size()),
+            kThreads * kSpansPerThread * 4);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+  }
+  std::vector<std::vector<const char*>> stacks(256);
+  for (const FlightRecorder::Event& event : events) {
+    ASSERT_LT(event.tid, stacks.size());
+    std::vector<const char*>& stack = stacks[event.tid];
+    if (event.phase == FlightRecorder::Phase::kBegin) {
+      stack.push_back(event.name);
+    } else {
+      ASSERT_FALSE(stack.empty());
+      EXPECT_STREQ(stack.back(), event.name);
+      stack.pop_back();
+    }
+  }
+  for (const std::vector<const char*>& stack : stacks) {
+    EXPECT_TRUE(stack.empty());
+  }
+}
+
+TEST(FlightRecorderTest, SpanIntegrationRecordsThroughRegistry) {
+  // A Span on a registry with an attached recorder emits the B/E pair even
+  // though this registry also feeds latency histograms.
+  MetricRegistry registry(true);
+  FlightRecorder recorder(64, CountingTicks());
+  registry.AttachFlightRecorder(&recorder);
+  {
+    Span span(&registry, tnames::kSpanAssignHit);
+    Span nested(&registry, tnames::kSpanEstimateQw);
+  }
+  EXPECT_EQ(recorder.total_events(), 4);
+  std::vector<FlightRecorder::Event> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, tnames::kSpanAssignHit);
+  EXPECT_STREQ(events[1].name, tnames::kSpanEstimateQw);
+  EXPECT_EQ(events[1].phase, FlightRecorder::Phase::kBegin);
+  EXPECT_STREQ(events[2].name, tnames::kSpanEstimateQw);
+  EXPECT_STREQ(events[3].name, tnames::kSpanAssignHit);
+  EXPECT_EQ(events[3].phase, FlightRecorder::Phase::kEnd);
+  // Without a recorder attached, spans record latencies only.
+  MetricRegistry plain(true);
+  { Span span(&plain, tnames::kSpanAssignHit); }
+  EXPECT_EQ(plain.GetLatency(tnames::kSpanAssignHit)->count(), 1);
+}
+
+}  // namespace
+}  // namespace qasca::util

@@ -225,5 +225,137 @@ TEST(MetricRegistryExportTest, DisabledReportSaysSo) {
             std::string::npos);
 }
 
+TEST(LatencyHistogramTest, InterpolatedPercentilesAreMonotone) {
+  MetricRegistry registry(true);
+  LatencyHistogram* h = registry.GetLatency("h");
+  for (int i = 1; i <= 1000; ++i) {
+    h->RecordSeconds(static_cast<double>(i) * 1e-6);
+  }
+  double previous = 0.0;
+  for (int step = 0; step <= 100; ++step) {
+    const double p = static_cast<double>(step) / 100.0;
+    const double value = h->Percentile(p);
+    EXPECT_GE(value, previous) << "non-monotone at p=" << p;
+    previous = value;
+  }
+}
+
+TEST(LatencyHistogramTest, InterpolationErrorBoundedByBucketWidth) {
+  MetricRegistry registry(true);
+  LatencyHistogram* h = registry.GetLatency("h");
+  for (int i = 1; i <= 1000; ++i) {
+    h->RecordSeconds(static_cast<double>(i) * 1e-6);
+  }
+  // The interpolated value lies inside the log2 bucket of the true
+  // empirical quantile, whose width is at most the quantile itself — so
+  // the result is always within a factor of 2 of exact.
+  for (double p : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    const double exact = (1.0 + p * 999.0) * 1e-6;
+    const double value = h->Percentile(p);
+    EXPECT_GE(value, exact * 0.5) << "p=" << p;
+    EXPECT_LE(value, exact * 2.0) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, InterpolatesWithinBucketInsteadOfSnapping) {
+  MetricRegistry registry(true);
+  LatencyHistogram* h = registry.GetLatency("h");
+  // 1024 samples spanning one log2 bucket ([8192, 16384) ns) uniformly:
+  // snapping would pin every quantile to a bucket edge; interpolation must
+  // place the median near the bucket midpoint.
+  for (int i = 0; i < 1024; ++i) {
+    h->RecordSeconds((8192.0 + 8.0 * i) * 1e-9);
+  }
+  const double p50 = h->Percentile(0.50);
+  EXPECT_NEAR(p50, 12288e-9, 256e-9);
+  // Different quantiles map to different points of the same bucket.
+  EXPECT_LT(h->Percentile(0.25), h->Percentile(0.75));
+}
+
+TEST(WindowedLatencyTest, SlidingWindowEvictsOldSamples) {
+  MetricRegistry registry(true);
+  WindowedLatency* window = registry.GetWindowed("w", 4);
+  EXPECT_EQ(registry.GetWindowed("w", 4), window);
+  EXPECT_EQ(window->window(), 4);
+  EXPECT_EQ(window->count(), 0);
+  // Fill with 1..4 ms, then push 5..8 ms: the first four must be evicted.
+  for (int i = 1; i <= 4; ++i) {
+    window->RecordSeconds(static_cast<double>(i) * 1e-3);
+  }
+  EXPECT_EQ(window->count(), 4);
+  const double p0_before = window->Percentile(0.0);
+  EXPECT_LT(p0_before, 2e-3);  // the 1ms sample's bucket
+  for (int i = 5; i <= 8; ++i) {
+    window->RecordSeconds(static_cast<double>(i) * 1e-3);
+  }
+  EXPECT_EQ(window->count(), 8);  // lifetime count keeps growing
+  // Only 5..8 ms remain; every quantile sits in their log2 bucket
+  // ([4.19, 8.39] ms), above the evicted 1ms sample.
+  EXPECT_GT(window->Percentile(0.0), 4e-3);
+  EXPECT_LE(window->Percentile(1.0), 8.4e-3);
+}
+
+TEST(WindowedLatencyTest, DisabledRecordsNothing) {
+  MetricRegistry registry(false);
+  WindowedLatency* window = registry.GetWindowed("w", 4);
+  window->RecordSeconds(1e-3);
+  EXPECT_EQ(window->count(), 0);
+}
+
+TEST(SloTrackerTest, TracksBreachTransitions) {
+  MetricRegistry registry(true);
+  SloTracker::Instruments instruments;
+  instruments.window_name = "slo.test.window";
+  instruments.over_target_name = "slo.test.over_target";
+  instruments.breaches_name = "slo.test.breaches";
+  instruments.window_p95_name = "slo.test.window_p95_ms";
+  SloTracker::Options options;
+  options.target_p95_seconds = 1e-3;
+  options.window = 8;
+  SloTracker slo(&registry, instruments, options);
+  EXPECT_DOUBLE_EQ(slo.target_p95_seconds(), 1e-3);
+
+  // Fast samples keep the window p95 under target: no breach.
+  for (int i = 0; i < 8; ++i) slo.RecordSeconds(1e-4);
+  EXPECT_FALSE(slo.in_breach());
+  EXPECT_EQ(slo.breaches(), 0);
+  EXPECT_EQ(slo.samples_over_target(), 0);
+  EXPECT_LT(slo.WindowP95(), 1e-3);
+
+  // A slow burst drives the window p95 over target exactly once.
+  for (int i = 0; i < 8; ++i) slo.RecordSeconds(1e-2);
+  EXPECT_TRUE(slo.in_breach());
+  EXPECT_EQ(slo.breaches(), 1);
+  EXPECT_EQ(slo.samples_over_target(), 8);
+  EXPECT_GT(slo.WindowP95(), 1e-3);
+  EXPECT_EQ(registry.GetCounter("slo.test.breaches")->value(), 1);
+  EXPECT_EQ(registry.GetCounter("slo.test.over_target")->value(), 8);
+  EXPECT_GT(registry.GetGauge("slo.test.window_p95_ms")->value(), 1.0);
+
+  // Recovery: fast samples wash the slow ones out of the window and close
+  // the breach; a second burst counts as a new breach.
+  for (int i = 0; i < 8; ++i) slo.RecordSeconds(1e-4);
+  EXPECT_FALSE(slo.in_breach());
+  EXPECT_EQ(slo.breaches(), 1);
+  for (int i = 0; i < 8; ++i) slo.RecordSeconds(1e-2);
+  EXPECT_TRUE(slo.in_breach());
+  EXPECT_EQ(slo.breaches(), 2);
+  EXPECT_EQ(registry.GetCounter("slo.test.breaches")->value(), 2);
+}
+
+TEST(MetricRegistryExportTest, WindowsAppearInExports) {
+  MetricRegistry registry(true);
+  WindowedLatency* window = registry.GetWindowed("assign.window", 16);
+  for (int i = 0; i < 16; ++i) window->RecordSeconds(2e-3);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"windows\":{\"assign.window\":{\"window\":16"),
+            std::string::npos);
+  std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("qasca_assign_window_window_seconds"),
+            std::string::npos);
+  std::string report = registry.ToReport();
+  EXPECT_NE(report.find("sliding windows"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace qasca::util

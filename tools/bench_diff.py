@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Compare two qasca bench result files (BENCH_*.json) for regressions.
+
+Usage:
+    python3 tools/bench_diff.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.25] [--fail-on-missing]
+
+Reads two bench snapshots produced by tools/run_bench.sh (schema_version 3
+or 4 — sections present in only one file are skipped, so a v3 baseline
+compares cleanly against a v4 candidate), matches rows by their workload
+identity (n, thread count, refresh interval, ...), and prints a markdown
+table of every shared metric with its relative delta.
+
+A metric is a REGRESSION when the candidate is worse than the baseline by
+more than --threshold (a fraction: 0.25 = 25%) in the metric's bad
+direction — higher for latencies, lower for throughputs. Improvements of
+any size never fail. Micro-benchmark timings on shared CI machines are
+noisy, so the default threshold is deliberately loose; it exists to catch
+"someone made assignment 2x slower", not 5% jitter.
+
+decision_hash differences are reported as a warning, not a failure: the
+hash legitimately moves whenever the decision-relevant workload or
+algorithm changes between PRs, and the determinism suite (not this tool)
+owns hash stability within a build.
+
+Exit codes: 0 clean (or warnings only), 1 regression found, 2 usage/parse
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Direction of "worse" per metric suffix.
+LOWER_IS_BETTER = "lower"
+HIGHER_IS_BETTER = "higher"
+
+# section -> (identity keys, [(metric key, direction), ...]).
+# Only sections listed here are compared; anything else (machine, workload,
+# determinism booleans, nested telemetry dumps) is context, not a series.
+SECTIONS = {
+    "thread_scaling": (
+        ("n", "threads"),
+        [
+            ("p50_assignment_seconds", LOWER_IS_BETTER),
+            ("p95_assignment_seconds", LOWER_IS_BETTER),
+            ("completions_per_second", HIGHER_IS_BETTER),
+        ],
+    ),
+    "em_refresh": (
+        ("n", "em_refresh_interval"),
+        [("completions_per_second", HIGHER_IS_BETTER)],
+    ),
+    "fault_tolerance": (
+        ("n", "abandon_rate"),
+        [("completions_per_second", HIGHER_IS_BETTER)],
+    ),
+    "kernel_optimization": (
+        ("n",),
+        [
+            ("optimized_p50_assignment_seconds", LOWER_IS_BETTER),
+            ("optimized_qw_estimate_ms", LOWER_IS_BETTER),
+            ("optimized_topk_scan_ms", LOWER_IS_BETTER),
+        ],
+    ),
+    "stage_breakdown": (
+        ("metric", "n"),
+        [
+            ("em_refit_ms", LOWER_IS_BETTER),
+            ("qw_estimate_ms", LOWER_IS_BETTER),
+            ("topk_scan_ms", LOWER_IS_BETTER),
+            ("fscore_online_ms", LOWER_IS_BETTER),
+        ],
+    ),
+}
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    if not isinstance(doc, dict) or "schema_version" not in doc:
+        sys.exit(f"bench_diff: {path} is not a bench result file "
+                 "(no schema_version)")
+    return doc
+
+
+def row_key(row: dict, identity: tuple) -> tuple:
+    return tuple(row.get(k) for k in identity)
+
+
+def describe_key(identity: tuple, key: tuple) -> str:
+    return ", ".join(f"{name}={value}" for name, value in zip(identity, key))
+
+
+def fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) < 0.001 or abs(value) >= 100000:
+        return f"{value:.3e}"
+    return f"{value:.4g}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json files for perf regressions")
+    parser.add_argument("baseline", help="baseline bench JSON")
+    parser.add_argument("candidate", help="candidate bench JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression tolerance as a fraction "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--fail-on-missing", action="store_true",
+                        help="treat baseline rows missing from the candidate "
+                             "as failures instead of notes")
+    args = parser.parse_args()
+    if args.threshold < 0:
+        parser.error("--threshold must be non-negative")
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    base_name = Path(args.baseline).name
+    cand_name = Path(args.candidate).name
+    print(f"## Bench diff: {base_name} (schema v{base['schema_version']}) -> "
+          f"{cand_name} (schema v{cand['schema_version']})")
+    print()
+
+    rows_out = []
+    regressions = []
+    warnings = []
+    notes = []
+    compared = 0
+
+    for section, (identity, metrics) in SECTIONS.items():
+        base_rows = base.get(section)
+        cand_rows = cand.get(section)
+        if not isinstance(base_rows, list) or not isinstance(cand_rows, list):
+            if (base_rows is None) != (cand_rows is None):
+                only = base_name if cand_rows is None else cand_name
+                notes.append(f"section `{section}` only in {only}; skipped")
+            continue
+        cand_by_key = {row_key(r, identity): r for r in cand_rows}
+        for brow in base_rows:
+            key = row_key(brow, identity)
+            crow = cand_by_key.get(key)
+            label = describe_key(identity, key)
+            if crow is None:
+                msg = f"{section} [{label}] missing from candidate"
+                (regressions if args.fail_on_missing else notes).append(msg)
+                continue
+            if str(brow.get("decision_hash", "")) != \
+                    str(crow.get("decision_hash", "")):
+                warnings.append(
+                    f"{section} [{label}] decision_hash changed "
+                    f"{brow.get('decision_hash')} -> "
+                    f"{crow.get('decision_hash')} (expected when the "
+                    "workload or algorithm changed)")
+            for metric, direction in metrics:
+                if metric not in brow or metric not in crow:
+                    continue
+                bval = float(brow[metric])
+                cval = float(crow[metric])
+                if bval <= 0:
+                    # A zero baseline (e.g. fscore_online_ms in an
+                    # accuracy-only row) has no meaningful relative delta.
+                    continue
+                compared += 1
+                delta = cval / bval - 1.0
+                worse = delta if direction == LOWER_IS_BETTER else -delta
+                if worse > args.threshold:
+                    status = "**REGRESSION**"
+                    regressions.append(
+                        f"{section} [{label}] {metric}: {fmt(bval)} -> "
+                        f"{fmt(cval)} ({delta:+.1%}, tolerance "
+                        f"{args.threshold:.0%})")
+                elif worse < -args.threshold:
+                    status = "improved"
+                else:
+                    status = "ok"
+                rows_out.append((section, label, metric, fmt(bval),
+                                 fmt(cval), f"{delta:+.1%}", status))
+
+    print("| section | config | metric | baseline | candidate | delta | "
+          "status |")
+    print("|---|---|---|---:|---:|---:|---|")
+    for row in rows_out:
+        print("| " + " | ".join(row) + " |")
+    print()
+
+    for note in notes:
+        print(f"- note: {note}")
+    for warning in warnings:
+        print(f"- warning: {warning}")
+    if compared == 0:
+        print("- warning: no comparable metrics found between the two files")
+
+    if regressions:
+        print()
+        print(f"### {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}")
+        for regression in regressions:
+            print(f"- {regression}")
+        return 1
+    print()
+    print(f"No regressions beyond {args.threshold:.0%} across {compared} "
+          "compared metrics.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,11 +18,22 @@
 //                  engine under each assignment algorithm (Accuracy* and
 //                  F-score*) and print the per-stage telemetry report
 //                  (span latencies p50/p95/p99, counters, gauges)
+//   --trace-out FILE
+//                  run one flight-recorder-instrumented QASCA engine and
+//                  write its span timeline as Chrome/Perfetto trace-event
+//                  JSON (load in chrome://tracing or https://ui.perfetto.dev)
+//   --provenance-out FILE
+//                  with the same instrumented run, write one JSONL decision
+//                  provenance record per assignment (chosen questions +
+//                  benefit scores, kernel ISA, cache/overlay usage, journal
+//                  sequencing); combine with --trace-out to get both from a
+//                  single run
 //
 // Examples:
 //   qasca_sim --app ER --seeds 5
 //   qasca_sim --app NSA --systems Baseline,QASCA --scale 0.25 --csv
 //   qasca_sim --telemetry
+//   qasca_sim --trace-out trace.json --provenance-out decisions.jsonl
 
 #include <cstdint>
 #include <cstdio>
@@ -43,7 +54,8 @@ namespace {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--app NAME] [--seeds N] [--checkpoints N] "
-               "[--systems a,b,...] [--scale F] [--csv] [--telemetry]\n",
+               "[--systems a,b,...] [--scale F] [--csv] [--telemetry] "
+               "[--trace-out FILE] [--provenance-out FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -140,17 +152,118 @@ int RunTelemetry() {
   return 0;
 }
 
+// Writes `contents` to `path`, replacing any existing file.
+int WriteFileOrDie(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return 1;
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_err = std::fclose(f);
+  if (written != contents.size() || close_err != 0) {
+    std::fprintf(stderr, "short write to '%s'\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// Drives one observability-instrumented QASCA engine (flight recorder +
+// decision provenance + assignment SLO tracker all on) to budget exhaustion,
+// then exports the requested artifacts. Same deterministic workload as the
+// --telemetry demo, so traces are reproducible run to run.
+int RunObservabilityExport(const std::string& trace_path,
+                           const std::string& provenance_path) {
+  AppConfig config;
+  config.name = "trace-demo";
+  config.num_questions = 200;
+  config.num_labels = 2;
+  config.questions_per_hit = 5;
+  config.pay_per_hit = 0.02;
+  config.budget = 0.02 * 60;  // 60 HITs
+  config.metric = MetricSpec::Accuracy();
+  config.em_refresh_interval = 4;
+  config.flight_recorder_enabled = true;
+  config.provenance_enabled = true;
+  config.slo_p95_assign_ms = 5.0;
+  config.latency_window_samples = 64;
+
+  GroundTruthVector truth(config.num_questions);
+  for (int q = 0; q < config.num_questions; ++q) {
+    truth[q] = q % config.num_labels;
+  }
+
+  TaskAssignmentEngine engine(config, std::make_unique<QascaStrategy>(),
+                              /*seed=*/7);
+  int round = 0;
+  while (!engine.BudgetExhausted()) {
+    const WorkerId worker = round++ % 8;
+    auto hit = engine.RequestHit(worker);
+    if (!hit.ok()) break;
+    std::vector<LabelIndex> labels;
+    labels.reserve(hit->size());
+    for (QuestionIndex q : *hit) {
+      labels.push_back(SimulatedAnswer(worker, q, truth[q],
+                                       config.num_labels));
+    }
+    util::Status done = engine.CompleteHit(worker, labels);
+    if (!done.ok()) break;
+  }
+
+  std::fprintf(stderr, "observability run: %d HITs assigned, quality %.4f\n",
+               engine.assigned_hits(), engine.QualityAgainstTruth(truth));
+  if (!trace_path.empty()) {
+    const util::FlightRecorder* recorder = engine.flight_recorder();
+    if (recorder == nullptr) {
+      std::fprintf(stderr, "flight recorder unexpectedly absent\n");
+      return 1;
+    }
+    if (int rc = WriteFileOrDie(trace_path, recorder->ToChromeJson())) {
+      return rc;
+    }
+    std::fprintf(stderr, "wrote %s (%lld events recorded)\n",
+                 trace_path.c_str(),
+                 static_cast<long long>(recorder->total_events()));
+  }
+  if (!provenance_path.empty()) {
+    const ProvenanceLog* provenance = engine.provenance();
+    if (provenance == nullptr) {
+      std::fprintf(stderr, "provenance log unexpectedly absent\n");
+      return 1;
+    }
+    if (int rc =
+            WriteFileOrDie(provenance_path, provenance->ToJsonLines())) {
+      return rc;
+    }
+    std::fprintf(stderr, "wrote %s (%lld decision records)\n",
+                 provenance_path.c_str(),
+                 static_cast<long long>(provenance->total_appended()));
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   std::string app_name = "FS";
   int seeds = 3;
   int checkpoints = 10;
   double scale = 1.0;
   bool csv = false;
+  std::string trace_out;
+  std::string provenance_out;
   std::vector<std::string> system_names;
 
   for (int a = 1; a < argc; ++a) {
     std::string flag = argv[a];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (size_t eq = flag.find('='); eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag.resize(eq);
+      has_inline_value = true;
+    }
     auto next_value = [&]() -> std::string {
+      if (has_inline_value) return inline_value;
       if (a + 1 >= argc) Usage(argv[0]);
       return argv[++a];
     };
@@ -171,9 +284,17 @@ int Run(int argc, char** argv) {
       csv = true;
     } else if (flag == "--telemetry") {
       return RunTelemetry();
+    } else if (flag == "--trace-out") {
+      trace_out = next_value();
+    } else if (flag == "--provenance-out") {
+      provenance_out = next_value();
     } else {
       Usage(argv[0]);
     }
+  }
+
+  if (!trace_out.empty() || !provenance_out.empty()) {
+    return RunObservabilityExport(trace_out, provenance_out);
   }
 
   ApplicationSpec spec = AppByName(app_name);

@@ -42,8 +42,14 @@
 #   9. tsan preset over the tests labelled "threads" (thread-pool,
 #      thread-annotations, telemetry, engine-determinism and lifecycle
 #      stress suites); --tsan widens this stage to the full tsan suite
-#  10. telemetry-overhead smoke: disabled-telemetry instrumentation on a
-#      hot loop must cost < 2%
+#  10. observability smoke (ISSUE 8): qasca_sim --trace-out /
+#      --provenance-out on the release build, then structural validation of
+#      the Chrome trace JSON (sorted ts, balanced B/E per tid, nested
+#      stages) and the provenance JSONL, and a bench_diff run over the two
+#      newest checked-in BENCH_*.json baselines
+#  11. telemetry-overhead smoke: disabled-telemetry instrumentation on a
+#      hot loop must cost < 2%; also drives the enabled+flight-recorder
+#      path (informational cost, recorder must capture events)
 #
 # Usage:
 #
@@ -183,6 +189,67 @@ if [[ "${RUN_TSAN}" -eq 1 ]]; then
   run ctest --preset tsan -j "${JOBS}"
 else
   run ctest --preset tsan-threads -j "${JOBS}"
+fi
+stage_pass
+
+stage_begin "observability smoke (trace export, provenance JSONL, bench diff)"
+# Exercises the flight-recorder stack end to end on the release build: one
+# instrumented sim run exports both artifacts, then the validation below
+# re-checks the structural contract the unit tests pin (valid JSON, globally
+# sorted timestamps, balanced begin/end per thread, the nested stage set)
+# against the real engine rather than a synthetic recorder.
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "${OBS_DIR}"' EXIT
+run cmake --build --preset release -j "${JOBS}" --target qasca_sim
+run ./build-release/tools/qasca_sim \
+  --trace-out "${OBS_DIR}/trace.json" \
+  --provenance-out "${OBS_DIR}/provenance.jsonl"
+run python3 - "${OBS_DIR}/trace.json" "${OBS_DIR}/provenance.jsonl" <<'EOF'
+import collections
+import json
+import sys
+
+trace_path, provenance_path = sys.argv[1], sys.argv[2]
+with open(trace_path, encoding="utf-8") as f:
+    events = json.load(f)["traceEvents"]
+assert events, "trace export is empty"
+ts = [e["ts"] for e in events]
+assert ts == sorted(ts), "trace timestamps are not globally sorted"
+stacks = collections.defaultdict(list)
+names = set()
+for e in events:
+    assert e["ph"] in ("B", "E"), f"unexpected phase {e['ph']!r}"
+    names.add(e["name"])
+    if e["ph"] == "B":
+        stacks[e["tid"]].append(e["name"])
+    else:
+        assert stacks[e["tid"]], f"orphan E for {e['name']!r}"
+        top = stacks[e["tid"]].pop()
+        assert top == e["name"], f"unbalanced: B {top!r} closed by {e['name']!r}"
+assert all(not s for s in stacks.values()), "unclosed B events in export"
+required = {"assign_hit", "estimate_qw", "qw_overlay_fill", "topk_scan"}
+assert required <= names, f"missing stages: {sorted(required - names)}"
+
+records = []
+with open(provenance_path, encoding="utf-8") as f:
+    for line in f:
+        records.append(json.loads(line))
+assert records, "provenance export is empty"
+for r in records:
+    assert r["questions"], "provenance record with no questions"
+    assert len(r["questions"]) == len(r["scores"]), "questions/scores mismatch"
+print(f"observability smoke: {len(events)} trace events across "
+      f"{len(names)} stages, {len(records)} provenance records")
+EOF
+# Perf-regression gate over the two newest checked-in bench baselines. The
+# loose threshold absorbs machine-to-machine noise in the snapshots; the
+# point is catching order-of-magnitude slides between recorded PRs.
+BENCH_BASELINES=($(ls BENCH_*.json | sort -V | tail -2))
+if [[ "${#BENCH_BASELINES[@]}" -eq 2 ]]; then
+  run python3 tools/bench_diff.py \
+    "${BENCH_BASELINES[0]}" "${BENCH_BASELINES[1]}" --threshold 0.5
+else
+  echo "fewer than two BENCH_*.json baselines; skipping bench diff"
 fi
 stage_pass
 
