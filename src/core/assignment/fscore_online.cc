@@ -5,6 +5,7 @@
 
 #include "core/fractional.h"
 #include "core/metrics/fscore.h"
+#include "util/fold.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
@@ -67,10 +68,17 @@ FractionalSolution UpdateDelta(const AssignmentRequest& request,
         beta_partials[chunk] = beta;
         gamma_partials[chunk] = gamma;
       });
-  for (int c = 0; c < num_chunks; ++c) {
-    problem.beta += beta_partials[static_cast<size_t>(c)];
-    problem.gamma += gamma_partials[static_cast<size_t>(c)];
-  }
+  // Folded from the non-zero seeds so the op sequence per accumulator is
+  // exactly the historical chunk-ordered loop (DeterministicSum's 0.0 seed
+  // would change the association and therefore the bits).
+  problem.beta = util::DeterministicFold(
+      problem.beta, 0, num_chunks, [&](double beta, int c) {
+        return beta + beta_partials[static_cast<size_t>(c)];
+      });
+  problem.gamma = util::DeterministicFold(
+      problem.gamma, 0, num_chunks, [&](double gamma, int c) {
+        return gamma + gamma_partials[static_cast<size_t>(c)];
+      });
   const int num_candidates = static_cast<int>(request.candidates.size());
   util::ParallelFor(
       request.pool, 0, num_candidates, kFScoreScanGrain, [&](int cb, int ce) {

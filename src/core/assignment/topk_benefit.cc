@@ -7,6 +7,7 @@
 
 #include "core/assignment/qw_overlay.h"
 #include "core/kernels/kernels.h"
+#include "util/fold.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
@@ -127,7 +128,11 @@ AssignmentResult ScanTopKBenefit(const AssignmentRequest& request,
           for (int i = cb; i < ce; ++i) sum += cur_quality(i);
           return sum;
         });
-    for (int c = 0; c < request.k; ++c) total += benefits[c].first;
+    // Seeded with the ParallelSum total so the benefit adds keep their
+    // historical association (the golden traces pin the exact bits).
+    total = util::DeterministicFold(
+        total, 0, request.k,
+        [&](double acc, int c) { return acc + benefits[c].first; });
     result.objective = total / current.num_questions();
   }
   QASCA_DCHECK_OK(invariants::CheckAssignment(result.selected, request.k,

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "util/fold.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 
@@ -21,14 +23,19 @@ constexpr int kMaxIterations = 1000;
 
 double Objective(const ZeroOneFractionalProgram& p,
                  const std::vector<unsigned char>& z) {
-  double numerator = p.beta;
-  double denominator = p.gamma;
-  for (size_t i = 0; i < z.size(); ++i) {
-    if (z[i]) {
-      numerator += p.b[i];
-      denominator += p.d[i];
-    }
-  }
+  // Carries the numerator/denominator pair through one left-to-right
+  // sweep; the conditional add stays inside the step so the exact op
+  // sequence (and any -0.0 bits) matches the historical raw loop.
+  const auto [numerator, denominator] = util::DeterministicFold(
+      std::pair<double, double>(p.beta, p.gamma), 0,
+      static_cast<int>(z.size()),
+      [&](std::pair<double, double> acc, int i) {
+        if (z[static_cast<size_t>(i)]) {
+          acc.first += p.b[static_cast<size_t>(i)];
+          acc.second += p.d[static_cast<size_t>(i)];
+        }
+        return acc;
+      });
   QASCA_CHECK_OK(invariants::CheckFractionalDenominator(denominator));
   return numerator / denominator;
 }

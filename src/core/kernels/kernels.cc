@@ -89,6 +89,7 @@ struct Dispatch {
 // the single engine/test thread (the engine's threading contract), worker
 // threads only read through the entry points.
 Dispatch& ActiveDispatch() {
+  // analyze:allow(global-state) immutable-after-init ISA dispatch singleton
   static Dispatch dispatch = [] {
     const Isa isa = ResolveIsa();
     return Dispatch{isa, &TableFor(isa)};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fold.h"
 #include "util/logging.h"
 
 namespace qasca {
@@ -44,10 +45,12 @@ double CostAccuracyMetric::EvaluateAgainstTruth(
     const GroundTruthVector& truth, const ResultVector& result) const {
   QASCA_CHECK_EQ(truth.size(), result.size());
   QASCA_CHECK(!truth.empty());
-  double total_cost = 0.0;
-  for (size_t i = 0; i < truth.size(); ++i) {
-    total_cost += CostOf(truth[i], result[i]) / max_cost_;
-  }
+  double total_cost = util::DeterministicSum(
+      0, static_cast<int>(truth.size()), [&](int i) {
+        return CostOf(truth[static_cast<size_t>(i)],
+                      result[static_cast<size_t>(i)]) /
+               max_cost_;
+      });
   return 1.0 - total_cost / static_cast<double>(truth.size());
 }
 
@@ -56,15 +59,14 @@ double CostAccuracyMetric::Evaluate(const DistributionMatrix& q,
   QASCA_CHECK_EQ(static_cast<int>(result.size()), q.num_questions());
   QASCA_CHECK_EQ(q.num_labels(), num_labels_);
   QASCA_CHECK_GT(q.num_questions(), 0);
-  double total_cost = 0.0;
-  for (int i = 0; i < q.num_questions(); ++i) {
-    std::span<const double> row = q.Row(i);
-    double expected = 0.0;
-    for (int t = 0; t < num_labels_; ++t) {
-      expected += row[t] * CostOf(t, result[i]);
-    }
-    total_cost += expected / max_cost_;
-  }
+  double total_cost =
+      util::DeterministicSum(0, q.num_questions(), [&](int i) {
+        std::span<const double> row = q.Row(i);
+        double expected = util::DeterministicSum(0, num_labels_, [&](int t) {
+          return row[t] * CostOf(t, result[i]);
+        });
+        return expected / max_cost_;
+      });
   return 1.0 - total_cost / q.num_questions();
 }
 
@@ -77,10 +79,8 @@ ResultVector CostAccuracyMetric::OptimalResult(
     double best_cost = 0.0;
     LabelIndex best = 0;
     for (int r = 0; r < num_labels_; ++r) {
-      double expected = 0.0;
-      for (int t = 0; t < num_labels_; ++t) {
-        expected += row[t] * CostOf(t, r);
-      }
+      double expected = util::DeterministicSum(
+          0, num_labels_, [&](int t) { return row[t] * CostOf(t, r); });
       if (r == 0 || expected < best_cost) {
         best_cost = expected;
         best = r;
@@ -95,10 +95,8 @@ double CostAccuracyMetric::RowQuality(std::span<const double> row) const {
   QASCA_CHECK_EQ(static_cast<int>(row.size()), num_labels_);
   double best_cost = -1.0;
   for (int r = 0; r < num_labels_; ++r) {
-    double expected = 0.0;
-    for (int t = 0; t < num_labels_; ++t) {
-      expected += row[t] * CostOf(t, r);
-    }
+    double expected = util::DeterministicSum(
+        0, num_labels_, [&](int t) { return row[t] * CostOf(t, r); });
     if (best_cost < 0.0 || expected < best_cost) best_cost = expected;
   }
   return 1.0 - best_cost / max_cost_;
@@ -106,10 +104,8 @@ double CostAccuracyMetric::RowQuality(std::span<const double> row) const {
 
 double CostAccuracyMetric::Quality(const DistributionMatrix& q) const {
   QASCA_CHECK_GT(q.num_questions(), 0);
-  double total = 0.0;
-  for (int i = 0; i < q.num_questions(); ++i) {
-    total += RowQuality(q.Row(i));
-  }
+  double total = util::DeterministicSum(
+      0, q.num_questions(), [&](int i) { return RowQuality(q.Row(i)); });
   return total / q.num_questions();
 }
 

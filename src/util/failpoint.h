@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -87,7 +88,7 @@ class FailPoints {
   // Fast path: injection sites check this before touching the mutex, so a
   // disarmed registry adds no contention.
   std::atomic<int> armed_count_{0};
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_ranks::kFailPointsRegistry};
   std::unordered_map<std::string, Point> points_ QASCA_GUARDED_BY(mutex_);
 };
 

@@ -38,9 +38,9 @@ uint64_t TraceScope::current() noexcept { return g_current_trace_id; }
 
 FlightRecorder::FlightRecorder(int capacity_events, TickSource tick_source)
     : shard_capacity_(std::max(1, (capacity_events + kShards - 1) / kShards)),
+      capacity_(shard_capacity_ * kShards),
       tick_source_(tick_source ? std::move(tick_source)
                                : SteadyTickSource()) {
-  capacity_ = shard_capacity_ * kShards;
   for (Shard& shard : shards_) {
     MutexLock lock(shard.mutex);
     shard.ring.reserve(static_cast<size_t>(shard_capacity_));

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/tick.h"
@@ -106,7 +107,7 @@ class FlightRecorder {
   static constexpr int kShards = 8;
 
   struct Shard {
-    mutable Mutex mutex;
+    mutable Mutex mutex{lock_ranks::kFlightRecorderShard};
     /// Ring storage, capacity shard_capacity_; logical order is the append
     /// order, oldest first once wrapped.
     std::vector<Event> ring QASCA_GUARDED_BY(mutex);
@@ -117,9 +118,11 @@ class FlightRecorder {
 
   void Record(const char* name, Phase phase) noexcept;
 
-  int capacity_;
-  int shard_capacity_;
-  TickSource tick_source_;
+  // shard_capacity_ precedes capacity_: the init list derives the total
+  // from the rounded-up per-shard size.
+  const int shard_capacity_;
+  const int capacity_;
+  const TickSource tick_source_;
   Shard shards_[kShards];
 };
 

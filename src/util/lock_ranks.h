@@ -1,0 +1,29 @@
+#ifndef QASCA_UTIL_LOCK_RANKS_H_
+#define QASCA_UTIL_LOCK_RANKS_H_
+
+namespace qasca::util::lock_ranks {
+
+/// The process-wide lock ranking, mirroring the total order the analyzer's
+/// `lock-order` pass computes from the interprocedural lock-acquisition
+/// graph and checks in as tools/analyze/lock_order.json. A thread may only
+/// acquire ranked mutexes in strictly increasing rank order; DCHECK builds
+/// enforce this at runtime (util/mutex.h, QASCA_MUTEX_RANK_CHECKS).
+///
+/// When a new mutex member or a new nesting edge appears, rerun
+///   python3 tools/analyze.py --write-lock-order
+/// and update these constants to match the regenerated json — the analyzer
+/// fails the tree when the checked-in ranking is stale, and the deadlock
+/// tests in tests/util/ pin the runtime check itself.
+///
+/// Gaps of 10 leave room to slot a new lock between two existing ones
+/// without renumbering everything.
+inline constexpr int kFailPointsRegistry = 10;     // FailPoints::mutex_
+inline constexpr int kFlightRecorderShard = 20;    // FlightRecorder::Shard::mutex
+inline constexpr int kMetricRegistry = 30;         // MetricRegistry::mutex_
+inline constexpr int kLatencyHistogram = 40;       // LatencyHistogram::mutex_
+inline constexpr int kThreadPool = 50;             // ThreadPool::mutex_
+inline constexpr int kWindowedLatency = 60;        // WindowedLatency::mutex_
+
+}  // namespace qasca::util::lock_ranks
+
+#endif  // QASCA_UTIL_LOCK_RANKS_H_

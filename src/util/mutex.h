@@ -4,11 +4,42 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/logging.h"
 #include "util/thread_annotations.h"
+
+/// QASCA_MUTEX_RANK_CHECKS gates the dynamic lock-rank check: every ranked
+/// Mutex must be acquired in strictly increasing rank order per thread,
+/// mirroring the static total order the analyzer's `lock-order` pass emits
+/// into tools/analyze/lock_order.json (the ranks themselves live in
+/// util/lock_ranks.h). Follows QASCA_ENABLE_DCHECKS by default, so the
+/// sanitizer presets enforce the ordering dynamically while Release builds
+/// pay nothing — when off, the rank field is compiled out entirely and
+/// sizeof(Mutex) == sizeof(std::mutex) still holds.
+#ifndef QASCA_MUTEX_RANK_CHECKS
+#define QASCA_MUTEX_RANK_CHECKS QASCA_ENABLE_DCHECKS
+#endif
 
 namespace qasca::util {
 
 class CondVar;
+
+#if QASCA_MUTEX_RANK_CHECKS
+namespace internal {
+/// Per-thread stack of the ranks currently held, fixed capacity so the
+/// check allocates nothing. Depth 16 is far beyond any real nesting —
+/// the analyzer's lock-order graph for this tree is two levels deep.
+struct HeldRanks {
+  static constexpr int kMaxDepth = 16;
+  int ranks[kMaxDepth];
+  int depth = 0;
+};
+
+inline HeldRanks& ThreadHeldRanks() {
+  thread_local HeldRanks held;
+  return held;
+}
+}  // namespace internal
+#endif
 
 /// std::mutex wrapper annotated as a Clang thread-safety capability, so
 /// QASCA_GUARDED_BY(mutex_) members and QASCA_REQUIRES(mutex_) functions
@@ -18,18 +49,86 @@ class CondVar;
 /// members outside this header (tools/analyze.py lock-annotations pass)
 /// and routes every lock through this type.
 ///
-/// Same cost as std::mutex: every method is an inline forward.
+/// Same cost as std::mutex in Release: every method is an inline forward,
+/// and the optional lock rank (see QASCA_MUTEX_RANK_CHECKS above) only
+/// exists in DCHECK builds.
 class QASCA_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Ranked mutex: in DCHECK builds, acquiring this mutex while holding
+  /// one of equal or higher rank aborts with a diagnostic pointing at
+  /// tools/analyze/lock_order.json. Ranks come from util/lock_ranks.h.
+#if QASCA_MUTEX_RANK_CHECKS
+  explicit Mutex(int rank) : rank_(rank) {}
+#else
+  explicit Mutex(int /*rank*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() QASCA_ACQUIRE() { mu_.lock(); }
-  void Unlock() QASCA_RELEASE() { mu_.unlock(); }
-  bool TryLock() QASCA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() QASCA_ACQUIRE() {
+    CheckRankBeforeLock();
+    mu_.lock();
+    PushRank();
+  }
+  void Unlock() QASCA_RELEASE() {
+    PopRank();
+    mu_.unlock();
+  }
+  bool TryLock() QASCA_TRY_ACQUIRE(true) {
+    // TryLock never blocks, so it cannot deadlock and skips the ordering
+    // check; a successful acquisition still joins the held stack so later
+    // blocking Lock() calls see it.
+    const bool acquired = mu_.try_lock();
+    if (acquired) PushRank();
+    return acquired;
+  }
 
  private:
+#if QASCA_MUTEX_RANK_CHECKS
+  void CheckRankBeforeLock() const {
+    if (rank_ < 0) return;  // unranked mutexes do not participate
+    const internal::HeldRanks& held = internal::ThreadHeldRanks();
+    if (held.depth > 0) {
+      QASCA_CHECK(held.ranks[held.depth - 1] < rank_)
+          << "lock-rank order violation: acquiring rank " << rank_
+          << " while holding rank " << held.ranks[held.depth - 1]
+          << " — ranked mutexes must be acquired in strictly increasing "
+             "order (the ranking is tools/analyze/lock_order.json; "
+             "regenerate with tools/analyze.py --write-lock-order)";
+    }
+  }
+  void PushRank() {
+    if (rank_ < 0) return;
+    internal::HeldRanks& held = internal::ThreadHeldRanks();
+    QASCA_CHECK(held.depth < internal::HeldRanks::kMaxDepth)
+        << "lock-rank stack overflow (" << internal::HeldRanks::kMaxDepth
+        << " ranked locks held by one thread)";
+    held.ranks[held.depth++] = rank_;
+  }
+  void PopRank() {
+    if (rank_ < 0) return;
+    internal::HeldRanks& held = internal::ThreadHeldRanks();
+    // Unlock order may legally differ from reverse-acquisition order
+    // (e.g. std::adopt_lock dances), so remove the newest matching rank
+    // rather than asserting LIFO.
+    for (int i = held.depth - 1; i >= 0; --i) {
+      if (held.ranks[i] == rank_) {
+        for (int j = i; j + 1 < held.depth; ++j) {
+          held.ranks[j] = held.ranks[j + 1];
+        }
+        --held.depth;
+        return;
+      }
+    }
+  }
+  const int rank_ = -1;
+#else
+  void CheckRankBeforeLock() const {}
+  void PushRank() {}
+  void PopRank() {}
+#endif
+
   friend class CondVar;
   std::mutex mu_;
 };
@@ -69,6 +168,8 @@ class CondVar {
     // Adopt the already-held native mutex for the wait, then release the
     // unique_lock without unlocking: ownership stays with the caller's
     // MutexLock, and the capability state never changes across Wait().
+    // The rank stack is likewise untouched — the caller still owns the
+    // lock conceptually for the whole wait.
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/lock_ranks.h"
 #include "util/mutex.h"
 #include "util/stats.h"
 #include "util/thread_annotations.h"
@@ -100,9 +101,9 @@ class LatencyHistogram {
 
   double PercentileLocked(double p) const QASCA_REQUIRES(mutex_);
 
-  std::string name_;
-  bool enabled_;
-  mutable Mutex mutex_;
+  const std::string name_;
+  const bool enabled_;
+  mutable Mutex mutex_{lock_ranks::kLatencyHistogram};
   RunningStats stats_ QASCA_GUARDED_BY(mutex_);  // seconds
   Histogram log2_ns_ QASCA_GUARDED_BY(mutex_);
 };
@@ -136,10 +137,10 @@ class WindowedLatency {
   friend class MetricRegistry;
   WindowedLatency(std::string name, bool enabled, int window);
 
-  std::string name_;
-  bool enabled_;
-  int window_;
-  mutable Mutex mutex_;
+  const std::string name_;
+  const bool enabled_;
+  const int window_;
+  mutable Mutex mutex_{lock_ranks::kWindowedLatency};
   /// Ring of log2 bucket indices, one per retained sample.
   std::vector<uint8_t> ring_ QASCA_GUARDED_BY(mutex_);
   int64_t total_ QASCA_GUARDED_BY(mutex_) = 0;
@@ -240,11 +241,11 @@ class MetricRegistry {
   T* GetOrCreate(std::map<std::string, std::unique_ptr<T>, std::less<>>* map,
                  std::string_view name) QASCA_EXCLUDES(mutex_);
 
-  bool enabled_;
+  const bool enabled_;
   // Written once before the registry goes concurrent (see
   // AttachFlightRecorder), read on every enabled span.
   FlightRecorder* recorder_ = nullptr;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_ranks::kMetricRegistry};
   // std::map keeps exports deterministically name-sorted. The pointed-to
   // instruments are internally synchronised (atomics / their own mutex_),
   // so only the maps themselves are guarded.

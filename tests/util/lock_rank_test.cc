@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "util/lock_ranks.h"
+#include "util/logging.h"
+#include "util/mutex.h"
+
+namespace qasca::util {
+namespace {
+
+// Runtime counterpart of the analyzer's `lock-order` pass: ranked mutexes
+// must be acquired in strictly increasing rank order per thread
+// (tools/analyze/lock_order.json is the authoritative ranking; the
+// constants live in util/lock_ranks.h). These tests pin the
+// QASCA_MUTEX_RANK_CHECKS machinery itself, so they use local ad-hoc ranks
+// rather than the named project locks.
+
+constexpr bool kRankChecksEnabled = QASCA_MUTEX_RANK_CHECKS != 0;
+
+TEST(LockRankTest, IncreasingOrderIsAccepted) {
+  Mutex low(10);
+  Mutex high(20);
+  MutexLock outer(low);
+  MutexLock inner(high);  // 10 -> 20: strictly increasing, fine
+  SUCCEED();
+}
+
+TEST(LockRankTest, UnrankedMutexesDoNotParticipate) {
+  Mutex ranked(10);
+  Mutex unranked_below;
+  Mutex unranked_above;
+  // Unranked locks may interleave anywhere without tripping the check.
+  MutexLock a(unranked_below);
+  MutexLock b(ranked);
+  MutexLock c(unranked_above);
+  SUCCEED();
+}
+
+TEST(LockRankTest, ReleaseResetsTheHeldStack) {
+  Mutex low(10);
+  Mutex high(20);
+  {
+    MutexLock lock(high);
+  }
+  // `high` was released, so taking `low` afterwards is sequential, not
+  // nested — no violation.
+  MutexLock lock(low);
+  SUCCEED();
+}
+
+TEST(LockRankDeathTest, ConflictingRanksTripTheCheck) {
+  if (!kRankChecksEnabled) {
+    GTEST_SKIP() << "QASCA_MUTEX_RANK_CHECKS compiled out in this build";
+  }
+  Mutex low(10);
+  Mutex high(20);
+  EXPECT_DEATH(
+      {
+        MutexLock outer(high);
+        MutexLock inner(low);  // 20 -> 10: out of order
+      },
+      "lock-rank order violation");
+}
+
+TEST(LockRankDeathTest, EqualRanksTripTheCheck) {
+  if (!kRankChecksEnabled) {
+    GTEST_SKIP() << "QASCA_MUTEX_RANK_CHECKS compiled out in this build";
+  }
+  // Strictly increasing: two distinct locks of the same rank must not
+  // nest either (same-rank nesting is exactly how ABBA deadlocks between
+  // two instances of one class arise).
+  Mutex a(10);
+  Mutex b(10);
+  EXPECT_DEATH(
+      {
+        MutexLock outer(a);
+        MutexLock inner(b);
+      },
+      "lock-rank order violation");
+}
+
+TEST(LockRankTest, TryLockJoinsTheHeldStack) {
+  if (!kRankChecksEnabled) {
+    GTEST_SKIP() << "QASCA_MUTEX_RANK_CHECKS compiled out in this build";
+  }
+  Mutex low(10);
+  Mutex high(20);
+  ASSERT_TRUE(high.TryLock());
+  // A successful TryLock participates: a blocking Lock() of a lower rank
+  // underneath it is a real inversion and must die.
+  EXPECT_DEATH((void)MutexLock(low), "lock-rank order violation");
+  high.Unlock();
+}
+
+}  // namespace
+}  // namespace qasca::util

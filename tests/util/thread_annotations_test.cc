@@ -151,8 +151,10 @@ TEST(ThreadAnnotationsTest, MetricRegistryConcurrentGetAndSnapshot) {
 TEST(ThreadAnnotationsTest, MacrosAreInertWithoutClang) {
   // The annotation macros must impose zero runtime shape: a Mutex is just a
   // std::mutex and the attributes vanish on non-Clang compilers. This pins
-  // the no-op expansion path that gcc builds take.
-#if !defined(__clang__)
+  // the no-op expansion path that gcc builds take. Rank-checking builds
+  // (QASCA_MUTEX_RANK_CHECKS, DCHECK-on flavours) deliberately add the
+  // rank field, so the size pin only applies when that is off.
+#if !defined(__clang__) && !QASCA_MUTEX_RANK_CHECKS
   static_assert(sizeof(Mutex) == sizeof(std::mutex),
                 "annotations must not add state");
 #endif

@@ -402,6 +402,9 @@ def main(argv=None) -> int:
     parser.add_argument("--write-baseline", action="store_true",
                         help="rewrite the baseline from this run's "
                              "findings and exit 0")
+    parser.add_argument("--write-lock-order", action="store_true",
+                        help="recompute the interprocedural lock ranking "
+                             "and rewrite tools/analyze/lock_order.json")
     parser.add_argument("--stats", action="store_true",
                         help="print timing and model-cache hit rates")
     parser.add_argument("--self-test", action="store_true",
@@ -435,6 +438,22 @@ def main(argv=None) -> int:
     started = time.monotonic()
     tree, orphans, notes = ground_tree(repo_root, args.compile_db,
                                        use_cache=not args.no_cache)
+
+    if args.write_lock_order:
+        from .passes.lock_order import LOCK_ORDER_JSON, compute_lock_order
+        payload = compute_lock_order(tree)
+        target = repo_root / LOCK_ORDER_JSON
+        target.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+        if tree.model_cache is not None:
+            tree.model_cache.save()
+        state = "CYCLIC — fix the cycle before trusting the ranks" \
+            if payload["cyclic"] else "acyclic"
+        print(f"analyze: lock order rewritten ({len(payload['nodes'])} "
+              f"locks, {len(payload['edges'])} edges, {state}) — keep "
+              "util/lock_ranks.h aligned")
+        return 1 if payload["cyclic"] else 0
+
     findings = run_passes(tree, passes)
 
     if args.write_baseline:

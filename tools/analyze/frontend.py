@@ -7,13 +7,19 @@ minimum semantic model those questions need — nothing close to a real
 compiler, but grounded in the same translation units the build compiles:
 
   * a shared tokenizer over the comment-stripped view of each file
-    (identifiers, literals, punctuators, with line numbers);
+    (identifiers, literals, punctuators, with line numbers), with
+    preprocessor-directive lines filtered out so multi-line macro bodies
+    do not masquerade as declarations;
   * per-file models (`FileModel`): include directives, declarations of
     Status/StatusOr-returning functions, every call site with a verdict on
-    whether its result is used, function definitions with body extents,
-    scalar floating-point reduction sites inside loops, and allocation
-    facts (push_back/reserve receivers, containers constructed inside
-    loops);
+    whether its result is used, function definitions with body extents and
+    class-qualified names (the nodes of the cross-TU call graph), class
+    definitions with per-member declaration facts, `util::MutexLock`
+    acquisition scopes, lambdas handed to the thread-pool entry points
+    with their captures and writes, mutable namespace-scope/static-local
+    state, scalar floating-point reduction sites inside loops, and
+    allocation facts (push_back/reserve receivers, containers constructed
+    inside loops);
   * a `compile_commands.json` loader (`CompilationDatabase`) so the file
     universe the passes see is exactly what the build compiles — every
     preset exports the database (CMakeLists.txt sets
@@ -38,7 +44,7 @@ from pathlib import Path
 
 # Bump whenever tokenization or fact extraction changes shape or meaning:
 # a version mismatch invalidates the whole model cache.
-FRONTEND_VERSION = 3
+FRONTEND_VERSION = 4
 
 # ---------------------------------------------------------------------------
 # Tokenizer
@@ -108,6 +114,11 @@ class FunctionDef:
     name: str
     line: int  # line of the opening brace's statement
     end_line: int
+    # Class-qualified spelling when derivable: "MetricRegistry::Snapshot"
+    # for out-of-line definitions (from the `Class::name(` head) and for
+    # inline methods (from the innermost enclosing class body). Free
+    # functions keep the bare name. This is the call-graph node identity.
+    qualname: str = ""
 
 
 @dataclass
@@ -134,6 +145,85 @@ class AllocFacts:
 
 
 @dataclass
+class MemberDecl:
+    """One data-member declaration inside a class body."""
+
+    name: str
+    line: int
+    type_text: str  # declaration tokens before the declarator, joined
+    guarded: bool   # carries QASCA_GUARDED_BY / QASCA_PT_GUARDED_BY
+    const: bool     # const / constexpr
+    static: bool
+    atomic: bool    # std::atomic<...>
+    mutex: bool     # util::Mutex / std::mutex / std::shared_mutex
+    condvar: bool   # CondVar / condition_variable / once_flag
+
+
+@dataclass
+class ClassDef:
+    """A class/struct definition; nested classes spell the outer path
+    ("FlightRecorder::Shard")."""
+
+    name: str
+    line: int
+    end_line: int
+    members: list[MemberDecl] = field(default_factory=list)
+
+
+@dataclass
+class LockScope:
+    """One `util::MutexLock lock(expr);` acquisition and the block extent
+    it guards. `expr` is normalized (index expressions collapse to `[]`);
+    `member` is its final component, `base` its first. The hint fields
+    carry whatever the TU knows about the base object's type so the
+    lock-order pass can resolve the expression to a Class::member node:
+    `local_hints` are identifier tokens from a local/parameter declaration
+    of `base`, `container` is the range-for container when `base` was
+    introduced by a structured binding."""
+
+    expr: str
+    member: str
+    base: str
+    container: str
+    local_hints: list[str]
+    line: int
+    end_line: int  # last line of the innermost enclosing block
+    function: str  # enclosing function's qualname ("" when unattributed)
+
+
+@dataclass
+class PoolWrite:
+    """A mutation inside a pool lambda whose target is not lambda-local."""
+
+    target: str  # normalized spelling ("counts", "out[]", "sink.push_back()")
+    base: str    # first identifier of the target chain
+    line: int
+    indexed: bool  # element write through [] — disjoint-index pattern
+    guarded: bool  # under a MutexLock scope opened inside the lambda
+
+
+@dataclass
+class PoolLambda:
+    """A lambda argument of a thread-pool entry point (Submit/ParallelFor/
+    ParallelSum): the unit of work that runs concurrently."""
+
+    call: str     # entry-point name
+    line: int
+    capture: str  # capture list as spelled, whitespace stripped
+    function: str  # enclosing function's qualname
+    writes: list[PoolWrite] = field(default_factory=list)
+
+
+@dataclass
+class GlobalVar:
+    """Mutable namespace-scope / static-local / thread-local state."""
+
+    name: str
+    line: int
+    kind: str  # "namespace-scope" | "static-local" | "thread-local"
+
+
+@dataclass
 class FileModel:
     includes: list[Include] = field(default_factory=list)
     status_functions: list[str] = field(default_factory=list)
@@ -142,6 +232,10 @@ class FileModel:
     reductions: list[ReductionSite] = field(default_factory=list)
     accumulate_calls: list[int] = field(default_factory=list)
     allocs: list[AllocFacts] = field(default_factory=list)
+    classes: list[ClassDef] = field(default_factory=list)
+    lock_scopes: list[LockScope] = field(default_factory=list)
+    pool_lambdas: list[PoolLambda] = field(default_factory=list)
+    globals: list[GlobalVar] = field(default_factory=list)
 
     def to_json(self) -> dict:
         out = asdict(self)
@@ -170,6 +264,20 @@ class FileModel:
                 )
                 for a in data["allocs"]
             ],
+            classes=[
+                ClassDef(name=c["name"], line=c["line"],
+                         end_line=c["end_line"],
+                         members=[MemberDecl(**m) for m in c["members"]])
+                for c in data["classes"]
+            ],
+            lock_scopes=[LockScope(**s) for s in data["lock_scopes"]],
+            pool_lambdas=[
+                PoolLambda(call=p["call"], line=p["line"],
+                           capture=p["capture"], function=p["function"],
+                           writes=[PoolWrite(**w) for w in p["writes"]])
+                for p in data["pool_lambdas"]
+            ],
+            globals=[GlobalVar(**g) for g in data["globals"]],
         )
 
 
@@ -309,10 +417,14 @@ def _extract_calls(tokens: list[Token]) -> list[CallSite]:
     return calls
 
 
+_QASCA_MACRO = re.compile(r"QASCA_[A-Z0-9_]+")
+
+
 def _function_name_before_body(tokens: list[Token],
-                               brace_index: int) -> str | None:
-    """Name of the function whose body opens at tokens[brace_index], or
-    None when the brace opens something else (namespace, class, init)."""
+                               brace_index: int) -> tuple[str, int] | None:
+    """(name, name_token_index) of the function whose body opens at
+    tokens[brace_index], or None when the brace opens something else
+    (namespace, class, init)."""
     i = brace_index - 1
     steps = 0
     # Skip the decoration between the parameter list and the body: cv/ref
@@ -341,13 +453,18 @@ def _function_name_before_body(tokens: list[Token],
                 return None
             if name.text in KEYWORDS:
                 return None
+            # A thread-safety annotation (`void Lock() QASCA_ACQUIRE() {`):
+            # its argument list is not the parameter list — keep walking.
+            if _QASCA_MACRO.fullmatch(name.text):
+                i = j - 2
+                continue
             # Constructor initializer element (`: a_(x), b_(y) {`): keep
             # walking left past the `,`/`:` to the real parameter list.
             k = j - 2
             if k >= 0 and tokens[k].text in {":", ","}:
                 i = k - 1
                 continue
-            return name.text
+            return name.text, j - 1
         if tokens[i].kind == "id" or text in {":", ",", "&", "&&", "*",
                                               "->", "::", ">", "<", "]",
                                               "["}:
@@ -369,18 +486,20 @@ def _function_name_before_body(tokens: list[Token],
     return None
 
 
-def _extract_functions(tokens: list[Token]) -> list[tuple[str, int, int]]:
-    """(name, body_open_index, body_close_index) for every outermost
-    function definition."""
-    out: list[tuple[str, int, int]] = []
+def _extract_functions(tokens: list[Token]
+                       ) -> list[tuple[str, int, int, int]]:
+    """(name, name_index, body_open_index, body_close_index) for every
+    outermost function definition."""
+    out: list[tuple[str, int, int, int]] = []
     i = 0
     n = len(tokens)
     while i < n:
         if tokens[i].text == "{":
-            name = _function_name_before_body(tokens, i)
-            if name is not None:
+            named = _function_name_before_body(tokens, i)
+            if named is not None:
+                name, name_index = named
                 close = _matching_brace(tokens, i)
-                out.append((name, i, close))
+                out.append((name, name_index, i, close))
                 i = close + 1
                 continue
         i += 1
@@ -443,11 +562,11 @@ def _blessed_ranges(tokens: list[Token]) -> list[tuple[int, int]]:
 
 
 def _extract_reductions(tokens: list[Token],
-                        functions: list[tuple[str, int, int]]
+                        functions: list[tuple[str, int, int, int]]
                         ) -> list[ReductionSite]:
     sites: list[ReductionSite] = []
     blessed = _blessed_ranges(tokens)
-    for _name, body_open, body_close in functions:
+    for _name, _ni, body_open, body_close in functions:
         decls = _double_decls(tokens, body_open, body_close)
         if not decls:
             continue
@@ -484,10 +603,10 @@ def _receiver_chain(tokens: list[Token], method_index: int) -> str | None:
 
 
 def _extract_allocs(tokens: list[Token],
-                    functions: list[tuple[str, int, int]]
+                    functions: list[tuple[str, int, int, int]]
                     ) -> list[AllocFacts]:
     out: list[AllocFacts] = []
-    for name, body_open, body_close in functions:
+    for name, _ni, body_open, body_close in functions:
         facts = AllocFacts(function=name, line=tokens[body_open].line)
         loops = _loop_bodies(tokens, body_open, body_close)
         for i in range(body_open, body_close):
@@ -533,6 +652,778 @@ def _extract_allocs(tokens: list[Token],
     return out
 
 
+# ---------------------------------------------------------------------------
+# Concurrency facts: classes/members, lock scopes, pool lambdas, globals
+
+
+_ACCESS_SPECIFIERS = frozenset({"public", "private", "protected"})
+
+_MUTEX_TYPE_TOKENS = frozenset(
+    {"Mutex", "mutex", "shared_mutex", "recursive_mutex", "timed_mutex"})
+
+_CONDVAR_TYPE_TOKENS = frozenset(
+    {"CondVar", "condition_variable", "condition_variable_any", "once_flag"})
+
+# Statement leads that can never start a data-member declaration.
+_MEMBER_SKIP_LEADS = frozenset(
+    "using typedef friend template static_assert operator enum class "
+    "struct namespace public private protected".split())
+
+_GLOBAL_SKIP_LEADS = _MEMBER_SKIP_LEADS | {"extern"}
+
+# The thread-pool entry points whose lambda arguments run concurrently.
+POOL_ENTRY_POINTS = frozenset({"Submit", "ParallelFor", "ParallelSum"})
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                         "^=", "<<=", ">>="})
+
+_MUTATING_METHODS = frozenset(
+    "push_back emplace_back emplace insert erase clear resize assign "
+    "reserve pop_back push pop fill swap".split())
+
+
+def _directive_lines(code: str) -> set[int]:
+    """Lines occupied by preprocessor directives, including backslash
+    continuations (multi-line macro definitions)."""
+    lines: set[int] = set()
+    cont = False
+    for lineno, text in enumerate(code.split("\n"), start=1):
+        if cont or text.lstrip().startswith("#"):
+            lines.add(lineno)
+            cont = text.rstrip().endswith("\\")
+        else:
+            cont = False
+    return lines
+
+
+def _extract_classes(tokens: list[Token]
+                     ) -> list[tuple[str, int, int, int]]:
+    """(qualified_name, keyword_index, body_open, body_close) for every
+    class/struct definition; nested names carry the outer path."""
+    raw: list[tuple[str, int, int, int]] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        tok = tokens[i]
+        if tok.kind != "id" or tok.text not in {"class", "struct"}:
+            i += 1
+            continue
+        if i > 0 and tokens[i - 1].text == "enum":
+            i += 1
+            continue
+        # Walk the class-head to its `{`. Bail on anything that means this
+        # is not a definition head: `;` (forward declaration), declarator
+        # punctuation, or template-parameter context (`template <class T>`).
+        j = i + 1
+        name_index = None
+        seen_colon = False
+        ok = True
+        while j < n:
+            text = tokens[j].text
+            if text == "{":
+                break
+            if text in {";", ")", "=", ",", "*", "&", "}"} or \
+                    (not seen_colon and text in {"<", ">", ">>"}):
+                ok = False
+                break
+            if text == ":":
+                seen_colon = True  # base clause: names after it are bases
+                j += 1
+                continue
+            if tokens[j].kind == "id" and not seen_colon:
+                if j + 1 < n and tokens[j + 1].text == "(":
+                    # attribute macro (`class QASCA_CAPABILITY("mutex") X`)
+                    close = _matching_paren(tokens, j + 1)
+                    if close < 0:
+                        ok = False
+                        break
+                    j = close + 1
+                    continue
+                if text != "final":
+                    name_index = j
+            j += 1
+        if not ok or name_index is None or j >= n:
+            i += 1
+            continue
+        close = _matching_brace(tokens, j)
+        raw.append((tokens[name_index].text, i, j, close))
+        i = j + 1  # descend into the body: nested classes are definitions too
+    out: list[tuple[str, int, int, int]] = []
+    for name, kw, op, cl in raw:
+        enclosing = sorted(
+            (other_op, other_name)
+            for other_name, _okw, other_op, other_cl in raw
+            if other_op < op and cl < other_cl)
+        qual = "::".join([e[1] for e in enclosing] + [name])
+        out.append((qual, kw, op, cl))
+    return out
+
+
+def _declaration_facts(tokens: list[Token], stmt: list[int]
+                       ) -> tuple[int, str, set[str], bool] | None:
+    """Interprets a statement (token indices, no terminator) as a variable
+    declaration: (declarator_token_index, type_text, top_level_pre_ids,
+    guarded) or None when it is not one (e.g. a function declaration)."""
+    # Peel annotation macros (QASCA_GUARDED_BY(...) and friends) out of the
+    # declaration before locating the declarator.
+    guarded = False
+    kept: list[int] = []
+    k = 0
+    while k < len(stmt):
+        tok = tokens[stmt[k]]
+        if tok.kind == "id" and _QASCA_MACRO.fullmatch(tok.text) and \
+                k + 1 < len(stmt) and tokens[stmt[k + 1]].text == "(":
+            if tok.text in {"QASCA_GUARDED_BY", "QASCA_PT_GUARDED_BY"}:
+                guarded = True
+            depth = 0
+            k += 1
+            while k < len(stmt):
+                text = tokens[stmt[k]].text
+                if text == "(":
+                    depth += 1
+                elif text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            k += 1
+            continue
+        kept.append(stmt[k])
+        k += 1
+    if not kept:
+        return None
+    # The declarator is the last top-level identifier followed by `=`, `{`,
+    # `[`, a bit-field `:`, or the end of the declaration; scanning stops at
+    # a top-level `=` (the initializer).
+    paren = angle = bracket = brace = 0
+    name_pos: int | None = None
+    top_ids: list[tuple[int, str]] = []
+    for k, idx in enumerate(kept):
+        tok = tokens[idx]
+        text = tok.text
+        if paren == 0 and angle == 0 and bracket == 0 and brace == 0:
+            if text == "=":
+                break
+            if text == "operator":
+                return None  # `X& operator=(const X&) = delete;` etc.
+            if tok.kind == "id" and text not in KEYWORDS:
+                nxt = tokens[kept[k + 1]].text if k + 1 < len(kept) else ""
+                if nxt == "(":
+                    return None  # a function declaration, not a variable
+                top_ids.append((k, text))
+                if nxt in {"=", "{", "[", ":"} or k + 1 == len(kept):
+                    name_pos = k
+        if text == "(":
+            paren += 1
+        elif text == ")":
+            paren -= 1
+        elif text == "[":
+            bracket += 1
+        elif text == "]":
+            bracket -= 1
+        elif text == "{":
+            brace += 1
+        elif text == "}":
+            brace -= 1
+        elif text == "<" and paren == 0 and brace == 0:
+            angle += 1
+        elif text == ">" and paren == 0 and brace == 0:
+            angle = max(0, angle - 1)
+        elif text == ">>" and paren == 0 and brace == 0:
+            angle = max(0, angle - 2)
+    if name_pos is None:
+        return None
+    pre = {text for k, text in top_ids if k < name_pos}
+    type_text = " ".join(tokens[idx].text for idx in kept[:name_pos])
+    return kept[name_pos], type_text, pre, guarded
+
+
+def _member_from_statement(tokens: list[Token],
+                           stmt: list[int]) -> MemberDecl | None:
+    if not stmt:
+        return None
+    first = tokens[stmt[0]]
+    if first.kind != "id" or first.text in _MEMBER_SKIP_LEADS or \
+            first.text in KEYWORDS:
+        return None
+    facts = _declaration_facts(tokens, stmt)
+    if facts is None:
+        return None
+    name_idx, type_text, pre, guarded = facts
+    return MemberDecl(
+        name=tokens[name_idx].text,
+        line=tokens[name_idx].line,
+        type_text=type_text,
+        guarded=guarded,
+        const=bool({"const", "constexpr"} & pre),
+        static=("static" in pre),
+        atomic=("atomic" in pre),
+        mutex=bool(_MUTEX_TYPE_TOKENS & pre),
+        condvar=bool(_CONDVAR_TYPE_TOKENS & pre),
+    )
+
+
+def _class_members(tokens: list[Token], body_open: int, body_close: int,
+                   nested: list[tuple[int, int]]) -> list[MemberDecl]:
+    """Data members declared directly in the class body, skipping nested
+    class definitions (their members belong to the nested ClassDef)."""
+    members: list[MemberDecl] = []
+    jump = {kw: cl for kw, cl in nested}
+    i = body_open + 1
+    stmt: list[int] = []
+    while i < body_close:
+        if i in jump:
+            i = jump[i] + 1
+            stmt = []
+            continue
+        text = tokens[i].text
+        if text == ";":
+            member = _member_from_statement(tokens, stmt)
+            if member is not None:
+                members.append(member)
+            stmt = []
+            i += 1
+            continue
+        if text == ":" and len(stmt) == 1 and \
+                tokens[stmt[0]].text in _ACCESS_SPECIFIERS:
+            stmt = []
+            i += 1
+            continue
+        if text == "{":
+            close = _matching_brace(tokens, i)
+            if _function_name_before_body(tokens, i) is not None:
+                # A member function body: the statement ends here (no `;`).
+                stmt = []
+            else:
+                # Braced initializer / enum body: part of the declaration.
+                stmt.extend(range(i, close + 1))
+            i = close + 1
+            continue
+        stmt.append(i)
+        i += 1
+    return members
+
+
+def _qualified_function_name(tokens: list[Token], name_index: int,
+                             classes: list[tuple[str, int, int, int]]) -> str:
+    parts = [tokens[name_index].text]
+    i = name_index
+    if i >= 1 and tokens[i - 1].text == "~":
+        parts[0] = f"~{parts[0]}"  # destructor: `ThreadPool::~ThreadPool`
+        i -= 1
+    while i >= 2 and tokens[i - 1].text == "::" and \
+            tokens[i - 2].kind == "id":
+        parts.insert(0, tokens[i - 2].text)
+        i -= 2
+    if len(parts) > 1:
+        return "::".join(parts)
+    enclosing: tuple[str, int] | None = None
+    for qual, _kw, op, cl in classes:
+        if op < name_index < cl and \
+                (enclosing is None or op > enclosing[1]):
+            enclosing = (qual, op)
+    if enclosing is not None:
+        return f"{enclosing[0]}::{parts[0]}"
+    return parts[0]
+
+
+def _normalize_lock_expr(expr_tokens: list[Token]
+                         ) -> tuple[str, str, str]:
+    """(expr, member, base) for a MutexLock argument; index expressions
+    collapse to `[]` so `shards_[i].mutex` and `shards_[j].mutex` are the
+    same lock *class*."""
+    out: list[str] = []
+    ids: list[str] = []
+    k = 0
+    n = len(expr_tokens)
+    while k < n:
+        text = expr_tokens[k].text
+        if text == "[":
+            depth = 0
+            while k < n:
+                if expr_tokens[k].text == "[":
+                    depth += 1
+                elif expr_tokens[k].text == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            out.append("[]")
+            k += 1
+            continue
+        if expr_tokens[k].kind == "id":
+            ids.append(text)
+        if text not in {"*", "&"} or out:  # drop leading deref/addr-of
+            out.append(text)
+        k += 1
+    expr = "".join(out)
+    if not ids:
+        return "", "", ""
+    return expr, ids[-1], ids[0]
+
+
+def _local_type_hints(tokens: list[Token], start: int, upto: int,
+                      base: str) -> list[str]:
+    """Identifier tokens from declarations of `base` in [start, upto): the
+    type spelling that lets the lock-order pass resolve `base.member` to a
+    class. Noise is harmless — hints are intersected with known classes."""
+    hints: list[str] = []
+    for m in range(max(start, 1), upto):
+        if tokens[m].kind != "id" or tokens[m].text != base:
+            continue
+        j = m - 1
+        while j >= start:
+            tok = tokens[j]
+            if tok.kind == "id" and tok.text not in KEYWORDS:
+                hints.append(tok.text)
+                j -= 1
+            elif tok.text in {"&", "&&", "*", "::", "<", ">", ">>", "const"}:
+                j -= 1
+            else:
+                break
+    return hints
+
+
+def _binding_container(tokens: list[Token], start: int, upto: int,
+                       base: str) -> str:
+    """When `base` was introduced by a structured binding over a range-for
+    (`for (auto& [k, v] : container_)`), the container's first identifier;
+    "" otherwise."""
+    for m in range(start, upto):
+        if tokens[m].kind != "id" or tokens[m].text != base:
+            continue
+        j = m - 1
+        while j >= start and (tokens[j].kind == "id" or
+                              tokens[j].text == ","):
+            j -= 1
+        if j < start or tokens[j].text != "[":
+            continue
+        close = j
+        depth = 0
+        while close < upto:
+            if tokens[close].text == "[":
+                depth += 1
+            elif tokens[close].text == "]":
+                depth -= 1
+                if depth == 0:
+                    break
+            close += 1
+        if close + 1 < len(tokens) and tokens[close + 1].text == ":":
+            k = close + 2
+            while k < len(tokens) and tokens[k].kind != "id":
+                k += 1
+            if k < len(tokens):
+                return tokens[k].text
+    return ""
+
+
+def _extract_lock_scopes(tokens: list[Token],
+                         functions: list[tuple[str, int, int, int]],
+                         classes: list[tuple[str, int, int, int]]
+                         ) -> list[LockScope]:
+    scopes: list[LockScope] = []
+    for name, name_index, body_open, body_close in functions:
+        qualname = _qualified_function_name(tokens, name_index, classes)
+        # Include the parameter list in the hint window so `Shard& shard`
+        # parameters resolve; walk back to the signature's start.
+        hint_start = max(0, name_index - 24)
+        stack: list[int] = []
+        k = body_open
+        while k <= body_close:
+            text = tokens[k].text
+            if text == "{":
+                stack.append(k)
+            elif text == "}":
+                if stack:
+                    stack.pop()
+            elif tokens[k].kind == "id" and text == "MutexLock" and \
+                    k + 2 <= body_close and tokens[k + 1].kind == "id" and \
+                    tokens[k + 2].text in {"(", "{"}:
+                opener = k + 2
+                close = _matching_paren(tokens, opener) \
+                    if tokens[opener].text == "(" \
+                    else _matching_brace(tokens, opener)
+                if close > opener:
+                    expr, member, base = _normalize_lock_expr(
+                        tokens[opener + 1:close])
+                    if expr:
+                        enclosing = stack[-1] if stack else body_open
+                        scope_close = _matching_brace(tokens, enclosing)
+                        scopes.append(LockScope(
+                            expr=expr, member=member, base=base,
+                            container=_binding_container(
+                                tokens, body_open, k, base),
+                            local_hints=_local_type_hints(
+                                tokens, hint_start, k, base),
+                            line=tokens[k].line,
+                            end_line=tokens[scope_close].line,
+                            function=qualname))
+                    k = close
+            k += 1
+    return scopes
+
+
+def _capture_info(capture: str) -> tuple[str, set[str], set[str]]:
+    """(default_capture, by_ref_names, by_value_names)."""
+    default = ""
+    by_ref: set[str] = set()
+    by_val: set[str] = set()
+    for item in capture.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if item == "&":
+            default = "&"
+        elif item == "=":
+            default = "="
+        elif item.startswith("&"):
+            name = item[1:].split("=", 1)[0].strip()
+            by_ref.add(name)
+        elif "=" in item:  # init capture: a by-value copy/move
+            by_val.add(item.split("=", 1)[0].strip())
+        else:
+            by_val.add(item)
+    return default, by_ref, by_val
+
+
+def _parse_lambda(tokens: list[Token], open_bracket: int, limit: int
+                  ) -> tuple[str, int, int, set[str]] | None:
+    """(capture_text, body_open, body_close, param_names) for the lambda
+    whose capture list opens at tokens[open_bracket], or None."""
+    depth = 0
+    cap_close = -1
+    k = open_bracket
+    while k < limit:
+        if tokens[k].text == "[":
+            depth += 1
+        elif tokens[k].text == "]":
+            depth -= 1
+            if depth == 0:
+                cap_close = k
+                break
+        k += 1
+    if cap_close < 0:
+        return None
+    capture = "".join(
+        t.text for t in tokens[open_bracket + 1:cap_close])
+    params: set[str] = set()
+    k = cap_close + 1
+    if k < limit and tokens[k].text == "(":
+        pclose = _matching_paren(tokens, k)
+        if pclose < 0:
+            return None
+        for m in range(k + 1, pclose):
+            if tokens[m].kind == "id" and \
+                    tokens[m + 1].text in {",", ")", "="}:
+                params.add(tokens[m].text)
+        k = pclose + 1
+    while k < limit and tokens[k].text != "{":
+        if tokens[k].text in {";", ")", ","}:
+            return None  # a subscript or comparison, not a lambda
+        k += 1
+    if k >= limit:
+        return None
+    return capture, k, _matching_brace(tokens, k), params
+
+
+def _chain_left(tokens: list[Token], end: int
+                ) -> tuple[str, str, bool, bool] | None:
+    """(base, normalized_text, indexed, deref) for the l-value chain ending
+    just before tokens[end] (an assignment/increment operator or the
+    accessor of a mutating method call)."""
+    parts: list[str] = []
+    indexed = False
+    i = end - 1
+    while i >= 0:
+        text = tokens[i].text
+        if text == "]":
+            depth = 0
+            while i >= 0:
+                if tokens[i].text == "]":
+                    depth += 1
+                elif tokens[i].text == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i -= 1
+            parts.append("[]")
+            indexed = True
+            i -= 1
+            continue
+        if tokens[i].kind == "id":
+            parts.append(text)
+            if i >= 1 and tokens[i - 1].text in {".", "->"}:
+                parts.append(tokens[i - 1].text)
+                i -= 2
+                continue
+            break
+        return None  # computed receiver: (*x).y = ... etc.
+    if i < 0 or tokens[i].kind != "id" or not parts:
+        return None
+    base = tokens[i].text
+    # `*flag = true;` — a dereference write through a pointer.
+    deref = i >= 1 and tokens[i - 1].text == "*" and \
+        (i < 2 or (tokens[i - 2].kind != "id" and
+                   tokens[i - 2].text not in {")", "]"}))
+    text = ("*" if deref else "") + "".join(reversed(parts))
+    return base, text, indexed, deref
+
+
+def _lambda_writes(tokens: list[Token], body_open: int, body_close: int,
+                   capture: str, params: set[str]) -> list[PoolWrite]:
+    default, by_ref, by_val = _capture_info(capture)
+    # Names declared inside the lambda (locals, loop vars, structured
+    # bindings): writes to them are lambda-private.
+    declared = set(params)
+    for k in range(body_open + 1, body_close):
+        if tokens[k].kind != "id":
+            continue
+        prev = tokens[k - 1]
+        if prev.kind == "id" and prev.text not in KEYWORDS and \
+                prev.text not in CONTROL_KEYWORDS:
+            declared.add(tokens[k].text)
+        elif prev.text in {"*", "&", "&&", ">", ">>"} and k >= 2 and \
+                (tokens[k - 2].kind == "id" or
+                 tokens[k - 2].text in {">", ">>", "&", "*"}):
+            # `std::vector<double>& row = ...`: a declaration, whereas a
+            # dereference write `*flag = 1` follows a statement boundary.
+            declared.add(tokens[k].text)
+        elif prev.text in {"[", ","} and k >= 2:
+            # structured binding `auto& [a, b] = / :`
+            j = k - 1
+            while j > body_open and tokens[j].text in {",", "["} or \
+                    (tokens[j].kind == "id" and tokens[j].text != "auto"):
+                j -= 1
+            if tokens[j].text == "auto" or \
+                    (j >= 1 and tokens[j].text in {"&", "&&"} and
+                     tokens[j - 1].text == "auto"):
+                declared.add(tokens[k].text)
+    # MutexLock scopes opened inside the lambda: writes within them are
+    # guarded.
+    guards: list[tuple[int, int]] = []
+    stack: list[int] = []
+    for k in range(body_open, body_close + 1):
+        text = tokens[k].text
+        if text == "{":
+            stack.append(k)
+        elif text == "}":
+            if stack:
+                stack.pop()
+        elif tokens[k].kind == "id" and text == "MutexLock":
+            enclosing = stack[-1] if stack else body_open
+            guards.append((k, _matching_brace(tokens, enclosing)))
+    writes: list[PoolWrite] = []
+    k = body_open + 1
+    while k < body_close:
+        tok = tokens[k]
+        target: tuple[str, str, bool, bool] | None = None
+        if tok.text in _ASSIGN_OPS:
+            target = _chain_left(tokens, k)
+        elif tok.text in {"++", "--"}:
+            if tokens[k - 1].kind == "id" or tokens[k - 1].text == "]":
+                target = _chain_left(tokens, k)
+            elif k + 1 < body_close and tokens[k + 1].kind == "id":
+                target = _chain_left(
+                    tokens, _advance_chain(tokens, k + 1, body_close))
+        elif tok.kind == "id" and tok.text in _MUTATING_METHODS and \
+                k + 1 < body_close and tokens[k + 1].text == "(" and \
+                tokens[k - 1].text in {".", "->"}:
+            receiver = _chain_left(tokens, k - 1)
+            if receiver is not None:
+                base, text, indexed, deref = receiver
+                target = (base, f"{text}{tokens[k - 1].text}{tok.text}()",
+                          indexed, deref)
+        if target is None:
+            k += 1
+            continue
+        base, text, indexed, deref = target
+        # Writes *through* a by-value captured pointer (`*done = true`,
+        # `sink->push_back(x)`) still land on shared state; plain writes to
+        # the value copy are lambda-private.
+        through_pointer = deref or "->" in text
+        if base in declared or base == "" or \
+                (base in by_val and not through_pointer):
+            k += 1
+            continue
+        if default == "=" and base not in by_ref and base != "this" and \
+                not through_pointer:
+            k += 1
+            continue
+        guarded = any(lo < k <= hi for lo, hi in guards)
+        writes.append(PoolWrite(target=text, base=base, line=tok.line,
+                                indexed=indexed, guarded=guarded))
+        k += 1
+    return writes
+
+
+def _advance_chain(tokens: list[Token], start: int, limit: int) -> int:
+    """Index just past the member/index chain starting at tokens[start]."""
+    k = start + 1
+    while k < limit:
+        text = tokens[k].text
+        if text in {".", "->"} and k + 1 < limit and \
+                tokens[k + 1].kind == "id":
+            k += 2
+        elif text == "[":
+            depth = 0
+            while k < limit:
+                if tokens[k].text == "[":
+                    depth += 1
+                elif tokens[k].text == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            k += 1
+        else:
+            break
+    return k
+
+
+def _extract_pool_lambdas(tokens: list[Token],
+                          functions: list[tuple[str, int, int, int]],
+                          classes: list[tuple[str, int, int, int]]
+                          ) -> list[PoolLambda]:
+    out: list[PoolLambda] = []
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id" or tok.text not in POOL_ENTRY_POINTS:
+            continue
+        if i + 1 >= n or tokens[i + 1].text != "(":
+            continue
+        args_close = _matching_paren(tokens, i + 1)
+        if args_close < 0:
+            continue
+        qualname = ""
+        for name, name_index, body_open, body_close in functions:
+            if body_open <= i <= body_close:
+                qualname = _qualified_function_name(
+                    tokens, name_index, classes)
+                break
+        j = i + 2
+        while j < args_close:
+            if tokens[j].text == "[" and \
+                    tokens[j - 1].text in {"(", ","}:
+                lam = _parse_lambda(tokens, j, args_close)
+                if lam is not None:
+                    capture, body_open, body_close, params = lam
+                    out.append(PoolLambda(
+                        call=tok.text, line=tok.line, capture=capture,
+                        function=qualname,
+                        writes=_lambda_writes(tokens, body_open,
+                                              body_close, capture,
+                                              params)))
+                    j = body_close + 1
+                    continue
+            j += 1
+    return out
+
+
+def _extract_globals(tokens: list[Token],
+                     classes: list[tuple[str, int, int, int]],
+                     functions: list[tuple[str, int, int, int]]
+                     ) -> list[GlobalVar]:
+    out: list[GlobalVar] = []
+    class_ranges = [(kw, cl) for _q, kw, _op, cl in classes]
+    jump = {kw: cl for kw, cl in class_ranges}
+    for _name, _ni, op, cl in functions:
+        jump[op] = cl
+    # Namespace-scope statements: everything not inside a class body or a
+    # function body.
+    i = 0
+    n = len(tokens)
+    stmt: list[int] = []
+    while i < n:
+        if i in jump:
+            # Entering a class definition or a function body: whatever was
+            # accumulating (a class head / function signature) is not a
+            # variable declaration.
+            i = jump[i] + 1
+            stmt = []
+            continue
+        text = tokens[i].text
+        if text == ";":
+            g = _global_from_statement(tokens, stmt)
+            if g is not None:
+                out.append(g)
+            stmt = []
+            i += 1
+            continue
+        if text == "{":
+            if not stmt or tokens[stmt[0]].text in {"namespace", "extern"}:
+                stmt = []  # descend into the namespace / linkage block
+                i += 1
+                continue
+            close = _matching_brace(tokens, i)
+            stmt.extend(range(i, close + 1))
+            i = close + 1
+            continue
+        if text == "}":
+            stmt = []
+            i += 1
+            continue
+        stmt.append(i)
+        i += 1
+    # Static locals and thread-locals inside function bodies.
+    for _name, _ni, op, cl in functions:
+        k = op
+        while k < cl:
+            tok = tokens[k]
+            if tok.kind != "id" or \
+                    tok.text not in {"static", "thread_local"}:
+                k += 1
+                continue
+            if any(ckw < k < ccl for ckw, ccl in class_ranges):
+                k += 1  # a static member of a function-local struct
+                continue
+            stmt = []
+            j = k
+            depth = 0
+            while j < cl:
+                text = tokens[j].text
+                if text in {"(", "[", "{"}:
+                    depth += 1
+                elif text in {")", "]", "}"}:
+                    depth -= 1
+                elif text == ";" and depth == 0:
+                    break
+                stmt.append(j)
+                j += 1
+            facts = _declaration_facts(tokens, stmt)
+            if facts is not None:
+                name_idx, _type_text, pre, _guarded = facts
+                if not ({"const", "constexpr"} & pre):
+                    kind = "thread-local" \
+                        if tok.text == "thread_local" or \
+                        "thread_local" in pre else "static-local"
+                    out.append(GlobalVar(name=tokens[name_idx].text,
+                                         line=tokens[name_idx].line,
+                                         kind=kind))
+            k = j + 1
+    out.sort(key=lambda g: g.line)
+    return out
+
+
+def _global_from_statement(tokens: list[Token],
+                           stmt: list[int]) -> GlobalVar | None:
+    if not stmt:
+        return None
+    first = tokens[stmt[0]]
+    if first.kind != "id" or first.text in _GLOBAL_SKIP_LEADS or \
+            first.text in KEYWORDS:
+        return None
+    facts = _declaration_facts(tokens, stmt)
+    if facts is None:
+        return None
+    name_idx, _type_text, pre, _guarded = facts
+    if {"const", "constexpr", "constinit"} & pre:
+        return None
+    kind = "thread-local" if "thread_local" in pre or \
+        first.text == "thread_local" else "namespace-scope"
+    return GlobalVar(name=tokens[name_idx].text,
+                     line=tokens[name_idx].line, kind=kind)
+
+
 def build_model(code: str) -> FileModel:
     """Extracts the FileModel for one file's comment-stripped code."""
     model = FileModel()
@@ -546,18 +1437,34 @@ def build_model(code: str) -> FileModel:
     model.status_functions = sorted(
         {m.group(1) for m in STATUS_DECL.finditer(code)})
 
-    tokens = tokenize(code)
+    directives = _directive_lines(code)
+    tokens = [t for t in tokenize(code) if t.line not in directives]
     model.calls = _extract_calls(tokens)
     functions = _extract_functions(tokens)
+    classes = _extract_classes(tokens)
     model.functions = [
         FunctionDef(name=name, line=tokens[open_].line,
-                    end_line=tokens[close].line)
-        for name, open_, close in functions
+                    end_line=tokens[close].line,
+                    qualname=_qualified_function_name(tokens, name_index,
+                                                      classes))
+        for name, name_index, open_, close in functions
     ]
     model.reductions = _extract_reductions(tokens, functions)
     model.accumulate_calls = sorted(
         c.line for c in model.calls if c.name == "accumulate")
     model.allocs = _extract_allocs(tokens, functions)
+    model.classes = [
+        ClassDef(name=qual, line=tokens[kw].line,
+                 end_line=tokens[close].line,
+                 members=_class_members(
+                     tokens, open_, close,
+                     [(okw, ocl) for _oq, okw, oop, ocl in classes
+                      if open_ < oop and ocl < close]))
+        for qual, kw, open_, close in classes
+    ]
+    model.lock_scopes = _extract_lock_scopes(tokens, functions, classes)
+    model.pool_lambdas = _extract_pool_lambdas(tokens, functions, classes)
+    model.globals = _extract_globals(tokens, classes, functions)
     return model
 
 

@@ -4,11 +4,15 @@ from .api_layering import ApiLayeringPass
 from .clock_discipline import ClockDisciplinePass
 from .determinism import DeterminismPass
 from .float_determinism import FloatDeterminismPass
+from .global_state import GlobalStatePass
+from .guarded_by_coverage import GuardedByCoveragePass
 from .hot_path_alloc import HotPathAllocPass
 from .include_hygiene import IncludeHygienePass
 from .invariants import InvariantsPass
 from .lock_annotations import LockAnnotationsPass
+from .lock_order import LockOrderPass
 from .noexcept_audit import NoexceptAuditPass
+from .shared_state_escape import SharedStateEscapePass
 from .span_names import SpanNamesPass
 from .status_discard import StatusDiscardPass
 
@@ -19,6 +23,10 @@ ALL_PASSES = (
     ClockDisciplinePass(),
     IncludeHygienePass(),
     LockAnnotationsPass(),
+    LockOrderPass(),
+    SharedStateEscapePass(),
+    GuardedByCoveragePass(),
+    GlobalStatePass(),
     NoexceptAuditPass(),
     StatusDiscardPass(),
     ApiLayeringPass(),

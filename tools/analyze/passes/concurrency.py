@@ -1,0 +1,99 @@
+"""Shared class/lock indexing for the concurrency passes.
+
+`lock-order` and `guarded-by-coverage` both need a tree-wide view of which
+classes own which mutexes, and a way to resolve a `util::MutexLock`
+acquisition expression (frontend.LockScope) back to a stable lock identity
+("Class::member"). That resolution is deliberately conservative: when a
+member name is ambiguous across classes and neither the enclosing class,
+the range-for container type, nor the local declaration hints narrow it to
+exactly one owner, the scope falls back to a file-scoped identity instead
+of guessing.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..base import SourceTree
+from ..frontend import ClassDef, LockScope
+
+_ID = re.compile(r"[A-Za-z_]\w*")
+
+# Reference/pointer mutex members (e.g. `Mutex& mu_;` inside MutexLock
+# itself) alias a lock owned elsewhere — they are not lock identities.
+_ALIAS_MARKERS = ("*", "&")
+
+
+def _type_ids(type_text: str) -> set[str]:
+    return set(_ID.findall(type_text))
+
+
+class ClassIndex:
+    """Tree-wide class table with mutex-ownership lookups."""
+
+    def __init__(self, tree: SourceTree, roots: tuple[str, ...] = ("src",)):
+        self.classes: dict[str, tuple[ClassDef, str]] = {}
+        self.mutex_members: dict[str, set[str]] = {}
+        self.by_member: dict[str, list[str]] = {}
+        for source in tree.files(roots):
+            model = tree.model(source)
+            for cls in model.classes:
+                self.classes[cls.name] = (cls, source.rel)
+                owned = {m.name for m in cls.members
+                         if m.mutex and not any(mark in m.type_text
+                                                for mark in _ALIAS_MARKERS)}
+                if owned:
+                    self.mutex_members[cls.name] = owned
+                    for name in sorted(owned):
+                        self.by_member.setdefault(name, []).append(cls.name)
+
+    def enclosing_class(self, qualname: str) -> str | None:
+        """The class qualname a `Class::Method` function name belongs to."""
+        if "::" not in qualname:
+            return None
+        prefix = qualname.rsplit("::", 1)[0]
+        if prefix in self.classes:
+            return prefix
+        # Out-of-line definitions spell only the tail (`Shard::Record` for a
+        # nested FlightRecorder::Shard): match by last component.
+        last = prefix.rsplit("::", 1)[-1]
+        for qual in sorted(self.classes):
+            if qual.rsplit("::", 1)[-1] == last:
+                return qual
+        return None
+
+    def member_type_ids(self, class_qual: str, member_name: str) -> set[str]:
+        entry = self.classes.get(class_qual)
+        if entry is None:
+            return set()
+        for member in entry[0].members:
+            if member.name == member_name:
+                return _type_ids(member.type_text)
+        return set()
+
+    def resolve_scope(self, scope: LockScope, rel: str) -> str:
+        """Stable lock identity for a MutexLock scope: "Class::member"
+        when the owner is unambiguous, else a file-scoped fallback."""
+        encl = self.enclosing_class(scope.function) if scope.function \
+            else None
+        if scope.base == scope.member:
+            # Plain `mutex_`: it is our own member iff the enclosing class
+            # declares a mutex of that name.
+            if encl is not None and \
+                    scope.member in self.mutex_members.get(encl, set()):
+                return f"{encl}::{scope.member}"
+        else:
+            candidates = sorted(self.by_member.get(scope.member, []))
+            if len(candidates) == 1:
+                return f"{candidates[0]}::{scope.member}"
+            hints = set(scope.local_hints)
+            if encl is not None and scope.container:
+                hints |= self.member_type_ids(encl, scope.container)
+            if encl is not None and scope.base:
+                # `shards_[i].mutex`: the receiver may itself be a member.
+                hints |= self.member_type_ids(encl, scope.base)
+            narrowed = [qual for qual in candidates
+                        if set(qual.split("::")) & hints]
+            if len(narrowed) == 1:
+                return f"{narrowed[0]}::{scope.member}"
+        return f"{rel}:{scope.expr}"

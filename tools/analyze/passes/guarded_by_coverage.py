@@ -1,0 +1,92 @@
+"""Pass `guarded-by-coverage`: lock-owning classes annotate ALL their state.
+
+The lock-annotations pass already demands that every util::Mutex member be
+named by at least one QASCA annotation; this pass closes the remaining gap:
+a class that owns a mutex (directly, or through a by-value member whose
+type owns one — e.g. an array of per-shard cells) has declared itself
+concurrent, so every one of its mutable members needs a stated contract.
+A member passes if it is
+
+  * QASCA_GUARDED_BY / QASCA_PT_GUARDED_BY annotated,
+  * const / constexpr (immutable after construction),
+  * std::atomic (its own synchronization),
+  * itself a mutex / condition variable / once_flag,
+  * of a mutex-owning type (internally synchronized), or
+  * justified with `// analyze:allow(guarded-by-coverage)` (e.g. state
+    confined to one thread by a documented protocol).
+
+static members are skipped here; mutable statics are the global-state
+pass's business.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..base import ERROR, Finding, SourceTree
+from .concurrency import ClassIndex, _type_ids
+
+_POINTER_MARKERS = ("*", "&")
+
+
+class GuardedByCoveragePass:
+    name = "guarded-by-coverage"
+    description = ("every mutable member of a mutex-owning class must be "
+                   "QASCA_GUARDED_BY-annotated, const, atomic, or "
+                   "explicitly justified")
+    severity = ERROR
+    roots = ("src",)
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        index = ClassIndex(tree, roots=self.roots)
+        owners = self._owning_closure(index)
+        owner_components = {qual.rsplit("::", 1)[-1] for qual in owners}
+        owner_components |= owners
+        findings: list[Finding] = []
+        for qual in sorted(owners):
+            cls, rel = index.classes[qual]
+            for member in cls.members:
+                if member.guarded or member.const or member.static or \
+                        member.atomic or member.mutex or member.condvar:
+                    continue
+                if _type_ids(member.type_text) & owner_components:
+                    continue  # internally synchronized member type
+                findings.append(Finding(
+                    pass_name=self.name, severity=self.severity,
+                    path=rel, line=member.line,
+                    message=(f"{qual}::{member.name} is mutable state in a "
+                             "mutex-owning class without a QASCA_GUARDED_BY "
+                             "contract — annotate which lock protects it, "
+                             "make it const, or justify with "
+                             "analyze:allow(guarded-by-coverage)")))
+        return findings
+
+    @staticmethod
+    def _owning_closure(index: ClassIndex) -> set[str]:
+        """Classes owning a mutex directly, or through a by-value member
+        whose type is a mutex-owning class NESTED in them (an array of
+        per-shard cells is the outer class's own locking design). A foreign
+        mutex-owning type held by value (a ThreadPool, a registry) is an
+        internally-synchronized component and does not make the holder
+        concurrent."""
+        owners = set(index.mutex_members)
+        changed = True
+        while changed:
+            changed = False
+            for qual, (cls, _rel) in index.classes.items():
+                if qual in owners:
+                    continue
+                nested_owners = {
+                    inner.rsplit("::", 1)[-1] for inner in owners
+                    if inner.startswith(f"{qual}::")}
+                if not nested_owners:
+                    continue
+                for member in cls.members:
+                    if any(mark in member.type_text
+                           for mark in _POINTER_MARKERS):
+                        continue
+                    if _type_ids(member.type_text) & nested_owners:
+                        owners.add(qual)
+                        changed = True
+                        break
+        return owners

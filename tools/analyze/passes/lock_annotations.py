@@ -27,9 +27,11 @@ from ..base import ERROR, Finding, SourceFile, SourceTree
 RAW_MUTEX_MEMBER = re.compile(
     r"std::(mutex|condition_variable(?:_any)?)\s+\w+\s*;")
 
-# `Mutex mu_;` possibly prefixed with mutable and/or util:: qualification.
+# `Mutex mu_;` possibly prefixed with mutable and/or util:: qualification,
+# and possibly carrying a lock-rank braced initializer
+# (`Mutex mu_{lock_ranks::kThreadPool};`, see util/lock_ranks.h).
 MUTEX_MEMBER = re.compile(
-    r"(?:mutable\s+)?(?:util::)?\bMutex\s+(\w+)\s*;")
+    r"(?:mutable\s+)?(?:util::)?\bMutex\s+(\w+)\s*(?:\{[^{};]*\})?\s*;")
 
 ANNOTATION = re.compile(
     r"QASCA_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|"

@@ -1,0 +1,290 @@
+"""Pass `lock-order`: the interprocedural lock graph must stay acyclic.
+
+The frontend records every `util::MutexLock` acquisition scope and every
+call site per function. This pass links them across TUs into a directed
+lock graph: an edge A -> B means "B was acquired while A was held", either
+directly (a MutexLock scope nested inside another's extent) or
+interprocedurally (a call made under scope A reaching a function whose
+transitive closure acquires B). Calls are matched by unqualified name —
+deliberately conservative: an over-matched callee can only add may-acquire
+edges, never hide one.
+
+Every cycle (Tarjan SCC with >1 node, or a self-loop from re-acquiring a
+held lock) is one finding, reported at the witness line of the
+lexicographically first edge inside the cycle.
+
+When the tree is acyclic, the pass additionally checks the checked-in
+ranking `tools/analyze/lock_order.json` (which util/lock_ranks.h mirrors
+for the QASCA_MUTEX_RANK_CHECKS runtime verifier): if the computed nodes
+or edges drifted from the recorded ones, the file is stale and must be
+regenerated with `python3 tools/analyze.py --write-lock-order`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..base import ERROR, Finding, SourceTree
+from .concurrency import ClassIndex
+
+LOCK_ORDER_JSON = "tools/analyze/lock_order.json"
+
+GRAPH_ROOTS = ("src",)
+
+
+@dataclass
+class _Fn:
+    rel: str
+    qualname: str
+    line: int
+    end_line: int
+    # (node, acquire_line, scope_end_line)
+    scopes: list[tuple[str, int, int]] = field(default_factory=list)
+    calls: list[tuple[str, int]] = field(default_factory=list)
+    acquires: set[str] = field(default_factory=set)  # transitive closure
+
+
+def _build_graph(tree: SourceTree) -> tuple[
+        set[str], dict[tuple[str, str], tuple[str, int, str]]]:
+    """(acquired_nodes, {(held, acquired): (rel, line, why)})."""
+    index = ClassIndex(tree, roots=GRAPH_ROOTS)
+    fns: list[_Fn] = []
+    by_name: dict[str, list[_Fn]] = {}
+    for source in tree.files(GRAPH_ROOTS):
+        model = tree.model(source)
+        file_fns: list[_Fn] = []
+        for func in model.functions:
+            entry = _Fn(rel=source.rel, qualname=func.qualname or func.name,
+                        line=func.line, end_line=func.end_line)
+            fns.append(entry)
+            file_fns.append(entry)
+            by_name.setdefault(func.name, []).append(entry)
+
+        def owner(line: int) -> _Fn | None:
+            best = None
+            for entry in file_fns:
+                if entry.line <= line <= entry.end_line:
+                    # Innermost on ties (nested lambdas share extents).
+                    if best is None or entry.line >= best.line:
+                        best = entry
+            return best
+
+        for scope in model.lock_scopes:
+            entry = owner(scope.line)
+            if entry is None:
+                continue
+            node = index.resolve_scope(scope, source.rel)
+            entry.scopes.append((node, scope.line, scope.end_line))
+            entry.acquires.add(node)
+        for call in model.calls:
+            entry = owner(call.line)
+            if entry is not None:
+                entry.calls.append((call.name, call.line))
+
+    # Transitive may-acquire closure over name-matched callees.
+    changed = True
+    while changed:
+        changed = False
+        for entry in fns:
+            for name, _line in entry.calls:
+                for callee in by_name.get(name, []):
+                    if callee is entry:
+                        continue
+                    missing = callee.acquires - entry.acquires
+                    if missing:
+                        entry.acquires |= missing
+                        changed = True
+
+    acquired: set[str] = set()
+    edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+
+    def add_edge(held: str, node: str, rel: str, line: int,
+                 why: str) -> None:
+        witness = (rel, line, why)
+        current = edges.get((held, node))
+        if current is None or (rel, line) < (current[0], current[1]):
+            edges[(held, node)] = witness
+
+    for entry in fns:
+        for node, _line, _end in entry.scopes:
+            acquired.add(node)
+        scopes = sorted(entry.scopes, key=lambda s: (s[1], s[2]))
+        for i, (node_a, line_a, end_a) in enumerate(scopes):
+            for node_b, line_b, _end_b in scopes[i + 1:]:
+                if line_a < line_b <= end_a:
+                    add_edge(node_a, node_b, entry.rel, line_b,
+                             "nested acquisition")
+        for name, line in entry.calls:
+            held = [node for node, lo, hi in entry.scopes if lo < line <= hi]
+            if not held:
+                continue
+            callee_acquires: set[str] = set()
+            for callee in by_name.get(name, []):
+                if callee is not entry:
+                    callee_acquires |= callee.acquires
+            for node_h in held:
+                for node_c in sorted(callee_acquires):
+                    if node_c != node_h:
+                        add_edge(node_h, node_c, entry.rel, line,
+                                 f"call to {name}() acquires")
+    return acquired, edges
+
+
+def _sccs(nodes: list[str],
+          adjacency: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's strongly connected components, deterministic order."""
+    counter = [0]
+    number: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    stack: list[str] = []
+    on_stack: set[str] = set()
+    result: list[list[str]] = []
+
+    def connect(v: str) -> None:
+        number[v] = lowlink[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(adjacency.get(v, set())):
+            if w not in number:
+                connect(w)
+                lowlink[v] = min(lowlink[v], lowlink[w])
+            elif w in on_stack:
+                lowlink[v] = min(lowlink[v], number[w])
+        if lowlink[v] == number[v]:
+            component = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            result.append(sorted(component))
+
+    for node in sorted(nodes):
+        if node not in number:
+            connect(node)
+    return result
+
+
+def _ranks(nodes: set[str],
+           edges: dict[tuple[str, str], tuple[str, int, str]]
+           ) -> list[tuple[str, int]] | None:
+    """Kahn topological ranking (alphabetical tie-break), ranks in tens so
+    future locks slot between existing ones. None when cyclic."""
+    import heapq
+    out: dict[str, set[str]] = {node: set() for node in sorted(nodes)}
+    indegree = {node: 0 for node in nodes}
+    for (src, dst) in edges:
+        if src == dst or src not in out or dst not in indegree:
+            continue
+        if dst not in out[src]:
+            out[src].add(dst)
+            indegree[dst] += 1
+    heap = [node for node in sorted(nodes) if indegree[node] == 0]
+    heapq.heapify(heap)
+    ordered: list[str] = []
+    while heap:
+        node = heapq.heappop(heap)
+        ordered.append(node)
+        for dst in sorted(out[node]):
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                heapq.heappush(heap, dst)
+    if len(ordered) != len(nodes):
+        return None
+    return [(node, (i + 1) * 10) for i, node in enumerate(ordered)]
+
+
+def compute_lock_order(tree: SourceTree) -> dict:
+    """The lock_order.json payload for the tree: ranked acquired locks plus
+    the edge list that justifies the ordering. Used by the driver's
+    --write-lock-order and by this pass's staleness check."""
+    acquired, edges = _build_graph(tree)
+    nodes = set(acquired)
+    for src, dst in edges:
+        nodes.add(src)
+        nodes.add(dst)
+    ranks = _ranks(nodes, edges)
+    payload = {
+        "comment": ("generated by `python3 tools/analyze.py "
+                    "--write-lock-order`; util/lock_ranks.h must mirror "
+                    "these ranks"),
+        "nodes": [] if ranks is None else
+                 [{"node": node, "rank": rank} for node, rank in ranks],
+        "edges": [{"held": src, "acquired": dst,
+                   "witness": f"{edges[(src, dst)][0]}:"
+                              f"{edges[(src, dst)][1]}"}
+                  for src, dst in sorted(edges) if src != dst],
+        "cyclic": ranks is None,
+    }
+    return payload
+
+
+class LockOrderPass:
+    name = "lock-order"
+    description = ("the interprocedural MutexLock acquisition graph must be "
+                   "acyclic, and tools/analyze/lock_order.json must match "
+                   "the computed ordering")
+    severity = ERROR
+    roots = GRAPH_ROOTS
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        acquired, edges = _build_graph(tree)
+        adjacency: dict[str, set[str]] = {}
+        nodes = set(acquired)
+        for src, dst in edges:
+            nodes.add(src)
+            nodes.add(dst)
+            adjacency.setdefault(src, set()).add(dst)
+        findings: list[Finding] = []
+        for component in _sccs(sorted(nodes), adjacency):
+            members = set(component)
+            cycle_edges = sorted(
+                (src, dst) + edges[(src, dst)]
+                for (src, dst) in edges
+                if src in members and dst in members and
+                (len(members) > 1 or src == dst))
+            if not cycle_edges:
+                continue
+            src, dst, rel, line, why = cycle_edges[0]
+            if src == dst:
+                detail = (f"{src} is acquired again while already held "
+                          f"({why}) — a self-deadlock")
+            else:
+                ring = " <-> ".join(component)
+                detail = (f"lock-order cycle among {ring}: acquiring {dst} "
+                          f"while holding {src} ({why}) closes the cycle")
+            findings.append(Finding(
+                pass_name=self.name, severity=self.severity,
+                path=rel, line=line,
+                message=(f"{detail}; pick one global acquisition order "
+                         "(tools/analyze/lock_order.json) and restructure "
+                         "so every thread takes these locks in it")))
+        if not findings:
+            findings.extend(self._check_recorded_order(tree))
+        return findings
+
+    def _check_recorded_order(self, tree: SourceTree) -> list[Finding]:
+        # Fixture trees (self-test) carry no checked-in ranking; only the
+        # real repo does, and there it must match what the graph computes.
+        path = tree.root / LOCK_ORDER_JSON
+        if not path.is_file():
+            return []
+        computed = compute_lock_order(tree)
+        try:
+            recorded = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            recorded = None
+        if recorded is not None and \
+                recorded.get("nodes") == computed["nodes"] and \
+                recorded.get("edges") == computed["edges"]:
+            return []
+        return [Finding(
+            pass_name=self.name, severity=self.severity,
+            path=LOCK_ORDER_JSON, line=1,
+            message=("checked-in lock ordering is stale — the acquisition "
+                     "graph changed; regenerate with `python3 "
+                     "tools/analyze.py --write-lock-order` and realign "
+                     "util/lock_ranks.h"))]

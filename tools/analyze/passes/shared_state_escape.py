@@ -1,0 +1,50 @@
+"""Pass `shared-state-escape`: no unguarded shared writes from pool lambdas.
+
+Work handed to util::ThreadPool (Submit / ParallelFor / ParallelSum) runs
+on pool workers concurrently with the caller and with other chunks. The
+frontend records, for each lambda at a pool entry point, every write whose
+target is reached through the capture rather than a lambda-local
+declaration. Such a write is a data race unless
+
+  * it lands in a disjoint per-chunk slot — the write target is indexed
+    (`out[i] = ...`, `partials[chunk] += ...`), which is the repo's blessed
+    deterministic-reduction shape (DESIGN.md §7), or
+  * it happens under a util::MutexLock taken inside the lambda, or
+  * it is explicitly justified with `// analyze:allow(shared-state-escape)`
+    (e.g. a single-writer flag joined before any read).
+
+Scoped to the decision layers; tests/benchmarks may stage races on purpose.
+"""
+
+from __future__ import annotations
+
+from ..base import ERROR, Finding, SourceTree
+
+
+class SharedStateEscapePass:
+    name = "shared-state-escape"
+    description = ("writes from ThreadPool lambdas to by-reference-captured "
+                   "state must be per-chunk-indexed or lock-guarded")
+    severity = ERROR
+    roots = ("src/core", "src/model", "src/platform")
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in tree.files(self.roots):
+            model = tree.model(source)
+            for lam in model.pool_lambdas:
+                where = f"{lam.function}()" if lam.function else "a lambda"
+                for write in lam.writes:
+                    if write.indexed or write.guarded:
+                        continue
+                    findings.append(Finding(
+                        pass_name=self.name, severity=self.severity,
+                        path=source.rel, line=write.line,
+                        message=(f"`{write.target}` is captured state "
+                                 f"written inside the {lam.call} lambda in "
+                                 f"{where} without disjoint indexing or a "
+                                 "lock — a data race across pool workers; "
+                                 "write into a per-chunk slot, take a "
+                                 "util::MutexLock, or justify with "
+                                 "analyze:allow(shared-state-escape)")))
+        return findings

@@ -1,0 +1,57 @@
+// shared-state-escape fixture: an unguarded by-reference write and a write
+// through a by-value captured pointer inside pool lambdas must fire; a
+// disjoint indexed write, a lock-guarded merge, and an allow'd
+// single-writer flag must not.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace util {
+template <typename F>
+void ParallelFor(int begin, int end, int grain, F&& body);
+}  // namespace util
+
+int CountMatches(const std::vector<int>& values, int needle) {
+  int count = 0;
+  util::ParallelFor(0, static_cast<int>(values.size()), 64,
+                    [&](int chunk_begin, int chunk_end) {
+    for (int i = chunk_begin; i < chunk_end; ++i) {
+      if (values[static_cast<std::size_t>(i)] == needle) {
+        ++count;  // analyze:expect(shared-state-escape)
+      }
+    }
+  });
+  return count;
+}
+
+void SquareInto(const std::vector<int>& in, std::vector<int>& out) {
+  util::ParallelFor(0, static_cast<int>(in.size()), 64,
+                    [&](int chunk_begin, int chunk_end) {
+    for (int i = chunk_begin; i < chunk_end; ++i) {
+      const std::size_t s = static_cast<std::size_t>(i);
+      out[s] = in[s] * in[s];  // disjoint per-index slot: no race
+    }
+  });
+}
+
+int GuardedTally(const std::vector<int>& values, qasca::util::Mutex& mu) {
+  int total = 0;
+  util::ParallelFor(0, static_cast<int>(values.size()), 64,
+                    [&](int chunk_begin, int chunk_end) {
+    int local = 0;
+    for (int i = chunk_begin; i < chunk_end; ++i) {
+      local += values[static_cast<std::size_t>(i)];
+    }
+    qasca::util::MutexLock lock(mu);
+    total += local;  // the lock serializes the merge: no race
+  });
+  return total;
+}
+
+void PublishDone(bool* done) {
+  util::ParallelFor(0, 1, 1, [done](int, int) {
+    *done = true;  // analyze:allow(shared-state-escape) single writer, joined before any read
+  });
+}

@@ -1,0 +1,34 @@
+// global-state fixture: a mutable namespace-scope variable, a mutable
+// function-local static, and a thread_local in a decision layer must all
+// fire; constexpr tables and an allow'd immutable-after-init singleton
+// must not.
+
+#include <string>
+
+namespace qasca::core {
+
+int g_call_budget = 100;  // analyze:expect(global-state)
+
+constexpr int kMaxRounds = 8;  // immutable: fine
+
+const char* const kStageNames[] = {"assign", "refit"};  // immutable: fine
+
+int NextSequence() {
+  static int sequence = 0;  // analyze:expect(global-state)
+  return ++sequence;
+}
+
+thread_local int t_recursion_depth = 0;  // analyze:expect(global-state)
+
+const std::string& ProcessTag() {
+  // analyze:allow(global-state) immutable-after-init singleton
+  static std::string tag = "qasca";
+  return tag;
+}
+
+int Clamp(int rounds) {
+  if (t_recursion_depth > kMaxRounds) return kMaxRounds;
+  return rounds > g_call_budget ? g_call_budget : rounds;
+}
+
+}  // namespace qasca::core

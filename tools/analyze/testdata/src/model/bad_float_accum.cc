@@ -27,7 +27,7 @@ double BlessedFold(const std::vector<double>& values) {
   double partial = 0.0;
   util::ParallelFor(0, values.size(), [&](std::size_t chunk) {
     for (std::size_t i = chunk; i < values.size(); i += 4) {
-      partial += values[i];  // chunk-partial inside the blessed helper
+      partial += values[i];  // analyze:expect(shared-state-escape)
     }
   });
   return partial;

@@ -1,0 +1,42 @@
+#ifndef QASCA_UTIL_BAD_COVERAGE_H_
+#define QASCA_UTIL_BAD_COVERAGE_H_
+
+// guarded-by-coverage fixture: a mutex-owning class with an unannotated
+// mutable member must fire — both for direct mutex ownership and for
+// ownership through an array of nested per-shard cells; annotated, const,
+// atomic and allow'd members must not.
+
+#include <atomic>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class LeakyState {
+ public:
+  void Touch() {
+    qasca::util::MutexLock lock(mu_);
+    ++guarded_total_;
+  }
+
+ private:
+  mutable qasca::util::Mutex mu_;
+  int guarded_total_ QASCA_GUARDED_BY(mu_) = 0;
+  const std::string label_ = "leaky";
+  std::atomic<int> probes_{0};
+  int hits_ = 0;  // analyze:expect(guarded-by-coverage)
+  int approx_reads_ = 0;  // analyze:allow(guarded-by-coverage) stats probe, torn reads acceptable
+};
+
+class PerShardOwner {
+ private:
+  struct Cell {
+    mutable qasca::util::Mutex mu;
+    int value QASCA_GUARDED_BY(mu) = 0;
+  };
+
+  Cell cells_[4];  // internally synchronized: no contract needed
+  int generation_ = 0;  // analyze:expect(guarded-by-coverage)
+};
+
+#endif  // QASCA_UTIL_BAD_COVERAGE_H_

@@ -1,0 +1,124 @@
+#ifndef QASCA_UTIL_BAD_LOCK_ORDER_H_
+#define QASCA_UTIL_BAD_LOCK_ORDER_H_
+
+// lock-order fixture: an ABBA pair nested directly in two methods, an
+// interprocedural inversion routed through helper calls, and a
+// re-acquisition self-deadlock must fire (one finding per cycle, at the
+// witness of the cycle's lexicographically first edge); a consistently
+// ordered pair must not, and an allow'd cycle must suppress.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class DeadlockPair {
+ public:
+  void FirstAThenB() {
+    qasca::util::MutexLock la(mu_a_);
+    qasca::util::MutexLock lb(mu_b_);  // analyze:expect(lock-order)
+    ++a_total_;
+    ++b_total_;
+  }
+
+  void SecondBThenA() {
+    qasca::util::MutexLock lb(mu_b_);
+    qasca::util::MutexLock la(mu_a_);
+    ++a_total_;
+    ++b_total_;
+  }
+
+ private:
+  qasca::util::Mutex mu_a_;
+  qasca::util::Mutex mu_b_;
+  int a_total_ QASCA_GUARDED_BY(mu_a_) = 0;
+  int b_total_ QASCA_GUARDED_BY(mu_b_) = 0;
+};
+
+class CrossProc {
+ public:
+  void OuterThenHelper() {
+    qasca::util::MutexLock lock(outer_mu_);
+    HelperLocksInner();
+    ++outer_hits_;
+  }
+
+  void BackThenReacquire() {
+    qasca::util::MutexLock lock(inner_mu_);
+    ReacquireOuter();  // analyze:expect(lock-order)
+    ++inner_hits_;
+  }
+
+ private:
+  void HelperLocksInner() {
+    qasca::util::MutexLock lock(inner_mu_);
+    ++inner_hits_;
+  }
+
+  void ReacquireOuter() {
+    qasca::util::MutexLock lock(outer_mu_);
+    ++outer_hits_;
+  }
+
+  qasca::util::Mutex outer_mu_;
+  qasca::util::Mutex inner_mu_;
+  int outer_hits_ QASCA_GUARDED_BY(outer_mu_) = 0;
+  int inner_hits_ QASCA_GUARDED_BY(inner_mu_) = 0;
+};
+
+class Reenter {
+ public:
+  void LockTwice() {
+    qasca::util::MutexLock first(mu_self_);
+    qasca::util::MutexLock again(mu_self_);  // analyze:expect(lock-order)
+    ++self_hits_;
+  }
+
+ private:
+  qasca::util::Mutex mu_self_;
+  int self_hits_ QASCA_GUARDED_BY(mu_self_) = 0;
+};
+
+// Consistent ordering: nesting alone is fine, only a cycle is a finding.
+class OrderedPair {
+ public:
+  void AlwaysLowThenHigh() {
+    qasca::util::MutexLock low(mu_low_);
+    qasca::util::MutexLock high(mu_high_);
+    ++low_total_;
+    ++high_total_;
+  }
+
+  void AlsoLowThenHigh() {
+    qasca::util::MutexLock low(mu_low_);
+    qasca::util::MutexLock high(mu_high_);
+    ++low_total_;
+  }
+
+ private:
+  qasca::util::Mutex mu_low_;
+  qasca::util::Mutex mu_high_;
+  int low_total_ QASCA_GUARDED_BY(mu_low_) = 0;
+  int high_total_ QASCA_GUARDED_BY(mu_high_) = 0;
+};
+
+class AllowedPair {
+ public:
+  void AaThenBb() {
+    qasca::util::MutexLock la(mu_aa_);
+    qasca::util::MutexLock lb(mu_bb_);  // analyze:allow(lock-order) legacy cycle, tracked in the migration plan
+    ++aa_total_;
+  }
+
+  void BbThenAa() {
+    qasca::util::MutexLock lb(mu_bb_);
+    qasca::util::MutexLock la(mu_aa_);
+    ++bb_total_;
+  }
+
+ private:
+  qasca::util::Mutex mu_aa_;
+  qasca::util::Mutex mu_bb_;
+  int aa_total_ QASCA_GUARDED_BY(mu_aa_) = 0;
+  int bb_total_ QASCA_GUARDED_BY(mu_bb_) = 0;
+};
+
+#endif  // QASCA_UTIL_BAD_LOCK_ORDER_H_

@@ -13,41 +13,50 @@
 #                                    on build*/compile_commands.json
 #                                    (invariants, span-names, determinism,
 #                                    clock-discipline, include-hygiene,
-#                                    lock-annotations, noexcept-audit,
-#                                    status-discard, api-layering,
-#                                    float-determinism, hot-path-alloc);
-#                                    exit 1 on any non-baselined error
-#                                    (tools/analyze/baseline.json)
+#                                    lock-annotations, lock-order,
+#                                    shared-state-escape,
+#                                    guarded-by-coverage, global-state,
+#                                    noexcept-audit, status-discard,
+#                                    api-layering, float-determinism,
+#                                    hot-path-alloc); exit 1 on any
+#                                    non-baselined error
+#                                    (tools/analyze/baseline.json) or a
+#                                    stale tools/analyze/lock_order.json
 #   2. tools/analyze.py --self-test — the analyzer proves its own passes
 #                                    fire (and suppressions hold) against
 #                                    tools/analyze/testdata/, and that
 #                                    finding IDs, the JSON schema and the
 #                                    baseline mechanism stay stable
-#   3. warning-clean Release build (-Wall -Wextra -Werror, DCHECKs off)
-#   4. clang-tidy over the release compile database's TU set with the
+#   3. lock-order ranking freshness: the checked-in
+#      tools/analyze/lock_order.json must byte-match what the analyzer
+#      computes from the current tree (regenerate with
+#      `python3 tools/analyze.py --write-lock-order`)
+#   4. warning-clean Release build (-Wall -Wextra -Werror, DCHECKs off)
+#   5. clang-tidy over the release compile database's TU set with the
 #      project .clang-tidy profile
-#   5. `analyze` preset build: clang++ -Wthread-safety -Werror=thread-safety
+#   6. `analyze` preset build: clang++ -Wthread-safety -Werror=thread-safety
 #      over the annotated tree (util::Mutex / QASCA_GUARDED_BY contracts)
-#   6. asan-ubsan preset: full build + ctest, every QASCA_DCHECK invariant
+#   7. asan-ubsan preset: full build + ctest, every QASCA_DCHECK invariant
 #      enabled and sanitizer reports fatal
-#   7. faults suite under the same asan-ubsan build: the tests labelled
+#   8. faults suite under the same asan-ubsan build: the tests labelled
 #      "faults" (seeded lifecycle stress harness, lease/recovery units,
 #      fail-point registry, golden-trace byte-identity) — the
 #      fault-injection branches only exist with DCHECKs on, so this is
 #      the build that exercises them
-#   8. kernel-equivalence suite under the same asan-ubsan build, replayed
+#   9. kernel-equivalence suite under the same asan-ubsan build, replayed
 #      once per QASCA_KERNEL_ISA override (scalar, sse2, avx2): the tests
 #      labelled "kernels" prove every SIMD dispatch path makes
 #      byte-identical assignment decisions (DESIGN.md §12)
-#   9. tsan preset over the tests labelled "threads" (thread-pool,
-#      thread-annotations, telemetry, engine-determinism and lifecycle
-#      stress suites); --tsan widens this stage to the full tsan suite
-#  10. observability smoke (ISSUE 8): qasca_sim --trace-out /
+#  10. tsan preset over the tests labelled "threads" (thread-pool,
+#      thread-annotations, telemetry, lock-rank, engine-determinism and
+#      lifecycle stress suites); --tsan widens this stage to the full
+#      tsan suite
+#  11. observability smoke (ISSUE 8): qasca_sim --trace-out /
 #      --provenance-out on the release build, then structural validation of
 #      the Chrome trace JSON (sorted ts, balanced B/E per tid, nested
 #      stages) and the provenance JSONL, and a bench_diff run over the two
 #      newest checked-in BENCH_*.json baselines
-#  11. telemetry-overhead smoke: disabled-telemetry instrumentation on a
+#  12. telemetry-overhead smoke: disabled-telemetry instrumentation on a
 #      hot loop must cost < 2%; also drives the enabled+flight-recorder
 #      path (informational cost, recorder must capture events)
 #
@@ -105,6 +114,37 @@ stage_pass
 
 stage_begin "static analyzer self-test (tools/analyze/testdata/)"
 run python3 tools/analyze.py --self-test
+stage_pass
+
+stage_begin "lock-order ranking freshness (tools/analyze/lock_order.json)"
+# Stronger than the lock-order pass's own staleness finding (which compares
+# nodes and edges): the checked-in artifact must be byte-for-byte what
+# --write-lock-order would regenerate, so a hand-edited ranking cannot
+# drift from the graph the analyzer actually computed.
+run python3 - <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, "tools")
+from analyze.driver import ground_tree
+from analyze.passes.lock_order import LOCK_ORDER_JSON, compute_lock_order
+
+tree, _orphans, _notes = ground_tree(Path.cwd(), None, use_cache=True)
+computed = compute_lock_order(tree)
+try:
+    recorded = json.loads(Path(LOCK_ORDER_JSON).read_text(encoding="utf-8"))
+except (OSError, ValueError):
+    recorded = None
+if computed != recorded:
+    print("lock_order.json is stale — regenerate with `python3 "
+          "tools/analyze.py --write-lock-order` and realign "
+          "src/util/lock_ranks.h")
+    sys.exit(1)
+state = "CYCLIC" if computed["cyclic"] else "acyclic"
+print(f"lock order fresh: {len(computed['nodes'])} locks, "
+      f"{len(computed['edges'])} edges, {state}")
+EOF
 stage_pass
 
 stage_begin "warning-clean Release build (-Werror)"
@@ -241,10 +281,13 @@ for r in records:
 print(f"observability smoke: {len(events)} trace events across "
       f"{len(names)} stages, {len(records)} provenance records")
 EOF
-# Perf-regression gate over the two newest checked-in bench baselines. The
-# loose threshold absorbs machine-to-machine noise in the snapshots; the
-# point is catching order-of-magnitude slides between recorded PRs.
-BENCH_BASELINES=($(ls BENCH_*.json | sort -V | tail -2))
+# Perf-regression gate over the two newest *checked-in* bench baselines
+# (git ls-files, not a filesystem glob: a stray locally generated
+# BENCH_*.json must not change which pair the gate compares, or the check
+# stops being idempotent across machines). The loose threshold absorbs
+# machine-to-machine noise in the snapshots; the point is catching
+# order-of-magnitude slides between recorded PRs.
+BENCH_BASELINES=($(git ls-files 'BENCH_*.json' | sort -V | tail -2))
 if [[ "${#BENCH_BASELINES[@]}" -eq 2 ]]; then
   run python3 tools/bench_diff.py \
     "${BENCH_BASELINES[0]}" "${BENCH_BASELINES[1]}" --threshold 0.5
