@@ -1,0 +1,202 @@
+// Serving-layer benchmark (ISSUE 10): drives the multi-app AppManager with
+// the deterministic serving harness (simulation/serving_driver.h) across an
+// apps × worker-threads grid and reports, per cell, the event throughput
+// and the p95 assignment latency every app's SloTracker measured over its
+// sliding window (PR 8 observability stack; AppConfig::slo_p95_assign_ms).
+//
+// Writes the BENCH_PR10.json snapshot (schema v5, documented in README.md):
+// the new "serving" section carries one row per grid cell, and the
+// determinism flag asserts that per-app decision hashes were bit-identical
+// across every thread count of a grid column — the conformance suite's
+// claim, re-checked here on the bench workload.
+//
+// Latency numbers are wall-clock and machine-dependent; the decision
+// hashes are not. tools/bench_diff.py compares serving rows by
+// (apps, worker_threads) identity.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "platform/app_manager.h"
+#include "simulation/serving_driver.h"
+#include "util/logging.h"
+
+namespace qasca {
+namespace {
+
+constexpr uint64_t kSeed = 20100;
+
+struct CellResult {
+  int apps = 0;
+  int threads = 0;
+  double events_per_second = 0.0;
+  double p95_assignment_seconds = 0.0;
+  double max_assignment_seconds = 0.0;
+  int64_t assignments = 0;
+  int64_t completions = 0;
+  int64_t batches = 0;
+  bool slo_met = false;
+  uint64_t decision_hash = 0;
+  std::vector<uint64_t> per_app_hashes;
+};
+
+uint64_t FoldHashes(const std::vector<uint64_t>& hashes) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t value : hashes) {
+    h ^= value;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+CellResult RunCell(const ServingWorkloadOptions& options, int threads) {
+  const ServingSchedule schedule = ServingSchedule::Generate(options, kSeed);
+  AppManager manager;
+  util::Status built = BuildServingApps(manager, options, kSeed);
+  QASCA_CHECK(built.ok()) << built.ToString();
+  const ServingRunResult run =
+      RunServingSchedule(manager, schedule, options, threads);
+
+  CellResult cell;
+  cell.apps = options.apps;
+  cell.threads = threads;
+  cell.assignments = run.assignments;
+  cell.completions = run.completions;
+  cell.batches = run.batches;
+  cell.per_app_hashes = run.decision_hashes;
+  cell.decision_hash = FoldHashes(run.decision_hashes);
+  const double total_events =
+      static_cast<double>(options.apps) * options.events_per_app;
+  cell.events_per_second =
+      run.elapsed_seconds > 0 ? total_events / run.elapsed_seconds : 0.0;
+  // The SLO view: worst per-app sliding-window p95 across the fleet, from
+  // each app's own SloTracker.
+  for (int app = 0; app < options.apps; ++app) {
+    util::StatusOr<AppManager::AppStats> stats = manager.StatsFor(app);
+    QASCA_CHECK(stats.ok()) << stats.status().ToString();
+    cell.p95_assignment_seconds =
+        std::max(cell.p95_assignment_seconds, stats->window_p95_seconds);
+    cell.max_assignment_seconds =
+        std::max(cell.max_assignment_seconds, stats->max_assignment_seconds);
+  }
+  cell.slo_met =
+      cell.p95_assignment_seconds <= options.slo_p95_assign_ms / 1e3;
+  return cell;
+}
+
+int Main(int argc, char** argv) {
+  std::string commit = "unknown";
+  std::string date = "unknown";
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      QASCA_CHECK(i + 1 < argc) << "missing value for" << arg;
+      return argv[++i];
+    };
+    if (arg == "--commit") {
+      commit = value();
+    } else if (arg == "--date") {
+      date = value();
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: bench_serving [--commit SHA] [--date D] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  ServingWorkloadOptions options;
+  options.workers_per_app = 8;
+  options.events_per_app = 200;
+  options.num_questions = 50;
+  options.questions_per_hit = 3;
+  options.em_refresh_interval = 4;
+  options.lease_timeout_ticks = 6;
+  // The per-app SLO target the p95 column is judged against. Generous on
+  // purpose: the gate is bench_diff's relative drift check, the boolean is
+  // the at-a-glance signal.
+  options.slo_p95_assign_ms = 5.0;
+
+  const std::vector<int> app_counts = {2, 4, 8};
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  std::FILE* out =
+      out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
+  QASCA_CHECK(out != nullptr) << "cannot open" << out_path;
+
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"bench_serving\",\n");
+  std::fprintf(out, "  \"schema_version\": 5,\n");
+  std::fprintf(out, "  \"commit\": \"%s\",\n", commit.c_str());
+  std::fprintf(out, "  \"date\": \"%s\",\n", date.c_str());
+  std::fprintf(out, "  \"machine\": { \"hardware_threads\": %u },\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out,
+               "  \"workload\": { \"workers_per_app\": %d, "
+               "\"events_per_app\": %d, \"num_questions\": %d, \"k\": %d, "
+               "\"slo_p95_assign_ms\": %g },\n",
+               options.workers_per_app, options.events_per_app,
+               options.num_questions, options.questions_per_hit,
+               options.slo_p95_assign_ms);
+
+  bool identical = true;
+  std::map<int, std::vector<uint64_t>> reference_hashes;
+  std::fprintf(out, "  \"serving\": [\n");
+  bool first = true;
+  for (int apps : app_counts) {
+    ServingWorkloadOptions cell_options = options;
+    cell_options.apps = apps;
+    for (int threads : thread_counts) {
+      std::fprintf(stderr, "[bench] apps=%d worker-threads=%d ...\n", apps,
+                   threads);
+      const CellResult cell = RunCell(cell_options, threads);
+      auto [it, inserted] =
+          reference_hashes.try_emplace(apps, cell.per_app_hashes);
+      if (!inserted && it->second != cell.per_app_hashes) identical = false;
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      std::fprintf(
+          out,
+          "    { \"apps\": %d, \"worker_threads\": %d, "
+          "\"events_per_second\": %g, \"p95_assignment_seconds\": %g, "
+          "\"max_assignment_seconds\": %g, \"assignments\": %lld, "
+          "\"completions\": %lld, \"batches\": %lld, \"slo_met\": %s, "
+          "\"decision_hash\": \"%016llx\" }",
+          cell.apps, cell.threads, cell.events_per_second,
+          cell.p95_assignment_seconds, cell.max_assignment_seconds,
+          static_cast<long long>(cell.assignments),
+          static_cast<long long>(cell.completions),
+          static_cast<long long>(cell.batches), cell.slo_met ? "true" : "false",
+          static_cast<unsigned long long>(cell.decision_hash));
+    }
+  }
+  std::fprintf(out, "\n  ],\n");
+  std::fprintf(
+      out,
+      "  \"determinism\": { \"identical_decisions_across_thread_counts\": "
+      "%s }\n",
+      identical ? "true" : "false");
+  std::fprintf(out, "}\n");
+  if (out != stdout) std::fclose(out);
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: per-app decision hashes diverged across thread "
+                 "counts\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace qasca
+
+int main(int argc, char** argv) { return qasca::Main(argc, argv); }

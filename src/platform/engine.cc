@@ -1,15 +1,13 @@
 #include "platform/engine.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstring>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "core/kernels/kernels.h"
-#include "model/posterior.h"
 #include "util/failpoint.h"
-#include "util/invariants.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/telemetry_names.h"
@@ -48,14 +46,9 @@ TaskAssignmentEngine::TaskAssignmentEngine(
       // telemetry is off. Decisions are byte-identical either way
       // (DeterminismTest.TracingNeverChangesDecisions).
       telemetry_(config_.telemetry_enabled || config_.flight_recorder_enabled ||
-                 config_.slo_p95_assign_ms > 0.0),
-      strategy_(std::move(strategy)),
-      metric_(config_.metric.Make()),
-      database_(config_.num_questions, config_.num_labels),
-      rng_(seed) {
+                 config_.slo_p95_assign_ms > 0.0) {
   util::Status status = config_.Validate();
   QASCA_CHECK(status.ok()) << status.ToString();
-  QASCA_CHECK(strategy_ != nullptr);
   config_.em.worker_kind = config_.worker_kind;
   if (config_.flight_recorder_enabled) {
     flight_recorder_ =
@@ -79,10 +72,6 @@ TaskAssignmentEngine::TaskAssignmentEngine(
     assign_slo_ = std::make_unique<util::SloTracker>(
         &telemetry_, slo_instruments, slo_options);
   }
-  if (config_.num_threads > 1) {
-    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
-    pool_->AttachTelemetry(&telemetry_);
-  }
   if (!config_.persistence_path.empty()) {
     journal_ = std::make_unique<LifecycleJournal>(config_.persistence_path);
     journal_->AttachTelemetry(&telemetry_);
@@ -90,15 +79,15 @@ TaskAssignmentEngine::TaskAssignmentEngine(
   // Arms any fault plan in the QASCA_FAILPOINTS environment variable; a
   // no-op when unset or when fail points are compiled out.
   util::FailPoints::Global().ArmFromEnv();
-  database_.AttachTelemetry(&telemetry_);
+  // The decision core: owns the database, the strategy, the RNG stream and
+  // the EM refresh machinery. Constructed after the registry so its
+  // instruments resolve against the live/disabled state decided above.
+  core_ = std::make_unique<AssignmentCore>(&config_, std::move(strategy),
+                                           seed, &telemetry_);
   instruments_.hits_assigned =
       telemetry_.GetCounter(util::tnames::kHitsAssigned);
   instruments_.hits_completed =
       telemetry_.GetCounter(util::tnames::kHitsCompleted);
-  instruments_.em_full_refits =
-      telemetry_.GetCounter(util::tnames::kEmFullRefits);
-  instruments_.em_incremental_refreshes =
-      telemetry_.GetCounter(util::tnames::kEmIncrementalRefreshes);
   instruments_.lease_expired =
       telemetry_.GetCounter(util::tnames::kHitLeaseExpired);
   instruments_.questions_requeued =
@@ -109,14 +98,13 @@ TaskAssignmentEngine::TaskAssignmentEngine(
       telemetry_.GetCounter(util::tnames::kHitLateCompletionRejected);
   instruments_.journal_events_replayed =
       telemetry_.GetCounter(util::tnames::kJournalEventsReplayed);
+  instruments_.batches_served =
+      telemetry_.GetCounter(util::tnames::kServingBatches);
+  instruments_.batch_requests =
+      telemetry_.GetCounter(util::tnames::kServingBatchRequests);
   instruments_.open_hits = telemetry_.GetGauge(util::tnames::kOpenHits);
   instruments_.remaining_hits =
       telemetry_.GetGauge(util::tnames::kRemainingHits);
-  instruments_.last_refresh_drift =
-      telemetry_.GetGauge(util::tnames::kLastRefreshDrift);
-  likelihood_cache_.AttachCounters(
-      telemetry_.GetCounter(util::tnames::kQwLikelihoodCacheHits),
-      telemetry_.GetCounter(util::tnames::kQwLikelihoodCacheMisses));
   // Which SIMD tier the runtime dispatcher selected (cpuid-detected, or the
   // QASCA_KERNEL_ISA override) — exported as the numeric kernels::Isa value.
   // The span makes the one-time dispatch resolution visible in traces.
@@ -144,70 +132,34 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
   // Root span of the HIT-request workflow; every stage below (estimate_qw,
   // topk_scan / fscore_online -> dinkelbach_inner) nests inside it.
   util::Span span(&telemetry_, util::tnames::kSpanAssignHit);
-  std::vector<QuestionIndex> candidates = database_.CandidatesFor(worker);
-  const int k = config_.questions_per_hit;
-  if (static_cast<int>(candidates.size()) < k) {
-    return util::Status::NotFound(
-        "fewer than k unassigned questions remain for this worker");
-  }
 
-  StrategyContext context;
-  context.database = &database_;
-  context.metric = &config_.metric;
-  context.worker = worker;
-  const WorkerModel& model = ModelFor(worker);
-  context.worker_model = &model;
-  context.typical_worker = &TypicalWorker();
-  context.rng = &rng_;
-  context.pool = pool_.get();
-  context.telemetry = &telemetry_;
-  context.likelihood_cache =
-      config_.likelihood_cache_enabled ? &likelihood_cache_ : nullptr;
-  context.use_qw_overlay = config_.use_qw_overlay;
-  // Decision provenance: the strategy fills the selection scores and
-  // optimizer diagnostics into this stack record; the identity fields are
-  // filled below once the assignment is durable. The cache-hit bit comes
-  // from the cache's own lifetime counters (telemetry-independent), read as
-  // a delta around the strategy call.
+  // Decision provenance: the strategy fills the selection scores and the
+  // core fills the decision-input fields; the identity fields are filled
+  // below once the assignment is durable.
   DecisionProvenance provenance_record;
-  context.provenance = provenance_ != nullptr ? &provenance_record : nullptr;
-  const int64_t cache_hits_before = likelihood_cache_.hits();
-
   util::Stopwatch stopwatch;
-  std::vector<QuestionIndex> selected =
-      strategy_->SelectQuestions(context, candidates, k);
+  util::StatusOr<AssignmentCore::Decision> decision = core_->Decide(
+      worker, provenance_ != nullptr ? &provenance_record : nullptr);
+  if (!decision.ok()) {
+    // A rejected request (short candidate set) never reached the strategy;
+    // it does not contribute an assignment-latency sample.
+    return decision.status();
+  }
   last_assignment_seconds_ = stopwatch.ElapsedSeconds();
   max_assignment_seconds_ =
       std::max(max_assignment_seconds_, last_assignment_seconds_);
   if (assign_slo_ != nullptr) {
     assign_slo_->RecordSeconds(last_assignment_seconds_);
   }
+  std::vector<QuestionIndex> selected = std::move(decision->questions);
 
-  // Every HIT leaving the engine must be exactly k distinct in-range
-  // questions, and each must come from the candidate set the strategy was
-  // given. Always on: a malformed HIT reaching the platform corrupts the
-  // answer set silently.
-  QASCA_CHECK_OK(
-      invariants::CheckAssignment(selected, k, config_.num_questions));
-#if QASCA_ENABLE_DCHECKS
-  // CandidatesFor returns ascending indices, so membership is a binary
-  // search — O(k log n) instead of the O(k n) linear scan that used to
-  // dominate debug-build latency measurements.
-  QASCA_DCHECK(std::is_sorted(candidates.begin(), candidates.end()));
-  for (QuestionIndex question : selected) {
-    QASCA_DCHECK(
-        std::binary_search(candidates.begin(), candidates.end(), question))
-        << "strategy selected question " << question
-        << " outside the candidate set";
-  }
-#endif
   // Write-ahead: the event must be durable before any engine state mutates,
   // so a failed append leaves this HIT unassigned everywhere — recovery and
   // the live engine agree the event never happened.
   if (journal_ != nullptr && !replaying_) {
     QASCA_RETURN_IF_ERROR(journal_->AppendAssign(worker, selected));
   }
-  database_.MarkAssigned(worker, selected);
+  core_->CommitAssignment(worker, selected);
   trace_.RecordAssignment(worker, selected);
   OpenHit hit;
   hit.hit_id = next_hit_id_++;
@@ -233,13 +185,6 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
     provenance_record.hit_id = hit_id;
     provenance_record.worker = worker;
     provenance_record.questions = selected;
-    provenance_record.candidates = static_cast<int>(candidates.size());
-    provenance_record.likelihood_cache_hit =
-        likelihood_cache_.hits() > cache_hits_before;
-    provenance_record.em_generation =
-        static_cast<uint64_t>(full_em_refits_);
-    provenance_record.kernel_isa =
-        static_cast<int>(kernels::ActiveIsa());
     provenance_record.journal_seq =
         journal_ == nullptr ? 0
         : replaying_       ? replay_journal_seq_
@@ -249,6 +194,23 @@ util::StatusOr<std::vector<QuestionIndex>> TaskAssignmentEngine::RequestHit(
     provenance_->Record(std::move(provenance_record));
   }
   return selected;
+}
+
+std::vector<util::StatusOr<std::vector<QuestionIndex>>>
+TaskAssignmentEngine::ServeRequestBatch(const std::vector<WorkerId>& workers) {
+  // One root span and one shared-state warm-up for the whole batch: the
+  // cached typical-worker model (and with it the strategies' Qc view) is
+  // materialised once here instead of inside the first request's span.
+  util::Span span(&telemetry_, util::tnames::kSpanServeBatch);
+  core_->WarmSharedState();
+  std::vector<util::StatusOr<std::vector<QuestionIndex>>> results;
+  results.reserve(workers.size());
+  for (WorkerId worker : workers) {
+    results.push_back(RequestHit(worker));
+  }
+  instruments_.batches_served->Add(1);
+  instruments_.batch_requests->Add(static_cast<int64_t>(workers.size()));
+  return results;
 }
 
 util::Status TaskAssignmentEngine::CompleteHit(
@@ -300,79 +262,17 @@ util::Status TaskAssignmentEngine::CompleteHit(
   if (journal_ != nullptr && !replaying_) {
     QASCA_RETURN_IF_ERROR(journal_->AppendComplete(worker, labels));
   }
-  // Step A: update the answer set D.
-  for (size_t q = 0; q < questions.size(); ++q) {
-    database_.RecordAnswer(questions[q], worker, labels[q]);
-  }
   std::vector<QuestionIndex> touched = it->second.questions;
   last_completion_[worker] =
       CompletedHit{it->second.hit_id, HashLabels(labels)};
-  trace_.RecordCompletion(worker, questions, labels);
+  trace_.RecordCompletion(worker, touched, labels);
   open_hits_.erase(it);
   ++completed_hits_;
-  ++completions_since_refit_;
   instruments_.hits_completed->Add(1);
   instruments_.open_hits->Set(static_cast<double>(open_hits_.size()));
-
-  // Steps B + C: re-estimate the parameters and refresh Qc. A full EM refit
-  // is the dominant per-completion cost at scale, and only the k touched
-  // rows' answer sets changed — so between scheduled refits we keep the
-  // fitted worker models and prior frozen and re-derive just those rows
-  // (Eq. 5). The first fit is always full: before it, the fallback model is
-  // a perfect worker and a Bayes update under it would drive rows to 0/1
-  // certainty that EM would never assert.
-  const bool can_refresh_incrementally =
-      config_.em_refresh_interval > 1 &&
-      !database_.parameters().workers.empty();
-  if (can_refresh_incrementally) {
-    util::Span refresh_span(&telemetry_,
-                            util::tnames::kSpanIncrementalRefresh);
-    // Applied even on a completion that triggers a scheduled refit, so the
-    // refit's drift invariant compares a fully-updated incremental Qc —
-    // never one stale by this HIT's k new answers.
-    const EmResult& parameters = database_.parameters();
-    std::vector<double> row;
-    row.reserve(static_cast<size_t>(config_.num_labels));
-    if (config_.likelihood_cache_enabled) {
-      // Table-based refresh: the answering workers' likelihood tables are
-      // memoised across completions (models are frozen between refits, so
-      // entries stay valid until RunFullEmRefit invalidates them).
-      LikelihoodLookup lookup =
-          [this, &parameters](WorkerId w) -> const WorkerLikelihoods& {
-        return likelihood_cache_.Get(w, parameters.WorkerFor(w));
-      };
-      for (QuestionIndex question : touched) {
-        ComputePosteriorRowWithLikelihoods(
-            database_.answers()[static_cast<size_t>(question)],
-            parameters.prior, lookup, &row);
-        // Always on: an incremental row is the only writer of Qc between
-        // refits, so a denormalised one corrupts every later assignment
-        // decision without crashing.
-        QASCA_CHECK_OK(invariants::CheckDistributionRow(row));
-        database_.UpdatePosteriorRow(question, row);
-      }
-    } else {
-      WorkerModelLookup lookup =
-          [&parameters](WorkerId w) -> const WorkerModel& {
-        return parameters.WorkerFor(w);
-      };
-      for (QuestionIndex question : touched) {
-        ComputePosteriorRowInto(
-            database_.answers()[static_cast<size_t>(question)],
-            parameters.prior, lookup, &row);
-        QASCA_CHECK_OK(invariants::CheckDistributionRow(row));
-        database_.UpdatePosteriorRow(question, row);
-      }
-    }
-    incremental_since_refit_ = true;
-  }
-  if (!can_refresh_incrementally ||
-      completions_since_refit_ >= config_.em_refresh_interval) {
-    RunFullEmRefit();
-  } else {
-    ++incremental_refreshes_;
-    instruments_.em_incremental_refreshes->Add(1);
-  }
+  // Steps A-C run in the core: append the answers to D, then refresh Qc
+  // (incremental row re-derivation or a scheduled full EM refit).
+  core_->ApplyCompletion(worker, touched, labels);
   return util::Status::Ok();
 }
 
@@ -396,7 +296,7 @@ int TaskAssignmentEngine::Tick(uint64_t ticks) {
   std::sort(expired.begin(), expired.end());
   for (WorkerId worker : expired) {
     const OpenHit& hit = open_hits_.at(worker);
-    database_.Unassign(worker, hit.questions);
+    core_->ReleaseAssignment(worker, hit.questions);
     trace_.RecordLeaseExpiry(worker, hit.questions);
     questions_requeued_ += static_cast<int>(hit.questions.size());
     instruments_.questions_requeued->Add(
@@ -495,15 +395,16 @@ uint64_t TaskAssignmentEngine::StateFingerprint() const {
     }
   }
   // The answer set D, in per-question arrival order.
-  for (int q = 0; q < database_.num_questions(); ++q) {
-    const auto& answers = database_.answers()[static_cast<size_t>(q)];
+  const Database& db = core_->database();
+  for (int q = 0; q < db.num_questions(); ++q) {
+    const auto& answers = db.answers()[static_cast<size_t>(q)];
     hash = FnvMix(hash, answers.size());
     for (const Answer& answer : answers) {
       hash = FnvMix(hash, static_cast<uint64_t>(answer.worker));
       hash = FnvMix(hash, static_cast<uint64_t>(answer.label) + 1);
     }
   }
-  const DistributionMatrix& qc = database_.current();
+  const DistributionMatrix& qc = db.current();
   for (int i = 0; i < qc.num_questions(); ++i) {
     for (int j = 0; j < qc.num_labels(); ++j) {
       hash = FnvMix(hash, BitsOf(qc.At(i, j)));
@@ -513,100 +414,6 @@ uint64_t TaskAssignmentEngine::StateFingerprint() const {
     hash = FnvMix(hash, static_cast<uint64_t>(r) + 1);
   }
   return hash;
-}
-
-void TaskAssignmentEngine::ForceFullEmRefit() { RunFullEmRefit(); }
-
-void TaskAssignmentEngine::RunFullEmRefit() {
-  util::Span span(&telemetry_, util::tnames::kSpanEmFullRefit);
-  const bool check_drift = incremental_since_refit_;
-  DistributionMatrix incremental = database_.current();
-  database_.SetParameters(
-      config_.warm_start_em
-          ? RunEmWarmStart(database_.answers(), config_.num_labels,
-                           config_.em, database_.parameters(), pool_.get(),
-                           &telemetry_)
-          : RunEm(database_.answers(), config_.num_labels, config_.em,
-                  pool_.get(), &telemetry_));
-  // The refreshed Qc is what every later assignment decision reads; a
-  // denormalised row here corrupts all of them without crashing.
-  QASCA_DCHECK_OK(invariants::CheckDistributionMatrix(database_.current()));
-  if (check_drift) {
-    // Always-on incremental-agreement invariant: the Qc the incremental
-    // path maintained must agree with the full refit within the configured
-    // tolerance. A violation means the incremental updates diverged from
-    // the model (stale rows, wrong parameters), not floating-point noise.
-    const DistributionMatrix& refit = database_.current();
-    double drift = 0.0;
-    for (int i = 0; i < refit.num_questions(); ++i) {
-      for (int j = 0; j < refit.num_labels(); ++j) {
-        drift = std::max(drift,
-                         std::fabs(refit.At(i, j) - incremental.At(i, j)));
-      }
-    }
-    last_refresh_drift_ = drift;
-    max_refresh_drift_ = std::max(max_refresh_drift_, drift);
-    instruments_.last_refresh_drift->Set(drift);
-    QASCA_CHECK(drift <= config_.em_drift_tolerance)
-        << "incremental Qc drifted" << drift << "from the full EM refit"
-        << "(tolerance" << config_.em_drift_tolerance << ")";
-  }
-  ++full_em_refits_;
-  instruments_.em_full_refits->Add(1);
-  completions_since_refit_ = 0;
-  incremental_since_refit_ = false;
-  // The fitted worker pool changed; the cached typical worker and every
-  // memoised likelihood table are stale.
-  typical_worker_.reset();
-  likelihood_cache_.Invalidate();
-}
-
-ResultVector TaskAssignmentEngine::CurrentResults() const {
-  return metric_->OptimalResult(database_.current());
-}
-
-double TaskAssignmentEngine::QualityAgainstTruth(
-    const GroundTruthVector& truth) const {
-  return metric_->EvaluateAgainstTruth(truth, CurrentResults());
-}
-
-const WorkerModel& TaskAssignmentEngine::ModelFor(WorkerId worker) const {
-  return database_.parameters().WorkerFor(worker);
-}
-
-const WorkerModel& TaskAssignmentEngine::TypicalWorker() {
-  if (!typical_worker_.has_value()) {
-    typical_worker_ = ComputeTypicalWorker();
-  }
-  return *typical_worker_;
-}
-
-WorkerModel TaskAssignmentEngine::ComputeTypicalWorker() const {
-  const auto& workers = database_.parameters().workers;
-  if (workers.empty()) {
-    return WorkerModel::Wp(0.75, config_.num_labels);
-  }
-  // Fold worker qualities in ascending-id order: the mean feeds assignment
-  // decisions through the typical-worker model, so its floating-point
-  // association must not depend on unordered_map bucket layout (determinism
-  // pass, tools/analyze.py).
-  std::vector<WorkerId> ids;
-  ids.reserve(workers.size());
-  for (const auto& [id, model] : workers) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-  double total_quality = 0.0;
-  for (WorkerId id : ids) {
-    std::vector<double> cm = workers.at(id).AsConfusionMatrix();
-    double diagonal = 0.0;
-    for (int j = 0; j < config_.num_labels; ++j) {
-      diagonal += cm[static_cast<size_t>(j) * config_.num_labels + j];
-    }
-    total_quality += diagonal / config_.num_labels;
-  }
-  return WorkerModel::Wp(
-      std::clamp(total_quality / static_cast<double>(workers.size()), 0.0,
-                 1.0),
-      config_.num_labels);
 }
 
 }  // namespace qasca

@@ -3,14 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/metrics/metric.h"
-#include "model/likelihood_cache.h"
 #include "platform/app_config.h"
+#include "platform/assignment_core.h"
 #include "platform/database.h"
 #include "platform/journal.h"
 #include "platform/provenance.h"
@@ -18,10 +17,8 @@
 #include "platform/trace.h"
 #include "util/attributes.h"
 #include "util/flight_recorder.h"
-#include "util/rng.h"
 #include "util/status.h"
 #include "util/telemetry.h"
-#include "util/thread_pool.h"
 
 namespace qasca {
 
@@ -38,8 +35,17 @@ namespace qasca {
 /// Section 6.2.1 run under the identical platform harness; QASCA itself is
 /// the QascaStrategy.
 ///
+/// Structure: the decision math lives in an owned AssignmentCore — the
+/// pure, deterministic, golden-trace-pinned piece (D, Qc, EM, strategy,
+/// RNG). This class is the *serving shell* around it: budget and lease
+/// accounting on a virtual clock, completion idempotency, the write-ahead
+/// lifecycle journal and crash recovery, wall-clock latency / SLO tracking,
+/// the event trace and decision provenance. Decisions are a pure function
+/// of (config, seed, event history); everything the shell adds is
+/// re-derivable bookkeeping.
+///
 /// Performance model (DESIGN.md "Threading and incrementality"): with
-/// AppConfig::num_threads > 1 the engine owns a fixed-size thread pool that
+/// AppConfig::num_threads > 1 the core owns a fixed-size thread pool that
 /// the hot kernels (EM E-step, Qw estimation, benefit scans) chunk work
 /// onto; assignment decisions are byte-identical for every thread count.
 /// With AppConfig::em_refresh_interval > 1, full EM refits run only every
@@ -47,12 +53,15 @@ namespace qasca {
 /// k posterior rows the completed HIT touched.
 ///
 /// Threading contract: externally synchronised — one engine, one driving
-/// thread. RequestHit / CompleteHit and every accessor run on that thread;
-/// concurrency exists only *inside* a call, when a kernel fans chunks onto
-/// `pool_`, and those chunks read engine/database state strictly const
-/// (Database's single-writer contract) while writing disjoint pre-sized
-/// slots. The internally-synchronised members (`telemetry_`'s instruments,
-/// `pool_`) are the only state worker threads touch directly.
+/// thread at a time. Under AppManager that thread is whichever worker holds
+/// the app's shard lock; standalone it is the single simulation thread.
+/// RequestHit / CompleteHit / Tick and every accessor run under that
+/// exclusion; concurrency exists only *inside* a call, when a kernel fans
+/// chunks onto the core's pool, and those chunks read engine/database state
+/// strictly const (Database's single-writer contract) while writing
+/// disjoint pre-sized slots. The internally-synchronised members
+/// (`telemetry_`'s instruments, the pool) are the only state worker threads
+/// touch directly.
 class TaskAssignmentEngine {
  public:
   /// `config` must Validate(); `seed` drives all stochastic choices
@@ -67,6 +76,17 @@ class TaskAssignmentEngine {
   /// the worker's candidate set.
   QASCA_NODISCARD
   util::StatusOr<std::vector<QuestionIndex>> RequestHit(WorkerId worker);
+
+  /// Serves a batch of HIT requests in batch order under one root span,
+  /// amortising the shared per-decision state (the Qc snapshot the
+  /// strategies read and the cached typical-worker model, both warmed once)
+  /// across the batch. Decisions are byte-identical to calling RequestHit
+  /// serially for each worker in batch order — the engine RNG stream
+  /// advances per request either way (pinned by
+  /// AppManagerTest.BatchMatchesSerialInBatchOrder). Per-request failures
+  /// land in the matching result slot; the batch never aborts early.
+  std::vector<util::StatusOr<std::vector<QuestionIndex>>> ServeRequestBatch(
+      const std::vector<WorkerId>& workers);
 
   /// HIT completion event. `labels` must parallel the question list the
   /// worker received from RequestHit. Idempotent against platform callback
@@ -85,6 +105,11 @@ class TaskAssignmentEngine {
   /// late (until a new RequestHit supersedes it). With
   /// AppConfig::lease_timeout_ticks == 0 this only advances the clock.
   /// Returns the number of leases expired.
+  ///
+  /// Expiry and completion mutate the same lease/budget state; under
+  /// AppManager both run behind the app's shard lock, so an expiry racing a
+  /// completion serialises and the budget is refunded at most once
+  /// (AppManagerTest.ExpiryRacingCompletionNeverDoubleRefunds).
   int Tick(uint64_t ticks = 1);
 
   /// Replays the lifecycle journal at AppConfig::persistence_path through
@@ -104,18 +129,23 @@ class TaskAssignmentEngine {
   /// checked first, as at any scheduled refit). Benchmarks and tests use
   /// this to force the batch-global state the paper's engine maintains on
   /// every completion.
-  void ForceFullEmRefit();
+  void ForceFullEmRefit() { core_->ForceFullEmRefit(); }
 
   /// The results the requester would receive now: the metric-optimal result
   /// vector R* for the current Qc.
-  ResultVector CurrentResults() const;
+  ResultVector CurrentResults() const { return core_->CurrentResults(); }
 
   /// Convenience for experiments: the true quality F(T, R*) of the current
   /// results against known ground truth.
-  double QualityAgainstTruth(const GroundTruthVector& truth) const;
+  double QualityAgainstTruth(const GroundTruthVector& truth) const {
+    return core_->QualityAgainstTruth(truth);
+  }
 
   const AppConfig& config() const { return config_; }
-  const Database& database() const { return database_; }
+  const Database& database() const { return core_->database(); }
+  /// The pure decision core this shell serves (read-only; mutations go
+  /// through the engine's lifecycle API).
+  const AssignmentCore& core() const { return *core_; }
   /// Ordered log of every assignment and completion this engine served.
   const EventTrace& trace() const { return trace_; }
   /// The engine's telemetry registry: per-stage latency spans, hot-path
@@ -145,8 +175,8 @@ class TaskAssignmentEngine {
   util::TelemetrySnapshot TelemetrySnapshot() const {
     return telemetry_.Snapshot();
   }
-  const EvaluationMetric& metric() const { return *metric_; }
-  const AssignmentStrategy& strategy() const { return *strategy_; }
+  const EvaluationMetric& metric() const { return core_->metric(); }
+  const AssignmentStrategy& strategy() const { return core_->strategy(); }
 
   int assigned_hits() const noexcept { return assigned_hits_; }
   int completed_hits() const noexcept { return completed_hits_; }
@@ -178,8 +208,9 @@ class TaskAssignmentEngine {
   }
   bool BudgetExhausted() const noexcept { return remaining_hits() <= 0; }
 
-  /// Wall-clock seconds spent inside the strategy on the most recent /
-  /// slowest HIT request (Figure 6(a) reports the worst case).
+  /// Wall-clock seconds spent deciding the most recent / slowest HIT
+  /// request — the full decision path the shard lock covers (candidate
+  /// scan + strategy selection); Figure 6(a) reports the worst case.
   double last_assignment_seconds() const noexcept {
     return last_assignment_seconds_;
   }
@@ -189,34 +220,23 @@ class TaskAssignmentEngine {
 
   /// Completions served by the cheap incremental path vs full EM refits
   /// (full_em_refits + incremental_refreshes == completed_hits).
-  int full_em_refits() const noexcept { return full_em_refits_; }
+  int full_em_refits() const noexcept { return core_->full_em_refits(); }
   int incremental_refreshes() const noexcept {
-    return incremental_refreshes_;
+    return core_->incremental_refreshes();
   }
 
   /// Max absolute Qc cell difference between the incremental posterior and
   /// the full refit that superseded it, for the latest / worst refit that
   /// followed at least one incremental refresh. 0 until such a refit runs.
   /// Always checked against AppConfig::em_drift_tolerance.
-  double last_refresh_drift() const noexcept { return last_refresh_drift_; }
-  double max_refresh_drift() const noexcept { return max_refresh_drift_; }
+  double last_refresh_drift() const noexcept {
+    return core_->last_refresh_drift();
+  }
+  double max_refresh_drift() const noexcept {
+    return core_->max_refresh_drift();
+  }
 
  private:
-  /// Fitted model for `worker` (perfect if unseen).
-  const WorkerModel& ModelFor(WorkerId worker) const;
-
-  /// Representative worker for worker-agnostic policies: a WP model at the
-  /// mean diagonal quality of all fitted workers (0.75 before any fit).
-  /// Cached — the fitted pool only changes on a full EM refit, so the
-  /// O(workers * labels^2) aggregation runs once per refit instead of once
-  /// per HIT request.
-  const WorkerModel& TypicalWorker();
-  WorkerModel ComputeTypicalWorker() const;
-
-  /// Runs full EM over the answer set, enforces the incremental-agreement
-  /// invariant against the pre-refit Qc, and resets the refresh cycle.
-  void RunFullEmRefit();
-
   /// An assigned, not-yet-completed HIT: the lease the worker holds.
   struct OpenHit {
     /// Monotone per-engine id; names the HIT in duplicate-drop diagnostics.
@@ -241,43 +261,34 @@ class TaskAssignmentEngine {
   struct Instruments {
     util::Counter* hits_assigned = nullptr;
     util::Counter* hits_completed = nullptr;
-    util::Counter* em_full_refits = nullptr;
-    util::Counter* em_incremental_refreshes = nullptr;
     util::Counter* lease_expired = nullptr;
     util::Counter* questions_requeued = nullptr;
     util::Counter* duplicate_dropped = nullptr;
     util::Counter* late_completion_rejected = nullptr;
     util::Counter* journal_events_replayed = nullptr;
+    util::Counter* batches_served = nullptr;
+    util::Counter* batch_requests = nullptr;
     util::Gauge* open_hits = nullptr;
     util::Gauge* remaining_hits = nullptr;
-    util::Gauge* last_refresh_drift = nullptr;
   };
 
   AppConfig config_;
   util::MetricRegistry telemetry_;
   Instruments instruments_;
-  std::unique_ptr<AssignmentStrategy> strategy_;
-  std::unique_ptr<EvaluationMetric> metric_;
-  Database database_;
   EventTrace trace_;
-  util::Rng rng_;
-  /// Non-null iff config_.num_threads > 1.
-  std::unique_ptr<util::ThreadPool> pool_;
   /// Non-null iff config_.persistence_path is non-empty.
   std::unique_ptr<LifecycleJournal> journal_;
-  /// Per-worker likelihood tables memoised between full EM refits
-  /// (invalidated by RunFullEmRefit alongside the typical-worker cache);
-  /// handed to strategies and the incremental refresh when
-  /// config_.likelihood_cache_enabled.
-  LikelihoodCache likelihood_cache_;
   /// Non-null iff config_.flight_recorder_enabled; attached to telemetry_
   /// at construction so every enabled span also records B/E events.
   std::unique_ptr<util::FlightRecorder> flight_recorder_;
   /// Non-null iff config_.provenance_enabled; one record per assignment.
   std::unique_ptr<ProvenanceLog> provenance_;
-  /// Non-null iff config_.slo_p95_assign_ms > 0; fed the strategy-selection
-  /// seconds of every assignment.
+  /// Non-null iff config_.slo_p95_assign_ms > 0; fed the decision seconds
+  /// of every assignment.
   std::unique_ptr<util::SloTracker> assign_slo_;
+  /// The pure decision core (always non-null; constructed after config_ is
+  /// validated and telemetry_ is live, destroyed before both).
+  std::unique_ptr<AssignmentCore> core_;
   /// Request-scoped trace ids: advances on every RequestHit/CompleteHit
   /// regardless of observability flags (pure bookkeeping, never feeds a
   /// decision — the determinism suite pins this).
@@ -287,7 +298,6 @@ class TaskAssignmentEngine {
   /// Workers whose lease expired and who have not requested a new HIT yet;
   /// a completion from them is a late delivery for the expired HIT.
   std::unordered_set<WorkerId> expired_pending_;
-  std::optional<WorkerModel> typical_worker_;
   /// Virtual-clock time; advances only through Tick().
   uint64_t now_ticks_ = 0;
   uint64_t next_hit_id_ = 0;
@@ -304,18 +314,8 @@ class TaskAssignmentEngine {
   int questions_requeued_ = 0;
   int duplicates_dropped_ = 0;
   int late_completions_rejected_ = 0;
-  int full_em_refits_ = 0;
-  int incremental_refreshes_ = 0;
-  /// Completions since the last full EM refit.
-  int completions_since_refit_ = 0;
-  /// Whether any incremental row update has been applied since the last
-  /// full refit — gates the drift invariant, which is only meaningful when
-  /// the incremental path actually wrote to Qc this cycle.
-  bool incremental_since_refit_ = false;
   double last_assignment_seconds_ = 0.0;
   double max_assignment_seconds_ = 0.0;
-  double last_refresh_drift_ = 0.0;
-  double max_refresh_drift_ = 0.0;
 };
 
 }  // namespace qasca

@@ -1,0 +1,139 @@
+#ifndef QASCA_SIMULATION_SERVING_DRIVER_H_
+#define QASCA_SIMULATION_SERVING_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "platform/app_manager.h"
+#include "util/status.h"
+
+namespace qasca {
+
+/// Knobs for a generated multi-app serving workload: N apps, each with its
+/// own worker pool and its own interleaved stream of HIT requests,
+/// completions, batched requests, clock ticks and (optionally) mid-storm
+/// crash + recovery events.
+struct ServingWorkloadOptions {
+  int apps = 4;
+  int workers_per_app = 6;
+  /// Events in each app's stream (the global schedule interleaves all of
+  /// them in a seeded order).
+  int events_per_app = 120;
+  int num_questions = 40;
+  int num_labels = 2;
+  int questions_per_hit = 2;
+  int em_refresh_interval = 4;
+  /// 0 disables lease expiry.
+  uint64_t lease_timeout_ticks = 7;
+  /// Fractions of an app's events that are clock ticks / batched requests;
+  /// the rest are single serve events (request, or completion if the
+  /// worker holds an open HIT).
+  double tick_fraction = 0.15;
+  double batch_fraction = 0.1;
+  int batch_size = 3;
+  /// Percentage of simulated answers that match the ground truth
+  /// (truth(q) = q mod num_labels); the rest are hash-deterministic noise.
+  int answer_accuracy_pct = 80;
+  /// Every Nth event of an app's stream is a crash + journal recovery of
+  /// that app (0 disables; requires persistence_dir).
+  int crash_every = 0;
+  /// Per-app observability (each app gets its own registry / SLO tracker).
+  bool telemetry = false;
+  double slo_p95_assign_ms = 0.0;
+  bool provenance = false;
+  /// Directory for per-app journals; empty disables persistence.
+  std::string persistence_dir;
+};
+
+/// A generated multi-app schedule: one event stream per app, interleaved
+/// into a single global order by a seeded shuffle that preserves each
+/// app's internal order. The schedule is data — the same schedule can be
+/// executed serially or by any number of threads, and per-app results must
+/// be bit-identical (the conformance suite's core claim).
+struct ServingEvent {
+  enum class Kind {
+    /// Request a HIT for `worker` — or complete the worker's open HIT if
+    /// the driver's lane model says one is outstanding.
+    kServe,
+    /// Batched requests for `batch` (workers with open HITs are skipped).
+    kBatch,
+    /// Advance the app's virtual clock by `ticks`.
+    kTick,
+    /// Crash the app and recover it from its journal.
+    kCrashRecover,
+  };
+  Kind kind = Kind::kServe;
+  AppId app = 0;
+  /// Position in the app's stream; the turnstile the concurrent driver
+  /// serialises on.
+  uint32_t app_seq = 0;
+  WorkerId worker = 0;
+  std::vector<WorkerId> batch;
+  uint64_t ticks = 1;
+};
+
+class ServingSchedule {
+ public:
+  /// Deterministically generates the interleaved multi-app schedule for
+  /// (options, seed).
+  static ServingSchedule Generate(const ServingWorkloadOptions& options,
+                                  uint64_t seed);
+
+  const std::vector<ServingEvent>& events() const { return events_; }
+  int apps() const { return apps_; }
+
+ private:
+  std::vector<ServingEvent> events_;
+  int apps_ = 0;
+};
+
+/// Registers `options.apps` QASCA apps (QascaStrategy, per-app seed derived
+/// from `seed`) into `manager`. Returns the first error status, if any.
+QASCA_NODISCARD
+util::Status BuildServingApps(AppManager& manager,
+                              const ServingWorkloadOptions& options,
+                              uint64_t seed);
+
+/// Per-app and aggregate outcome of one schedule execution.
+struct ServingRunResult {
+  /// FNV-1a fold, in app-stream order, of every decision the app's engine
+  /// made (selected questions, completion outcomes, expiry counts, crash
+  /// recoveries). Bit-identical across thread counts by construction of
+  /// the per-app turnstiles.
+  std::vector<uint64_t> decision_hashes;
+  /// AppManager::AppStateFingerprint per app after the run.
+  std::vector<uint64_t> fingerprints;
+  int64_t assignments = 0;
+  int64_t completions = 0;
+  int64_t rejects = 0;
+  int64_t leases_expired = 0;
+  int64_t crash_recoveries = 0;
+  int64_t batches = 0;
+  /// Wall-clock seconds for the whole schedule execution (bench input;
+  /// never feeds a decision).
+  double elapsed_seconds = 0.0;
+};
+
+/// Executes `schedule` against `manager` with `num_threads` worker threads
+/// (1 = inline serial execution). Threads claim events from the global
+/// order and serialise per app on a turnstile, so any thread count
+/// preserves each app's event order — the per-app decision hashes and
+/// fingerprints must match the serial run bit for bit.
+ServingRunResult RunServingSchedule(AppManager& manager,
+                                    const ServingSchedule& schedule,
+                                    const ServingWorkloadOptions& options,
+                                    int num_threads);
+
+/// The deterministic simulated answer the driver submits for (worker,
+/// question): ground truth (question mod num_labels) with probability
+/// answer_accuracy_pct, hash-noise otherwise. Pure function — independent
+/// of execution order, which is what keeps completions bit-identical
+/// across interleavings.
+LabelIndex ServingAnswerFor(AppId app, WorkerId worker, QuestionIndex question,
+                            const ServingWorkloadOptions& options);
+
+}  // namespace qasca
+
+#endif  // QASCA_SIMULATION_SERVING_DRIVER_H_

@@ -17,12 +17,15 @@ namespace qasca::util::lock_ranks {
 ///
 /// Gaps of 10 leave room to slot a new lock between two existing ones
 /// without renumbering everything.
-inline constexpr int kFailPointsRegistry = 10;     // FailPoints::mutex_
-inline constexpr int kFlightRecorderShard = 20;    // FlightRecorder::Shard::mutex
-inline constexpr int kMetricRegistry = 30;         // MetricRegistry::mutex_
-inline constexpr int kLatencyHistogram = 40;       // LatencyHistogram::mutex_
-inline constexpr int kThreadPool = 50;             // ThreadPool::mutex_
-inline constexpr int kWindowedLatency = 60;        // WindowedLatency::mutex_
+inline constexpr int kServingLane = 10;            // ServingLane::turn_mu (simulation/serving_driver.cc)
+inline constexpr int kAppShard = 20;               // AppManager::AppShard::mu
+inline constexpr int kAppManagerRegistry = 30;     // AppManager::mu_
+inline constexpr int kFailPointsRegistry = 40;     // FailPoints::mutex_
+inline constexpr int kFlightRecorderShard = 50;    // FlightRecorder::Shard::mutex
+inline constexpr int kMetricRegistry = 60;         // MetricRegistry::mutex_
+inline constexpr int kLatencyHistogram = 70;       // LatencyHistogram::mutex_
+inline constexpr int kThreadPool = 80;             // ThreadPool::mutex_
+inline constexpr int kWindowedLatency = 90;        // WindowedLatency::mutex_
 
 }  // namespace qasca::util::lock_ranks
 

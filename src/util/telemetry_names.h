@@ -33,6 +33,9 @@ inline constexpr char kSpanDinkelbachInner[] = "dinkelbach_inner";
 inline constexpr char kSpanKernelDispatch[] = "kernel_dispatch";
 inline constexpr char kSpanQwOverlayFill[] = "qw_overlay_fill";
 inline constexpr char kSpanQwSampledBatch[] = "qw_sampled_batch";
+// Serving layer (DESIGN.md §14): one span per request batch, amortising the
+// shared-state warm-up across the batch's assign_hit spans.
+inline constexpr char kSpanServeBatch[] = "serve_batch";
 
 // --- counter names -------------------------------------------------------
 inline constexpr char kHitsAssigned[] = "engine.hits_assigned";
@@ -74,6 +77,10 @@ inline constexpr char kFailpointsTriggered[] = "failpoint.triggered";
 inline constexpr char kSloAssignOverTarget[] = "slo.assign_hit.over_target";
 inline constexpr char kSloAssignP95Breaches[] =
     "slo.assign_hit.p95_breaches";
+// Serving layer (AppManager, DESIGN.md §14): request batches served and the
+// requests they carried (per-app registries, like every engine metric).
+inline constexpr char kServingBatches[] = "serving.batches";
+inline constexpr char kServingBatchRequests[] = "serving.batch_requests";
 
 // --- sliding-window latency names ---------------------------------------
 inline constexpr char kWindowAssignHit[] = "assign_hit.window";

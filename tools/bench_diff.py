@@ -5,11 +5,14 @@ Usage:
     python3 tools/bench_diff.py BASELINE.json CANDIDATE.json \
         [--threshold 0.25] [--fail-on-missing]
 
-Reads two bench snapshots produced by tools/run_bench.sh (schema_version 3
-or 4 — sections present in only one file are skipped, so a v3 baseline
-compares cleanly against a v4 candidate), matches rows by their workload
-identity (n, thread count, refresh interval, ...), and prints a markdown
-table of every shared metric with its relative delta.
+Reads two bench snapshots produced by tools/run_bench.sh (schema_version 3,
+4 or 5 — sections present in only one file are skipped, so a v4 baseline
+compares cleanly against a v5 candidate), matches rows by their workload
+identity (n, thread count, refresh interval, apps, ...), and prints a
+markdown table of every shared metric with its relative delta. Schema v5
+adds the "serving" section (BENCH_PR10.json): the multi-app AppManager grid
+with per-cell event throughput and per-app sliding-window p95 assignment
+latency.
 
 A metric is a REGRESSION when the candidate is worse than the baseline by
 more than --threshold (a fraction: 0.25 = 25%) in the metric's bad
@@ -64,6 +67,13 @@ SECTIONS = {
             ("optimized_p50_assignment_seconds", LOWER_IS_BETTER),
             ("optimized_qw_estimate_ms", LOWER_IS_BETTER),
             ("optimized_topk_scan_ms", LOWER_IS_BETTER),
+        ],
+    ),
+    "serving": (
+        ("apps", "worker_threads"),
+        [
+            ("events_per_second", HIGHER_IS_BETTER),
+            ("p95_assignment_seconds", LOWER_IS_BETTER),
         ],
     ),
     "stage_breakdown": (

@@ -28,12 +28,20 @@
 //                  benefit scores, kernel ISA, cache/overlay usage, journal
 //                  sequencing); combine with --trace-out to get both from a
 //                  single run
+//   --apps N       serving mode (DESIGN.md §14): host N QASCA apps in one
+//                  AppManager and storm them with a seeded interleaved
+//                  multi-app workload, then print per-app serving stats
+//   --worker-threads M
+//                  worker threads for the serving storm (default 4); the
+//                  run re-executes the identical schedule single-threaded
+//                  and verifies per-app decisions were bit-identical
 //
 // Examples:
 //   qasca_sim --app ER --seeds 5
 //   qasca_sim --app NSA --systems Baseline,QASCA --scale 0.25 --csv
 //   qasca_sim --telemetry
 //   qasca_sim --trace-out trace.json --provenance-out decisions.jsonl
+//   qasca_sim --apps 8 --worker-threads 4
 
 #include <cstdint>
 #include <cstdio>
@@ -44,8 +52,10 @@
 #include <vector>
 
 #include "bench/experiment_driver.h"
+#include "platform/app_manager.h"
 #include "platform/engine.h"
 #include "platform/qasca_strategy.h"
+#include "simulation/serving_driver.h"
 #include "util/table.h"
 
 namespace qasca {
@@ -55,7 +65,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--app NAME] [--seeds N] [--checkpoints N] "
                "[--systems a,b,...] [--scale F] [--csv] [--telemetry] "
-               "[--trace-out FILE] [--provenance-out FILE]\n",
+               "[--trace-out FILE] [--provenance-out FILE] "
+               "[--apps N [--worker-threads M]]\n",
                argv0);
   std::exit(2);
 }
@@ -242,12 +253,93 @@ int RunObservabilityExport(const std::string& trace_path,
   return 0;
 }
 
+// Serving mode (DESIGN.md §14): one AppManager hosting `apps` QASCA apps,
+// stormed by `worker_threads` racing threads executing a seeded interleaved
+// multi-app schedule, with per-app SLO trackers live. The identical
+// schedule is then replayed single-threaded as the determinism oracle.
+int RunServing(int apps, int worker_threads) {
+  ServingWorkloadOptions options;
+  options.apps = apps;
+  options.workers_per_app = 8;
+  options.events_per_app = 200;
+  options.num_questions = 50;
+  options.questions_per_hit = 3;
+  options.em_refresh_interval = 4;
+  options.lease_timeout_ticks = 6;
+  options.slo_p95_assign_ms = 5.0;
+  const uint64_t seed = 20100;
+
+  const ServingSchedule schedule = ServingSchedule::Generate(options, seed);
+  std::fprintf(stderr,
+               "serving storm: %d apps x %d events, %d worker thread(s), "
+               "%zu interleaved events\n",
+               options.apps, options.events_per_app, worker_threads,
+               schedule.events().size());
+
+  AppManager manager;
+  util::Status built = BuildServingApps(manager, options, seed);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.ToString().c_str());
+    return 1;
+  }
+  const ServingRunResult storm =
+      RunServingSchedule(manager, schedule, options, worker_threads);
+
+  AppManager oracle;
+  built = BuildServingApps(oracle, options, seed);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.ToString().c_str());
+    return 1;
+  }
+  const ServingRunResult serial =
+      RunServingSchedule(oracle, schedule, options, 1);
+  const bool identical = storm.decision_hashes == serial.decision_hashes &&
+                         storm.fingerprints == serial.fingerprints;
+
+  util::Table table({"app", "assigned", "completed", "open", "expired",
+                     "p95 assign (ms)", "decision hash"});
+  for (int app = 0; app < options.apps; ++app) {
+    auto stats = manager.StatsFor(app);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      storm.decision_hashes[static_cast<size_t>(app)]));
+    table.AddRow()
+        .Cell(int64_t{app})
+        .Cell(int64_t{stats->assigned_hits})
+        .Cell(int64_t{stats->completed_hits})
+        .Cell(int64_t{stats->open_hits})
+        .Cell(int64_t{stats->leases_expired})
+        .Cell(stats->window_p95_seconds * 1e3, 4)
+        .Cell(hash);
+  }
+  table.Print();
+  std::printf(
+      "%lld events/s (%lld assignments, %lld completions, %lld batches); "
+      "decisions identical to the serial replay: %s\n",
+      static_cast<long long>(
+          storm.elapsed_seconds > 0
+              ? static_cast<double>(options.apps) * options.events_per_app /
+                    storm.elapsed_seconds
+              : 0.0),
+      static_cast<long long>(storm.assignments),
+      static_cast<long long>(storm.completions),
+      static_cast<long long>(storm.batches), identical ? "yes" : "NO");
+  return identical ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   std::string app_name = "FS";
   int seeds = 3;
   int checkpoints = 10;
   double scale = 1.0;
   bool csv = false;
+  int serving_apps = 0;
+  int worker_threads = 4;
   std::string trace_out;
   std::string provenance_out;
   std::vector<std::string> system_names;
@@ -288,9 +380,19 @@ int Run(int argc, char** argv) {
       trace_out = next_value();
     } else if (flag == "--provenance-out") {
       provenance_out = next_value();
+    } else if (flag == "--apps") {
+      serving_apps = std::atoi(next_value().c_str());
+      if (serving_apps <= 0) Usage(argv[0]);
+    } else if (flag == "--worker-threads") {
+      worker_threads = std::atoi(next_value().c_str());
+      if (worker_threads <= 0) Usage(argv[0]);
     } else {
       Usage(argv[0]);
     }
+  }
+
+  if (serving_apps > 0) {
+    return RunServing(serving_apps, worker_threads);
   }
 
   if (!trace_out.empty() || !provenance_out.empty()) {

@@ -1,31 +1,36 @@
 #!/usr/bin/env bash
-# Builds the release preset, runs the hot-path scaling benchmark
-# (bench/bench_hotpath_scaling.cc) and writes its JSON report to
-# BENCH_PR7.json at the repo root (schema v4, documented in README.md).
-# The report includes a per-stage telemetry breakdown (em_refit_ms,
-# qw_estimate_ms, topk_scan_ms, dinkelbach_iters) built from
-# MetricRegistry::ToJson(), a fault-tolerance section comparing completion
-# throughput at 5% injected abandonment against fault-free, and the PR 7
-# assignment-kernel sections: the resolved SIMD ISA, likelihood-cache hit
-# rate and overlay row counts, plus the legacy-vs-optimized Qw path p50
-# assignment-latency comparison.
+# Builds the release preset and writes the bench snapshot for this PR:
+# the serving-layer benchmark (bench/bench_serving.cc) runs the multi-app
+# AppManager over an apps × worker-threads grid and reports per-cell event
+# throughput + per-app sliding-window p95 assignment latency (SloTracker)
+# to BENCH_PR10.json at the repo root (schema v5, documented in README.md).
 #
-# Usage: tools/run_bench.sh [--out FILE]
+# --hotpath instead reruns the PR 7 hot-path scaling benchmark
+# (bench/bench_hotpath_scaling.cc, schema v4: thread scaling, EM refresh,
+# fault tolerance, kernel sections) — kept runnable so older baselines can
+# be regenerated for apples-to-apples diffs.
+#
+# Usage: tools/run_bench.sh [--out FILE] [--hotpath]
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${REPO_ROOT}"
 
-OUT="${REPO_ROOT}/BENCH_PR7.json"
+OUT=""
+BENCH=serving
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --out)
       OUT="$2"
       shift 2
       ;;
+    --hotpath)
+      BENCH=hotpath
+      shift
+      ;;
     *)
-      echo "usage: tools/run_bench.sh [--out FILE]" >&2
+      echo "usage: tools/run_bench.sh [--out FILE] [--hotpath]" >&2
       exit 2
       ;;
   esac
@@ -36,10 +41,38 @@ COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 cmake --preset release >/dev/null
-cmake --build --preset release -j "${JOBS}" --target bench_hotpath_scaling
 
-./build-release/bench/bench_hotpath_scaling \
-  --commit "${COMMIT}" --date "${DATE}" --out "${OUT}"
+if [[ "${BENCH}" == hotpath ]]; then
+  OUT="${OUT:-${REPO_ROOT}/BENCH_PR7.json}"
+  cmake --build --preset release -j "${JOBS}" --target bench_hotpath_scaling
+  ./build-release/bench/bench_hotpath_scaling \
+    --commit "${COMMIT}" --date "${DATE}" --out "${OUT}"
+else
+  OUT="${OUT:-${REPO_ROOT}/BENCH_PR10.json}"
+  cmake --build --preset release -j "${JOBS}" --target bench_serving
+  ./build-release/bench/bench_serving \
+    --commit "${COMMIT}" --date "${DATE}" --out "${OUT}"
+
+  python3 - "${OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rows = report["serving"]
+det = report["determinism"]["identical_decisions_across_thread_counts"]
+print(f"BENCH: host threads={report['machine']['hardware_threads']}, "
+      f"decisions identical across thread counts: {det}")
+for r in rows:
+    print(f"  serving apps={r['apps']} worker-threads={r['worker_threads']}: "
+          f"{r['events_per_second']:.0f} events/s, "
+          f"p95 assignment {r['p95_assignment_seconds']*1e3:.3f} ms "
+          f"(SLO {'met' if r['slo_met'] else 'MISSED'})")
+unmet = [r for r in rows if not r["slo_met"]]
+if unmet:
+    print(f"BENCH: {len(unmet)} grid cell(s) missed the p95 SLO target")
+EOF
+  echo "wrote ${OUT}"
+  exit 0
+fi
 
 python3 - "${OUT}" <<'EOF'
 import json, sys

@@ -51,12 +51,19 @@
 #      thread-annotations, telemetry, lock-rank, engine-determinism and
 #      lifecycle stress suites); --tsan widens this stage to the full
 #      tsan suite
-#  11. observability smoke (ISSUE 8): qasca_sim --trace-out /
+#  11. serving conformance suite (ISSUE 10, DESIGN.md §14): the tests
+#      labelled "serving" — the multi-app AppManager concurrency
+#      conformance suite (one schedule replayed at 1/2/4/8 threads with
+#      bit-identical per-app decision hashes and fingerprints, batching
+#      equivalence, cross-app isolation, mid-storm crash recovery) —
+#      under BOTH sanitizer builds: TSan for the data races the turnstile
+#      harness provokes, asan-ubsan for the DCHECK'd engine invariants
+#  12. observability smoke (ISSUE 8): qasca_sim --trace-out /
 #      --provenance-out on the release build, then structural validation of
 #      the Chrome trace JSON (sorted ts, balanced B/E per tid, nested
 #      stages) and the provenance JSONL, and a bench_diff run over the two
 #      newest checked-in BENCH_*.json baselines
-#  12. telemetry-overhead smoke: disabled-telemetry instrumentation on a
+#  13. telemetry-overhead smoke: disabled-telemetry instrumentation on a
 #      hot loop must cost < 2%; also drives the enabled+flight-recorder
 #      path (informational cost, recorder must capture events)
 #
@@ -230,6 +237,19 @@ if [[ "${RUN_TSAN}" -eq 1 ]]; then
 else
   run ctest --preset tsan-threads -j "${JOBS}"
 fi
+stage_pass
+
+stage_begin "serving conformance suite (multi-app AppManager, TSan + asan-ubsan)"
+# Reuses the tsan build from the previous stage and the asan-ubsan build
+# from stage 7. The `serving` label selects the concurrency conformance
+# suite (ISSUE 10): bit-identical per-app decision hashes across thread
+# counts, batching equivalence, cross-app isolation and mid-storm crash
+# recovery. TSan proves the shard/turnstile locking really synchronises
+# the racing submitters; asan-ubsan re-runs the suite with every DCHECK'd
+# engine invariant armed. (The ranking these locks follow is pinned by
+# stage 3's lock-order freshness gate.)
+run ctest --preset tsan-serving -j "${JOBS}"
+run ctest --preset asan-ubsan-serving -j "${JOBS}"
 stage_pass
 
 stage_begin "observability smoke (trace export, provenance JSONL, bench diff)"
